@@ -1,0 +1,29 @@
+//! # apm-bench
+//!
+//! Criterion benchmarks for the reproduction:
+//!
+//! - `benches/figures.rs` — one benchmark per paper figure, running a
+//!   reduced-resolution version of its experiment end to end (the
+//!   full-resolution tables come from the `repro` binary; these benches
+//!   track the harness's own performance and act as smoke tests that
+//!   every figure's pipeline stays runnable).
+//! - `benches/micro_storage.rs` — storage engine hot paths (LSM insert /
+//!   get, B+tree insert / get / scan, bloom probes, hash store ops).
+//! - `benches/micro_routing.rs` — hashing and client-side routing (MD5,
+//!   MurmurHash, token ring, Jedis ring, region map).
+//! - `benches/micro_workload.rs` — workload generation, histogram
+//!   recording, and raw simulator event throughput.
+//!
+//! Run with `cargo bench -p apm-bench` (or `--bench micro_storage` etc.).
+
+/// A tiny experiment profile shared by the figure benches: small enough
+/// that one iteration completes in a fraction of a second.
+pub fn bench_profile() -> apm_harness::ExperimentProfile {
+    apm_harness::ExperimentProfile {
+        scale: 0.0005,
+        data_factor: 1.0,
+        warmup_secs: 0.2,
+        measure_secs: 1.0,
+        seed: 1,
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text and CSV rendering of benchmark results.
+//!
+//! The harness prints one table per paper figure: rows are node counts (or
+//! workloads), columns are stores, cells are throughput or latency. The
+//! same data is emitted as CSV for plotting.
+
+use std::fmt::Write as _;
+
+/// A rectangular results table with row and column labels.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (e.g. "Figure 3: Throughput for Workload R").
+    pub title: String,
+    /// Label of the row dimension (e.g. "nodes").
+    pub row_label: String,
+    /// Column headers (store names).
+    pub columns: Vec<String>,
+    /// Row headers (node counts / workload names).
+    pub rows: Vec<String>,
+    /// Cell values; `None` renders as "-" (store not tested, §5.4/§5.8).
+    pub cells: Vec<Vec<Option<f64>>>,
+    /// Unit string appended to the title (e.g. "ops/sec", "ms").
+    pub unit: String,
+}
+
+impl Table {
+    /// Creates an empty table with the given shape metadata.
+    pub fn new(title: &str, row_label: &str, unit: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            row_label: row_label.to_string(),
+            unit: unit.to_string(),
+            ..Table::default()
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    /// Panics if `cells.len()` does not match the number of columns.
+    pub fn push_row(&mut self, row: &str, cells: Vec<Option<f64>>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width must match column count");
+        self.rows.push(row.to_string());
+        self.cells.push(cells);
+    }
+
+    /// Looks up a cell by row and column label.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.cells[r][c]
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} [{}]", self.title, self.unit);
+        let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
+        widths.push(
+            self.rows.iter().map(String::len).chain([self.row_label.len()]).max().unwrap_or(4),
+        );
+        for (c, col) in self.columns.iter().enumerate() {
+            let w = self
+                .cells
+                .iter()
+                .map(|row| format_cell(row[c]).len())
+                .chain([col.len()])
+                .max()
+                .unwrap_or(4);
+            widths.push(w);
+        }
+        let _ = write!(out, "{:>w$}", self.row_label, w = widths[0]);
+        for (col, w) in self.columns.iter().zip(&widths[1..]) {
+            let _ = write!(out, "  {col:>w$}");
+        }
+        out.push('\n');
+        for (row, cells) in self.rows.iter().zip(&self.cells) {
+            let _ = write!(out, "{:>w$}", row, w = widths[0]);
+            for (cell, w) in cells.iter().zip(&widths[1..]) {
+                let _ = write!(out, "  {:>w$}", format_cell(*cell));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (first column is the row label).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.row_label);
+        for col in &self.columns {
+            let _ = write!(out, ",{col}");
+        }
+        out.push('\n');
+        for (row, cells) in self.rows.iter().zip(&self.cells) {
+            let _ = write!(out, "{row}");
+            for cell in cells {
+                match cell {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_cell(cell: Option<f64>) -> String {
+    match cell {
+        None => "-".to_string(),
+        Some(0.0) => "0".to_string(),
+        Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
+        Some(v) if v.abs() >= 10.0 => format!("{v:.1}"),
+        Some(v) if v.abs() >= 0.1 => format!("{v:.2}"),
+        Some(v) => format!("{v:.4}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure X", "nodes", "ops/sec");
+        t.columns = vec!["cassandra".into(), "hbase".into()];
+        t.push_row("1", vec![Some(25_000.0), Some(2_500.0)]);
+        t.push_row("12", vec![Some(180_000.0), None]);
+        t
+    }
+
+    #[test]
+    fn get_retrieves_cells_by_label() {
+        let t = sample();
+        assert_eq!(t.get("1", "hbase"), Some(2_500.0));
+        assert_eq!(t.get("12", "hbase"), None);
+        assert_eq!(t.get("99", "hbase"), None);
+        assert_eq!(t.get("1", "redis"), None);
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_values() {
+        let text = sample().render();
+        for needle in ["Figure X", "ops/sec", "nodes", "cassandra", "hbase", "25000", "180000", "-"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn csv_shape_is_rows_plus_header() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "nodes,cassandra,hbase");
+        assert_eq!(lines[1], "1,25000,2500");
+        assert_eq!(lines[2], "12,180000,");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = sample();
+        t.push_row("2", vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn cell_formatting_scales_precision() {
+        assert_eq!(format_cell(Some(123456.0)), "123456");
+        assert_eq!(format_cell(Some(12.34)), "12.3");
+        assert_eq!(format_cell(Some(0.5)), "0.50");
+        assert_eq!(format_cell(Some(0.012)), "0.0120");
+        assert_eq!(format_cell(None), "-");
+    }
+}

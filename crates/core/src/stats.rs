@@ -1,0 +1,354 @@
+//! Latency histograms and benchmark statistics.
+//!
+//! The paper reports average operation latencies on logarithmic axes and
+//! maximum sustainable throughput. We record latencies in a log-bucketed
+//! histogram (HDR-style: power-of-two buckets with linear sub-buckets,
+//! ~1.6 % relative error) so percentiles are available too — useful for
+//! the bounded-throughput experiment (§5.6) and extensions.
+
+use crate::ops::OpKind;
+use std::collections::BTreeMap;
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
+/// bound the relative quantisation error by 1/32 ≈ 3 %.
+const SUB_BUCKETS: usize = 32;
+const SUB_BUCKET_BITS: u32 = 5;
+/// Number of power-of-two buckets — enough to cover the full `u64` range.
+const BUCKETS: usize = 60;
+
+/// A log-bucketed latency histogram over `u64` nanosecond values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; BUCKETS * SUB_BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn index_for(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // Normalise the value to a mantissa in [32, 64): the implicit top
+        // bit plus SUB_BUCKET_BITS explicit bits. Bucket b >= 1 covers
+        // values in [32 << (b-1), 64 << (b-1)).
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BUCKET_BITS;
+        let bucket = (shift + 1) as usize;
+        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+        (bucket.min(BUCKETS - 1)) * SUB_BUCKETS + sub
+    }
+
+    /// Lower bound of the value range covered by slot `index`.
+    fn value_for(index: usize) -> u64 {
+        let bucket = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if bucket == 0 {
+            sub
+        } else {
+            (SUB_BUCKETS as u64 + sub) << (bucket - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_for(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`), with ~3 % relative
+    /// quantisation error.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_for(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Aggregated results of one benchmark run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchStats {
+    /// Latency histograms per operation kind (nanoseconds).
+    per_kind: BTreeMap<OpKind, Histogram>,
+    /// Operations rejected by the store, per kind.
+    rejected: BTreeMap<OpKind, u64>,
+    /// Measurement window length in nanoseconds.
+    window_ns: u64,
+    /// Completed operations per one-second bucket since window start
+    /// (the throughput timeline used by the elasticity experiment).
+    timeline: Vec<u64>,
+}
+
+impl BenchStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        BenchStats::default()
+    }
+
+    /// Records a completed operation of `kind` with the given latency.
+    pub fn record(&mut self, kind: OpKind, latency_ns: u64) {
+        self.per_kind.entry(kind).or_default().record(latency_ns);
+    }
+
+    /// Records a completion at `offset_ns` past the window start on the
+    /// per-second throughput timeline.
+    pub fn record_timeline(&mut self, offset_ns: u64) {
+        let bucket = (offset_ns / 1_000_000_000) as usize;
+        if bucket >= self.timeline.len() {
+            self.timeline.resize(bucket + 1, 0);
+        }
+        self.timeline[bucket] += 1;
+    }
+
+    /// Per-second completed-operation counts since the window start.
+    pub fn timeline(&self) -> &[u64] {
+        &self.timeline
+    }
+
+    /// Records a rejected operation.
+    pub fn record_rejection(&mut self, kind: OpKind) {
+        *self.rejected.entry(kind).or_default() += 1;
+    }
+
+    /// Sets the measurement window (for throughput computation).
+    pub fn set_window_ns(&mut self, window_ns: u64) {
+        self.window_ns = window_ns;
+    }
+
+    /// Measurement window in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Total successful operations across kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.per_kind.values().map(Histogram::count).sum()
+    }
+
+    /// Total rejected operations.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.values().sum()
+    }
+
+    /// Overall throughput in operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.window_ns == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 * 1e9 / self.window_ns as f64
+        }
+    }
+
+    /// Mean latency of `kind` in milliseconds, or `None` if no sample.
+    pub fn mean_latency_ms(&self, kind: OpKind) -> Option<f64> {
+        self.per_kind.get(&kind).filter(|h| h.count() > 0).map(|h| h.mean() / 1e6)
+    }
+
+    /// Quantile latency of `kind` in milliseconds.
+    pub fn quantile_latency_ms(&self, kind: OpKind, q: f64) -> Option<f64> {
+        self.per_kind.get(&kind).filter(|h| h.count() > 0).map(|h| h.quantile(q) as f64 / 1e6)
+    }
+
+    /// Successful operation count for `kind`.
+    pub fn ops(&self, kind: OpKind) -> u64 {
+        self.per_kind.get(&kind).map_or(0, Histogram::count)
+    }
+
+    /// Histogram for `kind`, if any sample was recorded.
+    pub fn histogram(&self, kind: OpKind) -> Option<&Histogram> {
+        self.per_kind.get(&kind)
+    }
+
+    /// Merges another run's stats (used to average repeated executions,
+    /// §3: "the reported results are the average of at least 3
+    /// independent executions").
+    pub fn merge(&mut self, other: &BenchStats) {
+        for (kind, hist) in &other.per_kind {
+            self.per_kind.entry(*kind).or_default().merge(hist);
+        }
+        for (kind, n) in &other.rejected {
+            *self.rejected.entry(*kind).or_default() += n;
+        }
+        self.window_ns += other.window_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        // Exponentially spread values across many decades.
+        let values: Vec<u64> = (0..10_000u64).map(|i| 100 + i * i).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let exact = sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)] as f64;
+            let approx = h.quantile(q) as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.07, "quantile {q}: exact {exact}, approx {approx}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(1.0) >= h.quantile(0.1));
+    }
+
+    #[test]
+    fn histogram_merge_combines_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bench_stats_throughput_uses_window() {
+        let mut stats = BenchStats::new();
+        for _ in 0..1_000 {
+            stats.record(OpKind::Insert, 50_000);
+        }
+        stats.set_window_ns(1_000_000_000); // 1 s
+        assert!((stats.throughput() - 1_000.0).abs() < 1e-6);
+        assert_eq!(stats.ops(OpKind::Insert), 1_000);
+        assert_eq!(stats.ops(OpKind::Read), 0);
+        assert!(stats.mean_latency_ms(OpKind::Read).is_none());
+        assert!((stats.mean_latency_ms(OpKind::Insert).unwrap() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_stats_tracks_rejections_separately() {
+        let mut stats = BenchStats::new();
+        stats.record_rejection(OpKind::Insert);
+        stats.record_rejection(OpKind::Insert);
+        stats.record(OpKind::Insert, 10);
+        assert_eq!(stats.total_rejected(), 2);
+        assert_eq!(stats.total_ops(), 1);
+    }
+
+    #[test]
+    fn bench_stats_merge_sums_windows() {
+        let mut a = BenchStats::new();
+        a.record(OpKind::Read, 1_000);
+        a.set_window_ns(5);
+        let mut b = BenchStats::new();
+        b.record(OpKind::Read, 3_000);
+        b.set_window_ns(7);
+        a.merge(&b);
+        assert_eq!(a.ops(OpKind::Read), 2);
+        assert_eq!(a.window_ns(), 12);
+        assert!((a.mean_latency_ms(OpKind::Read).unwrap() - 0.002).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                         # list reproducible artifacts
+//! repro table1 fig3 fig17            # generate specific artifacts
+//! repro all                          # generate everything
+//! repro all --out results            # also write CSV/JSON/EXPERIMENTS.md
+//! repro fig3 --scale 0.02 --secs 20  # higher-fidelity run
+//! ```
+
+use apm_harness::experiment::ExperimentProfile;
+use apm_harness::extensions::{all_extensions, generate_extension};
+use apm_harness::figures::{all_figures, figure_by_id, generate};
+use apm_harness::output::{render_experiments_md, write_csv, write_gnuplot, FigureResult, ResultsFile};
+use apm_harness::shape::checks_for;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    profile: ExperimentProfile,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: repro <list | all | table1 | fig3..fig20 | ext-*>... [--scale F] [--secs S] [--warmup S] [--seed N] [--out DIR]\n       repro render <results.json>...   # merge result files and print EXPERIMENTS markdown"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut profile = ExperimentProfile::quick();
+    let mut out = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                profile.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if profile.scale <= 0.0 || profile.scale > 1.0 {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--secs" => {
+                profile.measure_secs = it
+                    .next()
+                    .ok_or("--secs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --secs: {e}"))?;
+            }
+            "--warmup" => {
+                profile.warmup_secs = it
+                    .next()
+                    .ok_or("--warmup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --warmup: {e}"))?;
+            }
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(Args { ids, profile, out })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.ids.first().map(String::as_str) == Some("render") {
+        let mut merged = ResultsFile::default();
+        for path in &args.ids[1..] {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ResultsFile::from_json(&json) {
+                Ok(file) => {
+                    if merged.profile.is_empty() {
+                        merged.profile = file.profile;
+                    }
+                    for mut figure in file.figures {
+                        // Recompute shape checks against the current
+                        // claim set (they may have been refined since
+                        // the run was recorded).
+                        let checks = checks_for(&figure.id, &figure.to_table());
+                        if !checks.is_empty() {
+                            figure.checks = checks
+                                .iter()
+                                .map(|c| (c.claim.to_string(), c.pass, c.detail.clone()))
+                                .collect();
+                        }
+                        merged.figures.push(figure);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        print!("{}", render_experiments_md(&merged));
+        return ExitCode::SUCCESS;
+    }
+
+    if args.ids.iter().any(|i| i == "list") {
+        for spec in all_figures() {
+            println!("{:16} {}", spec.id, spec.title);
+        }
+        for (id, title) in all_extensions() {
+            println!("{id:16} {title}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if args.ids.iter().any(|i| i == "all") {
+        all_figures()
+            .iter()
+            .map(|f| f.id.to_string())
+            .chain(all_extensions().iter().map(|(id, _)| id.to_string()))
+            .collect()
+    } else {
+        args.ids.clone()
+    };
+
+    let is_extension = |id: &str| all_extensions().iter().any(|(e, _)| *e == id);
+    for id in &ids {
+        if figure_by_id(id).is_none() && !is_extension(id) {
+            eprintln!("unknown artifact {id:?}; try `repro list`");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let profile = args.profile;
+    let profile_desc = format!(
+        "scale {} ({} records/node), warmup {} s, window {} s, seed {}",
+        profile.scale,
+        profile.records_per_node(),
+        profile.warmup_secs,
+        profile.measure_secs,
+        profile.seed
+    );
+    println!("profile: {profile_desc}\n");
+
+    let mut results = ResultsFile { profile: profile_desc, figures: Vec::new() };
+    let mut failed_checks = 0usize;
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let table = if is_extension(id) {
+            generate_extension(id, &profile).expect("known extension")
+        } else {
+            generate(id, &profile)
+        };
+        let checks = checks_for(id, &table);
+        println!("{}", table.render());
+        for check in &checks {
+            let mark = if check.pass { "PASS" } else { "FAIL" };
+            if !check.pass {
+                failed_checks += 1;
+            }
+            println!("  [{mark}] {} — {}", check.claim, check.detail);
+        }
+        println!("  ({id} took {:.1}s)\n", started.elapsed().as_secs_f64());
+        if let Some(dir) = &args.out {
+            if let Err(e) = write_csv(dir, id, &table).and_then(|_| write_gnuplot(dir, id, &table)) {
+                eprintln!("failed to write CSV/plot for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        results.figures.push(FigureResult::capture(id, &table, &checks));
+    }
+
+    if let Some(dir) = &args.out {
+        let json_path = dir.join("results.json");
+        let md_path = dir.join("EXPERIMENTS.generated.md");
+        if let Err(e) = std::fs::write(&json_path, results.to_json())
+            .and_then(|_| std::fs::write(&md_path, render_experiments_md(&results)))
+        {
+            eprintln!("failed to write results: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} and {}", json_path.display(), md_path.display());
+    }
+
+    if failed_checks > 0 {
+        println!("{failed_checks} shape check(s) failed");
+    }
+    ExitCode::SUCCESS
+}

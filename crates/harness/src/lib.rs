@@ -1,0 +1,37 @@
+//! # apm-harness
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5) against the simulated stores.
+//!
+//! * [`experiment`] — one benchmark *point* (store × cluster × nodes ×
+//!   workload → throughput + latencies) and the store factory.
+//! * [`figures`] — one function per paper figure (Fig 3–20) plus Table 1,
+//!   each returning an [`apm_core::report::Table`] with the same rows and
+//!   series the paper plots.
+//! * [`mod@reference`] — the paper's reported numbers (digitized from the
+//!   text and figures) for paper-vs-measured comparison.
+//! * [`shape`] — qualitative assertions ("Cassandra scales linearly",
+//!   "VoltDB declines past one node") used by the integration tests and
+//!   the EXPERIMENTS.md generator.
+//! * [`extensions`] — the paper's §8 future-work items (replication,
+//!   compression) and two §6-motivated ablations (token assignment, key
+//!   skew), implemented as additional experiments.
+//! * [`output`] — result persistence (JSON/CSV) and report rendering.
+//!
+//! The `repro` binary drives it all:
+//!
+//! ```text
+//! repro fig3                   # one figure
+//! repro all --out results/     # everything, writes EXPERIMENTS data
+//! repro table1                 # print the workload table
+//! ```
+
+pub mod experiment;
+pub mod extensions;
+pub mod figures;
+pub mod output;
+pub mod reference;
+pub mod shape;
+
+pub use experiment::{ExperimentProfile, StoreKind};
+pub use figures::{all_figures, figure_by_id, FigureSpec};

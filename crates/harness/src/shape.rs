@@ -1,0 +1,300 @@
+//! Qualitative shape checks: the paper's claims as executable assertions.
+//!
+//! Matching absolute numbers on a simulator is not the bar — matching the
+//! *shape* is: who wins, by roughly what factor, where the crossovers
+//! fall. Each check encodes one claim from §5/§8 and evaluates it against
+//! a generated figure table. The integration tests run them; `repro`
+//! prints them under each figure.
+
+use apm_core::report::Table;
+
+/// Result of one shape check.
+#[derive(Clone, Debug)]
+pub struct ShapeResult {
+    /// The paper claim, quoted or paraphrased.
+    pub claim: &'static str,
+    /// Whether the measured table satisfies it.
+    pub pass: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl ShapeResult {
+    fn of(claim: &'static str, pass: bool, detail: String) -> ShapeResult {
+        ShapeResult { claim, pass, detail }
+    }
+}
+
+fn cell(t: &Table, row: &str, col: &str) -> Option<f64> {
+    t.get(row, col)
+}
+
+fn ratio_check(
+    claim: &'static str,
+    numer: Option<f64>,
+    denom: Option<f64>,
+    min: f64,
+    max: f64,
+) -> ShapeResult {
+    match (numer, denom) {
+        (Some(n), Some(d)) if d > 0.0 => {
+            let r = n / d;
+            ShapeResult::of(claim, r >= min && r <= max, format!("ratio {r:.2} (want {min:.2}..{max:.2})"))
+        }
+        _ => ShapeResult::of(claim, false, "missing cells".into()),
+    }
+}
+
+fn order_check(claim: &'static str, t: &Table, row: &str, smaller: &str, larger: &str) -> ShapeResult {
+    match (cell(t, row, smaller), cell(t, row, larger)) {
+        (Some(s), Some(l)) => ShapeResult::of(
+            claim,
+            s < l,
+            format!("{smaller}={s:.1} vs {larger}={l:.1} at {row}"),
+        ),
+        _ => ShapeResult::of(claim, false, "missing cells".into()),
+    }
+}
+
+/// Shape checks for a figure id against its generated table.
+pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
+    match figure {
+        "fig3" => vec![
+            order_check("§5.1: Redis has the highest single-node throughput", t, "1", "cassandra", "redis"),
+            order_check("§5.1: HBase is the slowest single-node system", t, "1", "hbase", "voldemort"),
+            ratio_check(
+                "§5.1: Cassandra scales linearly 1→12",
+                cell(t, "12", "cassandra"),
+                cell(t, "1", "cassandra"),
+                8.0,
+                14.0,
+            ),
+            ratio_check(
+                "§5.1: Voldemort scales linearly 1→12",
+                cell(t, "12", "voldemort"),
+                cell(t, "1", "voldemort"),
+                8.0,
+                14.0,
+            ),
+            ratio_check(
+                "§5.1: HBase scales linearly 1→12",
+                cell(t, "12", "hbase"),
+                cell(t, "1", "hbase"),
+                8.0,
+                14.0,
+            ),
+            ratio_check(
+                "§5.1: VoltDB slows down for multiple nodes",
+                cell(t, "4", "voltdb"),
+                cell(t, "1", "voltdb"),
+                0.0,
+                0.8,
+            ),
+            ratio_check(
+                "§5.1: Redis scaling is sub-linear (sharding library)",
+                cell(t, "12", "redis"),
+                cell(t, "1", "redis"),
+                2.0,
+                10.0,
+            ),
+            ratio_check(
+                "§8: Cassandra's 12-node throughput dominates",
+                cell(t, "12", "cassandra"),
+                cell(t, "12", "voldemort"),
+                1.0,
+                5.0,
+            ),
+        ],
+        "fig4" => vec![
+            order_check("§5.1: Voldemort has the lowest web-store read latency", t, "4", "voldemort", "cassandra"),
+            order_check("§5.1: HBase's read latency is much higher than Cassandra's", t, "4", "cassandra", "hbase"),
+            ratio_check(
+                "§5.1: Voldemort read latency ≈ 230-260 µs, stable",
+                cell(t, "12", "voldemort"),
+                cell(t, "1", "voldemort"),
+                0.5,
+                2.0,
+            ),
+        ],
+        "fig5" => vec![
+            order_check("§5.1: HBase trades read latency for write latency", t, "4", "hbase", "cassandra"),
+            order_check("§5.1: Cassandra has the highest stable write latency (vs voldemort)", t, "4", "voldemort", "cassandra"),
+        ],
+        "fig6" => vec![
+            order_check("§5.2: VoltDB achieves the highest 1-node RW throughput (vs cassandra)", t, "1", "cassandra", "voltdb"),
+            ratio_check(
+                "§5.2: Cassandra RW scales linearly",
+                cell(t, "12", "cassandra"),
+                cell(t, "1", "cassandra"),
+                8.0,
+                14.0,
+            ),
+        ],
+        "fig9" => vec![
+            ratio_check(
+                "§5.3: HBase throughput grows strongly with the write ratio (W vs R at 12 nodes is checked cross-figure; here 1→12 linear)",
+                cell(t, "12", "hbase"),
+                cell(t, "1", "hbase"),
+                6.0,
+                16.0,
+            ),
+        ],
+        "fig10" => vec![
+            order_check("§5.3: HBase read latency under W is the worst", t, "12", "cassandra", "hbase"),
+        ],
+        "fig11" => vec![
+            ratio_check(
+                "§5.3: HBase's write latency increases by a factor of ~20 under W (vs its sub-ms Workload-R level of ~0.9 ms)",
+                cell(t, "4", "hbase"),
+                Some(0.9),
+                8.0,
+                40.0,
+            ),
+            order_check("§5.3: Voldemort's write latency is almost unchanged (stays below HBase's W level)", t, "4", "voldemort", "hbase"),
+        ],
+        "fig12" => vec![
+            order_check("§5.4: MySQL has the best single-node RS throughput (vs cassandra)", t, "1", "cassandra", "mysql"),
+            ratio_check(
+                "§5.4: MySQL does not scale with the number of nodes",
+                cell(t, "12", "mysql"),
+                cell(t, "1", "mysql"),
+                0.0,
+                3.0,
+            ),
+            ratio_check(
+                "§5.4: Cassandra RS scales linearly",
+                cell(t, "12", "cassandra"),
+                cell(t, "1", "cassandra"),
+                7.0,
+                14.0,
+            ),
+        ],
+        "fig13" => vec![
+            order_check("§5.4: Redis scans are faster than Cassandra's", t, "4", "redis", "cassandra"),
+            order_check("§5.4: HBase scan latency is almost in the second range (worst)", t, "4", "cassandra", "hbase"),
+            ratio_check(
+                "§5.4: MySQL scans are slow for >2 nodes",
+                cell(t, "12", "mysql"),
+                cell(t, "2", "mysql"),
+                2.0,
+                f64::INFINITY,
+            ),
+        ],
+        "fig14" => vec![
+            ratio_check(
+                "§5.5: MySQL RSW collapses to a tiny fraction of Cassandra",
+                cell(t, "4", "mysql"),
+                cell(t, "4", "cassandra"),
+                0.0,
+                0.1,
+            ),
+            order_check("§5.5: VoltDB achieves the best 1-node RSW throughput (vs cassandra)", t, "1", "cassandra", "voltdb"),
+        ],
+        "fig15" | "fig16" => vec![
+            ratio_check(
+                "§5.6: at half load Cassandra's latency falls to a fraction of its saturated level (normalised=100)",
+                cell(t, "50", "cassandra"),
+                Some(100.0),
+                0.0,
+                0.45,
+            ),
+            ratio_check(
+                "§5.6: Voldemort shows only small reductions (not query-processing-bound)",
+                cell(t, "50", "voldemort"),
+                Some(100.0),
+                0.6,
+                1.05,
+            ),
+        ],
+        "fig17" => vec![
+            order_check("§5.7: Cassandra stores the data most efficiently", t, "12", "cassandra", "mysql"),
+            order_check("§5.7: HBase is the most inefficient store", t, "12", "voldemort", "hbase"),
+            ratio_check(
+                "§5.7: HBase uses ~10× the raw data size",
+                cell(t, "12", "hbase"),
+                cell(t, "12", "raw"),
+                8.0,
+                13.0,
+            ),
+        ],
+        "fig18" => vec![
+            ratio_check(
+                "§5.8: Cassandra throughput rises ~26× from R to W on Cluster D",
+                cell(t, "W", "cassandra"),
+                cell(t, "R", "cassandra"),
+                10.0,
+                60.0,
+            ),
+            ratio_check(
+                "§5.8: HBase rises ~15× from R to W",
+                cell(t, "W", "hbase"),
+                cell(t, "R", "hbase"),
+                5.0,
+                40.0,
+            ),
+            ratio_check(
+                "§5.8: Voldemort rises only ~3× from R to W",
+                cell(t, "W", "voldemort"),
+                cell(t, "R", "voldemort"),
+                1.5,
+                8.0,
+            ),
+        ],
+        "fig19" => vec![
+            order_check("§5.8: Voldemort has by far the best Cluster-D read latency", t, "R", "voldemort", "cassandra"),
+            order_check("§5.8: HBase is worst for W reads on Cluster D", t, "W", "cassandra", "hbase"),
+        ],
+        "fig20" => vec![
+            order_check("§5.8: HBase write latency stays very low on Cluster D", t, "RW", "hbase", "cassandra"),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[(&str, &[(&str, f64)])]) -> Table {
+        let mut t = Table::new("t", "nodes", "x");
+        t.columns = rows[0].1.iter().map(|(c, _)| c.to_string()).collect();
+        for (row, cells) in rows {
+            t.push_row(row, cells.iter().map(|(_, v)| Some(*v)).collect());
+        }
+        t
+    }
+
+    #[test]
+    fn order_check_passes_and_fails_correctly() {
+        let t = table(&[("1", &[("a", 1.0), ("b", 2.0)])]);
+        assert!(order_check("a<b", &t, "1", "a", "b").pass);
+        assert!(!order_check("b<a", &t, "1", "b", "a").pass);
+        assert!(!order_check("missing", &t, "2", "a", "b").pass);
+    }
+
+    #[test]
+    fn ratio_check_respects_bounds() {
+        assert!(ratio_check("x", Some(10.0), Some(1.0), 8.0, 14.0).pass);
+        assert!(!ratio_check("x", Some(20.0), Some(1.0), 8.0, 14.0).pass);
+        assert!(!ratio_check("x", None, Some(1.0), 8.0, 14.0).pass);
+        assert!(!ratio_check("x", Some(1.0), Some(0.0), 0.0, 1.0).pass);
+    }
+
+    #[test]
+    fn every_experiment_figure_has_checks_or_is_exempt() {
+        // Latency-only figures 7/8 and the bounded-write fig16 share
+        // their siblings' dynamics; everything else must have checks.
+        let exempt = ["table1", "fig7", "fig8"];
+        for spec in crate::figures::all_figures() {
+            if exempt.contains(&spec.id) {
+                continue;
+            }
+            let dummy = table(&[("1", &[("a", 1.0)])]);
+            assert!(
+                !checks_for(spec.id, &dummy).is_empty(),
+                "{} has no shape checks",
+                spec.id
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Rotational disk service-time model.
+//!
+//! Both paper clusters used 74 GB SATA disks (Cluster M: two in RAID 0,
+//! Cluster D: one). We model a 2012-era 7200 rpm drive: a random access
+//! pays an average positioning time (seek + half-rotation), sequential
+//! access streams at the sustained transfer rate. RAID 0 is modelled as a
+//! resource with one server per spindle — requests stripe across drives,
+//! doubling the sustainable IOPS but not shortening an individual access.
+
+use crate::time::SimDuration;
+
+/// Access pattern of a disk request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoPattern {
+    /// Random access: pays positioning time plus transfer.
+    Random,
+    /// Sequential access (log appends, compaction streams): transfer only.
+    Sequential,
+}
+
+/// Physical characteristics of one spindle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskSpec {
+    /// Average positioning time for a random access (seek + rotational).
+    pub positioning: SimDuration,
+    /// Sustained transfer rate in bytes per second.
+    pub transfer_bytes_per_sec: u64,
+}
+
+impl DiskSpec {
+    /// The paper clusters' 74 GB SATA drives: ~8 ms positioning,
+    /// ~90 MB/s sustained transfer.
+    pub fn sata_2012() -> DiskSpec {
+        DiskSpec {
+            positioning: SimDuration::from_micros(8_000),
+            transfer_bytes_per_sec: 90_000_000,
+        }
+    }
+
+    /// Service time for one request of `bytes` with the given pattern.
+    pub fn service(&self, bytes: u64, pattern: IoPattern) -> SimDuration {
+        let transfer_ns =
+            (bytes as u128 * 1_000_000_000 / self.transfer_bytes_per_sec.max(1) as u128) as u64;
+        match pattern {
+            IoPattern::Random => self.positioning + SimDuration::from_nanos(transfer_ns),
+            IoPattern::Sequential => SimDuration::from_nanos(transfer_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_io_is_dominated_by_positioning() {
+        let d = DiskSpec::sata_2012();
+        let small_random = d.service(4_096, IoPattern::Random);
+        let small_seq = d.service(4_096, IoPattern::Sequential);
+        assert!(small_random.as_nanos() > 8_000_000);
+        assert!(small_seq.as_nanos() < 100_000);
+        assert!(small_random > small_seq.saturating_mul(10));
+    }
+
+    #[test]
+    fn sequential_io_scales_with_bytes() {
+        let d = DiskSpec::sata_2012();
+        let one_mb = d.service(1_000_000, IoPattern::Sequential);
+        let ten_mb = d.service(10_000_000, IoPattern::Sequential);
+        let ratio = ten_mb.as_nanos() as f64 / one_mb.as_nanos() as f64;
+        assert!((ratio - 10.0).abs() < 0.01);
+        // 1 MB at 90 MB/s ≈ 11.1 ms.
+        assert!((one_mb.as_millis_f64() - 11.11).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_byte_sequential_io_is_free() {
+        let d = DiskSpec::sata_2012();
+        assert_eq!(d.service(0, IoPattern::Sequential), SimDuration::ZERO);
+        assert_eq!(d.service(0, IoPattern::Random), d.positioning);
+    }
+}

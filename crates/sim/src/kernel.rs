@@ -1,0 +1,624 @@
+//! The discrete-event kernel: resources, plan execution, virtual clock.
+//!
+//! The kernel owns a future-event list and a set of FIFO multi-server
+//! resources. Logical actions are submitted as [`Plan`]s tagged with a
+//! [`Token`]; the kernel executes their steps under queueing and emits a
+//! [`Completion`] when the final step finishes. The benchmark driver
+//! interleaves with the kernel through [`Engine::next_completion`]: pull a
+//! completion, record its latency, let the workload generator and store
+//! produce the next plan, submit, repeat — a closed loop.
+//!
+//! Everything is deterministic: ties in event time are broken by event
+//! sequence number (submission order).
+
+use crate::plan::{Plan, Step};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Identifies a resource registered with [`Engine::add_resource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+/// Opaque tag identifying a submitted plan; returned in its [`Completion`].
+/// The driver encodes client ids and background-job ids in tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u64);
+
+/// A finished top-level plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The token the plan was submitted with.
+    pub token: Token,
+    /// When the plan was submitted (start of its latency window).
+    pub submitted: SimTime,
+    /// When the final step finished.
+    pub finished: SimTime,
+}
+
+impl Completion {
+    /// End-to-end latency of the plan.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.since(self.submitted)
+    }
+}
+
+/// A FIFO multi-server queueing station.
+#[derive(Debug)]
+struct Resource {
+    name: String,
+    capacity: u32,
+    busy: u32,
+    waiting: VecDeque<(ExecRef, SimDuration)>,
+    /// Accumulated server-busy nanoseconds (for utilisation reports).
+    busy_ns: u128,
+    served: u64,
+}
+
+/// Reference to an execution slot, protected by a generation counter so
+/// stale references (e.g. a quorum parent that already resumed) are inert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ExecRef {
+    idx: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Exec {
+    steps: Vec<Step>,
+    pc: usize,
+    token: Token,
+    submitted: SimTime,
+    parent: Option<ExecRef>,
+    /// For a pending Join: number of child completions still required.
+    join_need: usize,
+    generation: u32,
+    live: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Re-run the exec's step loop (after Delay/AlignTo or at submission).
+    Resume(ExecRef),
+    /// An Acquire finished: release one slot of the resource, then resume.
+    AcquireDone(ExecRef, ResourceId),
+}
+
+/// The simulation engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Payloads for heap entries (heap stores an index to keep Ord simple).
+    payloads: Vec<Option<Event>>,
+    free_payloads: Vec<usize>,
+    resources: Vec<Resource>,
+    execs: Vec<Exec>,
+    free_execs: Vec<u32>,
+    ready: VecDeque<ExecRef>,
+    completions: VecDeque<Completion>,
+}
+
+impl Engine {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Registers a FIFO resource with `capacity` parallel servers.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: u32) -> ResourceId {
+        assert!(capacity > 0, "resource capacity must be positive");
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity,
+            busy: 0,
+            waiting: VecDeque::new(),
+            busy_ns: 0,
+            served: 0,
+        });
+        id
+    }
+
+    /// Fraction of `resource`'s total server-time spent busy so far.
+    pub fn utilization(&self, resource: ResourceId) -> f64 {
+        let r = &self.resources[resource.0 as usize];
+        let denom = self.now.as_nanos() as u128 * u128::from(r.capacity);
+        if denom == 0 {
+            0.0
+        } else {
+            r.busy_ns as f64 / denom as f64
+        }
+    }
+
+    /// Number of requests `resource` has finished serving.
+    pub fn served(&self, resource: ResourceId) -> u64 {
+        self.resources[resource.0 as usize].served
+    }
+
+    /// Name a resource was registered with.
+    pub fn resource_name(&self, resource: ResourceId) -> &str {
+        &self.resources[resource.0 as usize].name
+    }
+
+    /// Current queue length (waiting, not in service) at `resource`.
+    pub fn queue_len(&self, resource: ResourceId) -> usize {
+        self.resources[resource.0 as usize].waiting.len()
+    }
+
+    /// Submits a plan now.
+    pub fn submit(&mut self, plan: Plan, token: Token) {
+        self.submit_at(self.now, plan, token);
+    }
+
+    /// Submits a plan to start at `start` (must not be in the past).
+    ///
+    /// # Panics
+    /// Panics if `start` is before the current simulated time.
+    pub fn submit_at(&mut self, start: SimTime, plan: Plan, token: Token) {
+        assert!(start >= self.now, "cannot submit into the past");
+        let exec = self.alloc_exec(plan.0, token, start, None);
+        self.schedule(start, Event::Resume(exec));
+    }
+
+    fn alloc_exec(
+        &mut self,
+        steps: Vec<Step>,
+        token: Token,
+        submitted: SimTime,
+        parent: Option<ExecRef>,
+    ) -> ExecRef {
+        if let Some(idx) = self.free_execs.pop() {
+            let slot = &mut self.execs[idx as usize];
+            debug_assert!(!slot.live);
+            slot.steps = steps;
+            slot.pc = 0;
+            slot.token = token;
+            slot.submitted = submitted;
+            slot.parent = parent;
+            slot.join_need = 0;
+            slot.live = true;
+            ExecRef { idx, generation: slot.generation }
+        } else {
+            let idx = self.execs.len() as u32;
+            self.execs.push(Exec {
+                steps,
+                pc: 0,
+                token,
+                submitted,
+                parent,
+                join_need: 0,
+                generation: 0,
+                live: true,
+            });
+            ExecRef { idx, generation: 0 }
+        }
+    }
+
+    fn free_exec(&mut self, exec: ExecRef) {
+        let slot = &mut self.execs[exec.idx as usize];
+        slot.live = false;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.steps = Vec::new();
+        self.free_execs.push(exec.idx);
+    }
+
+    fn is_current(&self, exec: ExecRef) -> bool {
+        let slot = &self.execs[exec.idx as usize];
+        slot.live && slot.generation == exec.generation
+    }
+
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        let payload_idx = if let Some(i) = self.free_payloads.pop() {
+            self.payloads[i] = Some(event);
+            i
+        } else {
+            self.payloads.push(Some(event));
+            self.payloads.len() - 1
+        };
+        self.events.push(Reverse((at, self.seq, payload_idx)));
+        self.seq += 1;
+    }
+
+    /// Runs the step loop of `exec` until it blocks or finishes.
+    fn advance(&mut self, exec: ExecRef) {
+        debug_assert!(self.is_current(exec));
+        loop {
+            let slot = &mut self.execs[exec.idx as usize];
+            if slot.pc >= slot.steps.len() {
+                self.finish_exec(exec);
+                return;
+            }
+            // Take the step out to satisfy the borrow checker; Join owns
+            // its branches anyway and the slot is never re-read for it.
+            let step = std::mem::replace(&mut slot.steps[slot.pc], Step::Delay(SimDuration::ZERO));
+            slot.pc += 1;
+            match step {
+                Step::Delay(d) => {
+                    if d == SimDuration::ZERO {
+                        continue;
+                    }
+                    let at = self.now + d;
+                    self.schedule(at, Event::Resume(exec));
+                    return;
+                }
+                Step::AlignTo { period, extra } => {
+                    let at = if period == SimDuration::ZERO {
+                        self.now + extra
+                    } else {
+                        let p = period.as_nanos();
+                        let boundary = (self.now.as_nanos() / p + 1) * p;
+                        SimTime(boundary) + extra
+                    };
+                    self.schedule(at, Event::Resume(exec));
+                    return;
+                }
+                Step::Acquire { resource, service } => {
+                    let r = &mut self.resources[resource.0 as usize];
+                    if r.busy < r.capacity {
+                        r.busy += 1;
+                        r.busy_ns += u128::from(service.as_nanos());
+                        let at = self.now + service;
+                        self.schedule(at, Event::AcquireDone(exec, resource));
+                    } else {
+                        r.waiting.push_back((exec, service));
+                    }
+                    return;
+                }
+                Step::Join { branches, need } => {
+                    let need = need.min(branches.len());
+                    if need == 0 {
+                        // Fire-and-forget branches still execute.
+                        for branch in branches {
+                            let token = self.execs[exec.idx as usize].token;
+                            let child = self.alloc_exec(branch.0, token, self.now, None);
+                            self.ready.push_back(child);
+                        }
+                        continue;
+                    }
+                    self.execs[exec.idx as usize].join_need = need;
+                    let token = self.execs[exec.idx as usize].token;
+                    for branch in branches {
+                        let child = self.alloc_exec(branch.0, token, self.now, Some(exec));
+                        self.ready.push_back(child);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_exec(&mut self, exec: ExecRef) {
+        let (token, submitted, parent) = {
+            let slot = &self.execs[exec.idx as usize];
+            (slot.token, slot.submitted, slot.parent)
+        };
+        self.free_exec(exec);
+        match parent {
+            Some(parent_ref) => {
+                if self.is_current(parent_ref) {
+                    let parent_slot = &mut self.execs[parent_ref.idx as usize];
+                    if parent_slot.join_need > 0 {
+                        parent_slot.join_need -= 1;
+                        if parent_slot.join_need == 0 {
+                            self.ready.push_back(parent_ref);
+                        }
+                    }
+                }
+                // A parent that already resumed (quorum met) or finished
+                // ignores the straggler: its ref is stale or join_need==0.
+            }
+            None => {
+                self.completions.push_back(Completion {
+                    token,
+                    submitted,
+                    finished: self.now,
+                });
+            }
+        }
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some(exec) = self.ready.pop_front() {
+            if self.is_current(exec) {
+                self.advance(exec);
+            }
+        }
+    }
+
+    /// Processes one event from the heap. Returns `false` when idle.
+    fn step_event(&mut self) -> bool {
+        let Some(Reverse((at, _seq, payload_idx))) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        let event = self.payloads[payload_idx].take().expect("payload present");
+        self.free_payloads.push(payload_idx);
+        match event {
+            Event::Resume(exec) => {
+                if self.is_current(exec) {
+                    self.ready.push_back(exec);
+                }
+            }
+            Event::AcquireDone(exec, resource) => {
+                let r = &mut self.resources[resource.0 as usize];
+                r.served += 1;
+                if let Some((next, service)) = r.waiting.pop_front() {
+                    // Hand the slot straight to the next waiter.
+                    r.busy_ns += u128::from(service.as_nanos());
+                    let at = self.now + service;
+                    self.schedule(at, Event::AcquireDone(next, resource));
+                } else {
+                    r.busy -= 1;
+                }
+                if self.is_current(exec) {
+                    self.ready.push_back(exec);
+                }
+            }
+        }
+        self.drain_ready();
+        true
+    }
+
+    /// Runs until a completion is available (or the event heap empties).
+    pub fn next_completion(&mut self) -> Option<Completion> {
+        while self.completions.is_empty() {
+            if !self.step_event() {
+                return None;
+            }
+        }
+        self.completions.pop_front()
+    }
+
+    /// Runs all events with `time <= until`, advancing the clock to
+    /// exactly `until`, and returns the completions that occurred.
+    pub fn run_until(&mut self, until: SimTime) -> Vec<Completion> {
+        loop {
+            match self.events.peek() {
+                Some(Reverse((at, _, _))) if *at <= until => {
+                    self.step_event();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until);
+        self.completions.drain(..).collect()
+    }
+
+    /// Runs the simulation to quiescence (no pending events).
+    pub fn run_to_idle(&mut self) -> Vec<Completion> {
+        while self.step_event() {}
+        self.completions.drain(..).collect()
+    }
+
+    /// True if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_plan_completes_instantly() {
+        let mut engine = Engine::new();
+        engine.submit(Plan::empty(), Token(1));
+        let c = engine.next_completion().expect("completion");
+        assert_eq!(c.token, Token(1));
+        assert_eq!(c.latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_acquire_takes_service_time() {
+        let mut engine = Engine::new();
+        let cpu = engine.add_resource("cpu", 1);
+        engine.submit(Plan::build().acquire(cpu, us(10)).finish(), Token(7));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.latency(), us(10));
+        assert_eq!(engine.served(cpu), 1);
+    }
+
+    #[test]
+    fn fifo_queueing_serialises_on_capacity_one() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for i in 0..3 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        let latencies: Vec<u64> = (0..3)
+            .map(|_| engine.next_completion().unwrap().latency().as_nanos() / 1_000)
+            .collect();
+        // First waits 10us, second 20us (queued behind first), third 30us.
+        assert_eq!(latencies, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn capacity_two_serves_pairs_in_parallel() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("raid0", 2);
+        for i in 0..4 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        let latencies: Vec<u64> = (0..4)
+            .map(|_| engine.next_completion().unwrap().latency().as_nanos() / 1_000)
+            .collect();
+        assert_eq!(latencies, vec![10, 10, 20, 20]);
+    }
+
+    #[test]
+    fn delays_do_not_contend() {
+        let mut engine = Engine::new();
+        for i in 0..5 {
+            engine.submit(Plan::build().delay(us(100)).finish(), Token(i));
+        }
+        for _ in 0..5 {
+            assert_eq!(engine.next_completion().unwrap().latency(), us(100));
+        }
+    }
+
+    #[test]
+    fn align_to_waits_for_epoch_boundary() {
+        let mut engine = Engine::new();
+        // Advance the clock to 3us via a dummy plan.
+        engine.submit(Plan::build().delay(us(3)).finish(), Token(0));
+        engine.next_completion();
+        assert_eq!(engine.now(), SimTime(3_000));
+        // A 10us group-commit epoch: boundary at 10us, +2us sync.
+        engine.submit(Plan::build().align_to(us(10), us(2)).finish(), Token(1));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.finished, SimTime(12_000));
+        assert_eq!(c.latency(), us(9));
+    }
+
+    #[test]
+    fn join_all_gates_on_slowest_branch() {
+        let mut engine = Engine::new();
+        let branches = vec![
+            Plan::build().delay(us(5)).finish(),
+            Plan::build().delay(us(50)).finish(),
+            Plan::build().delay(us(20)).finish(),
+        ];
+        engine.submit(Plan::build().join_all(branches).delay(us(1)).finish(), Token(9));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.latency(), us(51));
+    }
+
+    #[test]
+    fn join_quorum_resumes_early_but_stragglers_still_run() {
+        let mut engine = Engine::new();
+        let cpu = engine.add_resource("cpu", 1);
+        let branches = vec![
+            Plan::build().delay(us(5)).finish(),
+            // The straggler occupies the CPU from 10us to 40us.
+            Plan::build().delay(us(10)).acquire(cpu, us(30)).finish(),
+        ];
+        engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(1));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.latency(), us(5), "quorum of 1 returns at the fastest branch");
+        // Straggler keeps running after the completion: CPU gets used.
+        engine.run_to_idle();
+        assert_eq!(engine.served(cpu), 1);
+        assert!(engine.now() >= SimTime(40_000));
+    }
+
+    #[test]
+    fn fire_and_forget_branches_execute_without_blocking() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        let bg = vec![Plan::build().acquire(disk, us(100)).finish()];
+        engine.submit(
+            Plan(vec![Step::Join { branches: bg, need: 0 }, Step::Delay(us(1))]),
+            Token(3),
+        );
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.latency(), us(1), "need=0 join must not block");
+        engine.run_to_idle();
+        assert_eq!(engine.served(disk), 1, "background branch still ran");
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut engine = Engine::new();
+        let cpu = engine.add_resource("cpu", 2);
+        engine.submit(Plan::build().acquire(cpu, us(10)).finish(), Token(0));
+        engine.submit(Plan::build().delay(us(100)).finish(), Token(1));
+        engine.run_to_idle();
+        // 10us busy on one of 2 servers over 100us → 5%.
+        assert!((engine.utilization(cpu) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn submit_at_defers_start_and_latency_window() {
+        let mut engine = Engine::new();
+        engine.submit_at(SimTime(1_000_000), Plan::build().delay(us(5)).finish(), Token(2));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.submitted, SimTime(1_000_000));
+        assert_eq!(c.latency(), us(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary_and_reports_completions() {
+        let mut engine = Engine::new();
+        engine.submit(Plan::build().delay(us(10)).finish(), Token(0));
+        engine.submit(Plan::build().delay(us(100)).finish(), Token(1));
+        let first = engine.run_until(SimTime(50_000));
+        assert_eq!(first.len(), 1);
+        assert_eq!(engine.now(), SimTime(50_000));
+        let rest = engine.run_to_idle();
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn completions_preserve_time_order() {
+        let mut engine = Engine::new();
+        engine.submit(Plan::build().delay(us(30)).finish(), Token(0));
+        engine.submit(Plan::build().delay(us(10)).finish(), Token(1));
+        engine.submit(Plan::build().delay(us(20)).finish(), Token(2));
+        let order: Vec<Token> =
+            engine.run_to_idle().into_iter().map(|c| c.token).collect();
+        assert_eq!(order, vec![Token(1), Token(2), Token(0)]);
+    }
+
+    #[test]
+    fn exec_slots_are_reused() {
+        let mut engine = Engine::new();
+        for round in 0..100 {
+            engine.submit(Plan::build().delay(us(1)).finish(), Token(round));
+            engine.next_completion();
+        }
+        assert!(engine.execs.len() < 4, "slots must be recycled, got {}", engine.execs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_resource_panics() {
+        Engine::new().add_resource("bad", 0);
+    }
+
+    #[test]
+    fn writers_in_the_same_window_share_a_group_commit_boundary() {
+        // Three writes arriving within one 10us epoch all finish at the
+        // same boundary — the group-commit behaviour stores rely on.
+        let mut engine = Engine::new();
+        for (i, offset) in [1u64, 4, 9].into_iter().enumerate() {
+            engine.submit(
+                Plan::build().delay(SimDuration::from_micros(offset)).align_to(us(10), SimDuration::ZERO).finish(),
+                Token(i as u64),
+            );
+        }
+        let completions = engine.run_to_idle();
+        assert!(completions.iter().all(|c| c.finished == SimTime(10_000)), "{completions:?}");
+        // A write landing after the boundary joins the NEXT group.
+        engine.submit(
+            Plan::build().delay(SimDuration::from_micros(1)).align_to(us(10), SimDuration::ZERO).finish(),
+            Token(9),
+        );
+        let c = engine.run_to_idle();
+        assert_eq!(c[0].finished, SimTime(20_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn submitting_into_the_past_panics() {
+        let mut engine = Engine::new();
+        engine.submit(Plan::build().delay(us(10)).finish(), Token(0));
+        engine.next_completion();
+        engine.submit_at(SimTime(5), Plan::empty(), Token(1));
+    }
+}

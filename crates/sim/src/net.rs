@@ -1,0 +1,75 @@
+//! Network service-time model.
+//!
+//! Both clusters connect their nodes *"with a gigabit ethernet network
+//! over a single switch"* (§3). We model: a per-message one-way latency
+//! (NIC + kernel + JVM client stack of the era) plus serialisation time at
+//! gigabit bandwidth. The switch is non-blocking (pure delay); the NIC is
+//! the queued resource.
+
+use crate::time::SimDuration;
+
+/// Characteristics of the cluster interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetSpec {
+    /// One-way message latency (propagation + stack overhead).
+    pub one_way_latency: SimDuration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl NetSpec {
+    /// Gigabit Ethernet through one switch, with 2012 Java networking
+    /// stacks on both ends: ~80 µs one way (Voldemort's measured 230 µs
+    /// end-to-end read latency on an unloaded path, §5.1, bounds the RTT
+    /// below ~200 µs), 125 MB/s.
+    pub fn gigabit_2012() -> NetSpec {
+        NetSpec {
+            one_way_latency: SimDuration::from_micros(80),
+            bandwidth_bytes_per_sec: 125_000_000,
+        }
+    }
+
+    /// Time to push `bytes` through the link (NIC occupancy).
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(
+            (bytes as u128 * 1_000_000_000 / self.bandwidth_bytes_per_sec.max(1) as u128) as u64,
+        )
+    }
+
+    /// One-way message cost: latency + transfer (used as a pure delay when
+    /// NIC queueing is negligible for small messages).
+    pub fn message(&self, bytes: u64) -> SimDuration {
+        self.one_way_latency + self.transfer(bytes)
+    }
+
+    /// Request/response round trip carrying `req_bytes` and `resp_bytes`.
+    pub fn round_trip(&self, req_bytes: u64, resp_bytes: u64) -> SimDuration {
+        self.message(req_bytes) + self.message(resp_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let n = NetSpec::gigabit_2012();
+        let m = n.message(100);
+        assert!(m.as_nanos() >= 80_000);
+        assert!(m.as_nanos() < 90_000);
+    }
+
+    #[test]
+    fn large_transfers_are_bandwidth_bound() {
+        let n = NetSpec::gigabit_2012();
+        // 125 MB at 125 MB/s = 1 s.
+        assert!((n.transfer(125_000_000).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_is_two_messages() {
+        let n = NetSpec::gigabit_2012();
+        assert_eq!(n.round_trip(100, 100), n.message(100) + n.message(100));
+    }
+}

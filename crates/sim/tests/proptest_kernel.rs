@@ -1,0 +1,120 @@
+//! Property-based tests of the discrete-event kernel's invariants.
+
+use apm_sim::kernel::{Engine, Token};
+use apm_sim::plan::{Plan, Step};
+use apm_sim::time::SimDuration;
+use proptest::prelude::*;
+
+/// A randomly-shaped plan: sequences of acquires/delays with occasional
+/// joins one level deep.
+fn leaf_plan() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((0u8..2, 1u64..5_000), 1..6)
+}
+
+fn build_plan(leaf: &[(u8, u64)], resources: &[apm_sim::ResourceId]) -> Plan {
+    let steps = leaf
+        .iter()
+        .map(|&(kind, amount)| match kind {
+            0 => Step::Delay(SimDuration::from_nanos(amount)),
+            _ => Step::Acquire {
+                resource: resources[(amount % resources.len() as u64) as usize],
+                service: SimDuration::from_nanos(amount),
+            },
+        })
+        .collect();
+    Plan(steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_submitted_plan_completes_exactly_once(
+        leaves in prop::collection::vec(leaf_plan(), 1..40),
+        capacities in prop::collection::vec(1u32..4, 1..4),
+    ) {
+        let mut engine = Engine::new();
+        let resources: Vec<_> = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| engine.add_resource(format!("r{i}"), c))
+            .collect();
+        for (i, leaf) in leaves.iter().enumerate() {
+            engine.submit(build_plan(leaf, &resources), Token(i as u64));
+        }
+        let completions = engine.run_to_idle();
+        prop_assert_eq!(completions.len(), leaves.len());
+        let mut tokens: Vec<u64> = completions.iter().map(|c| c.token.0).collect();
+        tokens.sort_unstable();
+        let expect: Vec<u64> = (0..leaves.len() as u64).collect();
+        prop_assert_eq!(tokens, expect, "every token exactly once");
+    }
+
+    #[test]
+    fn latency_is_at_least_the_plan_floor(
+        leaf in leaf_plan(),
+    ) {
+        let mut engine = Engine::new();
+        let r = engine.add_resource("r", 1);
+        let plan = build_plan(&leaf, &[r]);
+        let floor = plan.min_duration();
+        engine.submit(plan, Token(0));
+        let c = engine.next_completion().expect("completes");
+        prop_assert!(c.latency() >= floor, "latency {} below floor {}", c.latency(), floor);
+    }
+
+    #[test]
+    fn completions_are_time_ordered(
+        leaves in prop::collection::vec(leaf_plan(), 2..30),
+    ) {
+        let mut engine = Engine::new();
+        let r = engine.add_resource("r", 2);
+        for (i, leaf) in leaves.iter().enumerate() {
+            engine.submit(build_plan(leaf, &[r]), Token(i as u64));
+        }
+        let completions = engine.run_to_idle();
+        for w in completions.windows(2) {
+            prop_assert!(w[0].finished <= w[1].finished, "completions out of order");
+        }
+    }
+
+    #[test]
+    fn capacity_one_resource_serialises_work(
+        services in prop::collection::vec(1u64..10_000, 2..20),
+    ) {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for (i, &svc) in services.iter().enumerate() {
+            engine.submit(
+                Plan(vec![Step::Acquire { resource: disk, service: SimDuration::from_nanos(svc) }]),
+                Token(i as u64),
+            );
+        }
+        engine.run_to_idle();
+        // A capacity-1 server finishing all jobs takes exactly the sum.
+        let total: u64 = services.iter().sum();
+        prop_assert_eq!(engine.now().as_nanos(), total);
+        prop_assert_eq!(engine.served(disk), services.len() as u64);
+        // Fully busy until the end.
+        prop_assert!((engine.utilization(disk) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quorum_latency_never_exceeds_join_all(
+        branch_delays in prop::collection::vec(1u64..100_000, 2..8),
+        need in 1usize..4,
+    ) {
+        let need = need.min(branch_delays.len());
+        let branches: Vec<Plan> = branch_delays
+            .iter()
+            .map(|&d| Plan(vec![Step::Delay(SimDuration::from_nanos(d))]))
+            .collect();
+        let mut all_engine = Engine::new();
+        all_engine.submit(Plan::build().join_all(branches.clone()).finish(), Token(0));
+        let all = all_engine.next_completion().unwrap().latency();
+        let mut q_engine = Engine::new();
+        q_engine.submit(Plan::build().join_quorum(branches, need).finish(), Token(0));
+        let quorum = q_engine.next_completion().unwrap().latency();
+        prop_assert!(quorum <= all, "quorum {quorum} beats join_all {all}");
+    }
+}

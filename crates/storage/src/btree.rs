@@ -1,0 +1,351 @@
+//! A page-based B+tree.
+//!
+//! The engine behind the MySQL-like store (InnoDB's clustered index) and
+//! the Voldemort-like store (BerkeleyDB's per-node B-tree). Nodes are
+//! pages in an arena; every operation returns the list of pages it
+//! visited (and dirtied), which the caller replays through a
+//! [`crate::bufferpool::BufferPool`] to decide which accesses become disk
+//! I/O. Leaves are chained for range scans.
+
+use crate::bufferpool::PageId;
+use apm_core::record::{FieldValues, MetricKey};
+
+/// Tree shape parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BTreeConfig {
+    /// Max records per leaf page (16 KB InnoDB page / ~100 B record ≈ 150).
+    pub leaf_capacity: usize,
+    /// Max children per internal page.
+    pub internal_capacity: usize,
+    /// Page size in bytes, for I/O accounting.
+    pub page_bytes: u64,
+}
+
+impl Default for BTreeConfig {
+    fn default() -> Self {
+        BTreeConfig { leaf_capacity: 150, internal_capacity: 400, page_bytes: 16 << 10 }
+    }
+}
+
+/// Pages touched by an operation, in visit order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageTrace {
+    /// Pages read on the way down.
+    pub read: Vec<PageId>,
+    /// Existing pages modified (must be resident: read-if-absent, then
+    /// dirtied).
+    pub written: Vec<PageId>,
+    /// Pages freshly created by splits: dirtied but never read from disk.
+    pub allocated: Vec<PageId>,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Internal { keys: Vec<MetricKey>, children: Vec<usize> },
+    Leaf { entries: Vec<(MetricKey, FieldValues)>, next: Option<usize> },
+}
+
+/// The B+tree.
+#[derive(Clone, Debug)]
+pub struct BTree {
+    config: BTreeConfig,
+    nodes: Vec<Node>,
+    root: usize,
+    len: u64,
+    depth: u32,
+}
+
+impl BTree {
+    /// Creates an empty tree.
+    pub fn new(config: BTreeConfig) -> BTree {
+        assert!(config.leaf_capacity >= 2 && config.internal_capacity >= 3, "degenerate page capacities");
+        BTree {
+            config,
+            nodes: vec![Node::Leaf { entries: Vec::new(), next: None }],
+            root: 0,
+            len: 0,
+            depth: 1,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the tree holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of pages (nodes) allocated.
+    pub fn page_count(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    /// Total on-disk footprint in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.page_count() * self.config.page_bytes
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.config.page_bytes
+    }
+
+    fn leaf_for(&self, key: &MetricKey, trace: &mut PageTrace) -> usize {
+        let mut idx = self.root;
+        loop {
+            trace.read.push(PageId(idx as u64));
+            match &self.nodes[idx] {
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|k| k <= key);
+                    idx = children[slot];
+                }
+                Node::Leaf { .. } => return idx,
+            }
+        }
+    }
+
+    /// Point lookup. Returns the value and the page trace.
+    pub fn get(&self, key: &MetricKey) -> (Option<FieldValues>, PageTrace) {
+        let mut trace = PageTrace::default();
+        let leaf = self.leaf_for(key, &mut trace);
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        let value = entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| entries[i].1);
+        (value, trace)
+    }
+
+    /// Inserts or replaces. Returns whether the key was new plus the trace
+    /// (split pages appear in `written`).
+    pub fn insert(&mut self, key: MetricKey, value: FieldValues) -> (bool, PageTrace) {
+        let mut trace = PageTrace::default();
+        let leaf = self.leaf_for(&key, &mut trace);
+        trace.written.push(PageId(leaf as u64));
+        let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+        let new = match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => {
+                entries[i].1 = value;
+                false
+            }
+            Err(i) => {
+                entries.insert(i, (key, value));
+                self.len += 1;
+                true
+            }
+        };
+        if match &self.nodes[leaf] {
+            Node::Leaf { entries, .. } => entries.len() > self.config.leaf_capacity,
+            Node::Internal { .. } => unreachable!(),
+        } {
+            self.split(leaf, &mut trace);
+        }
+        (new, trace)
+    }
+
+    /// Splits an over-full node, recursing up through its ancestors. The
+    /// parent chain is re-derived by key because nodes carry no parent
+    /// pointers (pages don't in InnoDB either; it uses a latched descent).
+    fn split(&mut self, node_idx: usize, trace: &mut PageTrace) {
+        let (sep, right_idx) = match &mut self.nodes[node_idx] {
+            Node::Leaf { entries, next } => {
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0;
+                let right = Node::Leaf { entries: right_entries, next: *next };
+                let right_idx = self.nodes.len();
+                self.nodes.push(right);
+                if let Node::Leaf { next, .. } = &mut self.nodes[node_idx] {
+                    *next = Some(right_idx);
+                }
+                (sep, right_idx)
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // the separator moves up
+                let right_children = children.split_off(mid + 1);
+                let right = Node::Internal { keys: right_keys, children: right_children };
+                let right_idx = self.nodes.len();
+                self.nodes.push(right);
+                (sep, right_idx)
+            }
+        };
+        trace.allocated.push(PageId(right_idx as u64));
+        if node_idx == self.root {
+            let new_root = Node::Internal { keys: vec![sep], children: vec![node_idx, right_idx] };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+            self.depth += 1;
+            trace.allocated.push(PageId(self.root as u64));
+            return;
+        }
+        // Find the parent of node_idx by descending towards `sep`.
+        let parent_idx = self.find_parent(self.root, node_idx, &sep).expect("non-root node has a parent");
+        trace.written.push(PageId(parent_idx as u64));
+        let overfull = {
+            let Node::Internal { keys, children } = &mut self.nodes[parent_idx] else { unreachable!() };
+            let slot = keys.partition_point(|k| *k <= sep);
+            keys.insert(slot, sep);
+            children.insert(slot + 1, right_idx);
+            children.len() > self.config.internal_capacity
+        };
+        if overfull {
+            self.split(parent_idx, trace);
+        }
+    }
+
+    fn find_parent(&self, from: usize, target: usize, hint: &MetricKey) -> Option<usize> {
+        match &self.nodes[from] {
+            Node::Leaf { .. } => None,
+            Node::Internal { keys, children } => {
+                if children.contains(&target) {
+                    return Some(from);
+                }
+                let slot = keys.partition_point(|k| k <= hint);
+                self.find_parent(children[slot], target, hint)
+            }
+        }
+    }
+
+    /// Range scan of up to `len` records from `start`, following leaf links.
+    pub fn scan(&self, start: &MetricKey, len: usize) -> (Vec<(MetricKey, FieldValues)>, PageTrace) {
+        let mut trace = PageTrace::default();
+        let mut leaf = self.leaf_for(start, &mut trace);
+        let mut out = Vec::with_capacity(len);
+        loop {
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else { unreachable!() };
+            let from = entries.partition_point(|(k, _)| k < start);
+            for (k, v) in &entries[from..] {
+                if out.len() == len {
+                    return (out, trace);
+                }
+                out.push((*k, *v));
+            }
+            match next {
+                Some(n) if out.len() < len => {
+                    leaf = *n;
+                    trace.read.push(PageId(leaf as u64));
+                }
+                _ => return (out, trace),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apm_core::keyspace::record_for_seq;
+
+    fn tiny() -> BTreeConfig {
+        BTreeConfig { leaf_capacity: 8, internal_capacity: 8, page_bytes: 1 << 10 }
+    }
+
+    fn load(tree: &mut BTree, seqs: std::ops::Range<u64>) {
+        for seq in seqs {
+            let r = record_for_seq(seq);
+            tree.insert(r.key, r.fields);
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip_across_splits() {
+        let mut tree = BTree::new(tiny());
+        load(&mut tree, 0..2_000);
+        assert_eq!(tree.len(), 2_000);
+        assert!(tree.depth() >= 3, "tiny pages must force a deep tree");
+        for seq in (0..2_000).step_by(97) {
+            let r = record_for_seq(seq);
+            assert_eq!(tree.get(&r.key).0, Some(r.fields), "seq {seq} lost");
+        }
+        assert_eq!(tree.get(&record_for_seq(9_999).key).0, None);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut tree = BTree::new(tiny());
+        let key = record_for_seq(1).key;
+        let v1 = record_for_seq(10).fields;
+        let v2 = record_for_seq(20).fields;
+        let (new1, _) = tree.insert(key, v1);
+        let (new2, _) = tree.insert(key, v2);
+        assert!(new1 && !new2);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(&key).0, Some(v2));
+    }
+
+    #[test]
+    fn trace_depth_matches_tree_depth() {
+        let mut tree = BTree::new(tiny());
+        load(&mut tree, 0..2_000);
+        let (_, trace) = tree.get(&record_for_seq(100).key);
+        assert_eq!(trace.read.len(), tree.depth() as usize);
+    }
+
+    #[test]
+    fn insert_trace_includes_dirtied_leaf() {
+        let mut tree = BTree::new(tiny());
+        let r = record_for_seq(0);
+        let (_, trace) = tree.insert(r.key, r.fields);
+        assert_eq!(trace.written.len(), 1);
+        assert_eq!(trace.read.len(), 1);
+    }
+
+    #[test]
+    fn scan_is_sorted_and_complete() {
+        let mut tree = BTree::new(tiny());
+        load(&mut tree, 0..1_000);
+        let mut keys: Vec<MetricKey> = (0..1_000).map(|s| record_for_seq(s).key).collect();
+        keys.sort();
+        let (result, trace) = tree.scan(&keys[200], 50);
+        let got: Vec<MetricKey> = result.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, keys[200..250].to_vec());
+        // A 50-record scan over 8-entry leaves crosses several leaves.
+        assert!(trace.read.len() > 5, "leaf chain not followed: {}", trace.read.len());
+    }
+
+    #[test]
+    fn scan_from_before_first_and_past_last() {
+        let mut tree = BTree::new(tiny());
+        load(&mut tree, 0..100);
+        let (all, _) = tree.scan(&MetricKey::MIN, 1_000);
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        let (none, _) = tree.scan(&MetricKey::MAX, 10);
+        assert!(none.len() <= 1);
+    }
+
+    #[test]
+    fn page_count_and_disk_bytes_grow() {
+        let mut tree = BTree::new(tiny());
+        let before = tree.page_count();
+        load(&mut tree, 0..1_000);
+        assert!(tree.page_count() > before);
+        assert_eq!(tree.disk_bytes(), tree.page_count() * 1_024);
+    }
+
+    #[test]
+    fn default_config_packs_many_records_per_leaf() {
+        let mut tree = BTree::new(BTreeConfig::default());
+        load(&mut tree, 0..10_000);
+        // 10_000 records / 150 per leaf ≈ 67 leaves (+ internals).
+        assert!(tree.page_count() < 200, "pages: {}", tree.page_count());
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_config_panics() {
+        BTree::new(BTreeConfig { leaf_capacity: 1, internal_capacity: 2, page_bytes: 1 });
+    }
+}

@@ -1,0 +1,233 @@
+//! A page buffer pool with clock (second-chance) eviction.
+//!
+//! The MySQL- and Voldemort-like stores run their B-trees through this
+//! pool: a page access either hits (CPU only) or misses (random read,
+//! possibly preceded by a dirty write-back). On Cluster M the pool holds
+//! the whole working set; on Cluster D (4 GB RAM, 10.5 GB data) it
+//! thrashes — which is exactly the regime change the paper's §5.8 shows.
+
+use std::collections::HashMap;
+
+/// Identifies a page (the B-tree uses node ids as page ids).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Kind of page access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read the page.
+    Read,
+    /// Read and dirty the page.
+    Write,
+}
+
+/// Outcome of one page access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolResult {
+    /// True when the page was already resident.
+    pub hit: bool,
+    /// A dirty page that had to be written back to make room.
+    pub writeback: Option<PageId>,
+}
+
+/// Cumulative pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_writebacks: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    page: PageId,
+    referenced: bool,
+    dirty: bool,
+}
+
+/// The buffer pool.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding up to `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            frames: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::new(),
+            hand: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Accesses `page`, running clock eviction on a miss.
+    pub fn access(&mut self, page: PageId, access: Access) -> PoolResult {
+        if let Some(&idx) = self.map.get(&page) {
+            self.stats.hits += 1;
+            let frame = &mut self.frames[idx];
+            frame.referenced = true;
+            if access == Access::Write {
+                frame.dirty = true;
+            }
+            return PoolResult { hit: true, writeback: None };
+        }
+        self.stats.misses += 1;
+        let dirty = access == Access::Write;
+        if self.frames.len() < self.capacity {
+            let idx = self.frames.len();
+            self.frames.push(Frame { page, referenced: true, dirty });
+            self.map.insert(page, idx);
+            return PoolResult { hit: false, writeback: None };
+        }
+        // Clock sweep: clear reference bits until a victim is found.
+        let victim_idx = loop {
+            let frame = &mut self.frames[self.hand];
+            if frame.referenced {
+                frame.referenced = false;
+                self.hand = (self.hand + 1) % self.capacity;
+            } else {
+                break self.hand;
+            }
+        };
+        let victim = self.frames[victim_idx];
+        self.map.remove(&victim.page);
+        self.stats.evictions += 1;
+        let writeback = if victim.dirty {
+            self.stats.dirty_writebacks += 1;
+            Some(victim.page)
+        } else {
+            None
+        };
+        self.frames[victim_idx] = Frame { page, referenced: true, dirty };
+        self.map.insert(page, victim_idx);
+        self.hand = (victim_idx + 1) % self.capacity;
+        PoolResult { hit: false, writeback }
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut pool = BufferPool::new(4);
+        assert!(!pool.access(PageId(1), Access::Read).hit);
+        assert!(pool.access(PageId(1), Access::Read).hit);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn fits_in_capacity_without_eviction() {
+        let mut pool = BufferPool::new(8);
+        for i in 0..8 {
+            pool.access(PageId(i), Access::Read);
+        }
+        for i in 0..8 {
+            assert!(pool.access(PageId(i), Access::Read).hit, "page {i} evicted prematurely");
+        }
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn overflow_evicts_and_reports_dirty_writebacks() {
+        let mut pool = BufferPool::new(2);
+        pool.access(PageId(1), Access::Write);
+        pool.access(PageId(2), Access::Read);
+        // Third page must evict one of the first two.
+        let r3 = pool.access(PageId(3), Access::Read);
+        assert!(!r3.hit);
+        assert_eq!(pool.stats().evictions, 1);
+        // Keep streaming reads; the dirty page must wash out eventually.
+        let mut writebacks = usize::from(r3.writeback.is_some());
+        for i in 4..20 {
+            if pool.access(PageId(i), Access::Read).writeback.is_some() {
+                writebacks += 1;
+            }
+        }
+        assert!(writebacks >= 1, "dirty page never written back");
+        assert_eq!(pool.stats().dirty_writebacks as usize, writebacks);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut pool = BufferPool::new(3);
+        pool.access(PageId(1), Access::Read);
+        pool.access(PageId(2), Access::Read);
+        pool.access(PageId(3), Access::Read);
+        // All bits set: the first eviction sweeps everyone and takes the
+        // frame at the hand (page 1), leaving pages 2 and 3 unreferenced.
+        pool.access(PageId(4), Access::Read);
+        // Re-reference page 3; the next sweep must spare it and take the
+        // unreferenced page 2 instead.
+        assert!(pool.access(PageId(3), Access::Read).hit);
+        pool.access(PageId(5), Access::Read);
+        assert!(pool.access(PageId(3), Access::Read).hit, "referenced page lost its second chance");
+        assert!(!pool.access(PageId(2), Access::Read).hit, "unreferenced page should be the victim");
+    }
+
+    #[test]
+    fn hit_rate_reflects_thrash() {
+        let mut small = BufferPool::new(10);
+        for round in 0..3 {
+            for i in 0..100 {
+                small.access(PageId(i), Access::Read);
+            }
+            let _ = round;
+        }
+        assert!(small.stats().hit_rate() < 0.1, "thrashing pool should mostly miss");
+        let mut big = BufferPool::new(200);
+        for _ in 0..3 {
+            for i in 0..100 {
+                big.access(PageId(i), Access::Read);
+            }
+        }
+        assert!(big.stats().hit_rate() > 0.6, "resident working set should mostly hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        BufferPool::new(0);
+    }
+}

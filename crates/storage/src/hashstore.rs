@@ -1,0 +1,217 @@
+//! In-memory hash store with an ordered index — the Redis engine.
+//!
+//! The Redis YCSB client stores each record in a hash and additionally
+//! indexes the key in a sorted set for scans (§4.4: "YCSB uses a hash map
+//! as well as a sorted set"). We model both structures with byte-accurate
+//! memory accounting, because the paper's 12-node Redis incident was a
+//! memory blow-up: the sharding ring sent one node more than its share
+//! and it *"consistently ran out of memory"* (§5.1).
+
+use crate::receipt::CostReceipt;
+use apm_core::record::{FieldValues, MetricKey, FIELD_COUNT, KEY_SIZE, RAW_RECORD_SIZE};
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+/// Redis-era per-entry memory overhead, in bytes: robj headers, dict
+/// entry, sds headers for the key and each of the five field values, plus
+/// the skiplist node for the sorted-set index entry.
+pub const ENTRY_OVERHEAD_BYTES: u64 = 16 + 24 + (3 + FIELD_COUNT as u64 * 3) * 16 + 64;
+
+/// Error returned when an insert would exceed the memory budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the store would have needed.
+    pub needed: u64,
+    /// The configured budget.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "out of memory: need {} bytes, budget {}", self.needed, self.budget)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// The hash store.
+#[derive(Clone, Debug)]
+pub struct HashStore {
+    map: HashMap<MetricKey, FieldValues>,
+    /// Sorted-set index over keys, maintained for scans.
+    index: BTreeSet<MetricKey>,
+    mem_bytes: u64,
+    max_memory: Option<u64>,
+}
+
+impl HashStore {
+    /// Creates a store with an optional memory budget in bytes.
+    pub fn new(max_memory: Option<u64>) -> HashStore {
+        HashStore { map: HashMap::new(), index: BTreeSet::new(), mem_bytes: 0, max_memory }
+    }
+
+    /// Bytes a single record costs in memory.
+    pub fn bytes_per_record() -> u64 {
+        RAW_RECORD_SIZE as u64 + KEY_SIZE as u64 /* second key copy in the index */ + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// Inserts a record (no eviction — Redis `noeviction` semantics).
+    pub fn insert(&mut self, key: MetricKey, value: FieldValues) -> Result<CostReceipt, OutOfMemory> {
+        let mut receipt = CostReceipt::new();
+        receipt.touch(RAW_RECORD_SIZE as u64);
+        if let Some(existing) = self.map.get_mut(&key) {
+            receipt.probe(1);
+            *existing = value;
+            return Ok(receipt);
+        }
+        let needed = self.mem_bytes + Self::bytes_per_record();
+        if let Some(budget) = self.max_memory {
+            if needed > budget {
+                return Err(OutOfMemory { needed, budget });
+            }
+        }
+        // Hash insert + skiplist/sorted-set insert.
+        receipt.probe(2);
+        self.map.insert(key, value);
+        self.index.insert(key);
+        self.mem_bytes = needed;
+        Ok(receipt)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &MetricKey) -> (Option<FieldValues>, CostReceipt) {
+        let mut receipt = CostReceipt::new();
+        receipt.probe(1);
+        let value = self.map.get(key).copied();
+        if value.is_some() {
+            receipt.touch(RAW_RECORD_SIZE as u64);
+        }
+        (value, receipt)
+    }
+
+    /// Range scan over the sorted-set index.
+    pub fn scan(&self, start: &MetricKey, len: usize) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
+        let mut receipt = CostReceipt::new();
+        // ZRANGEBYLEX walk + one HGETALL per hit.
+        let out: Vec<(MetricKey, FieldValues)> = self
+            .index
+            .range((Bound::Included(*start), Bound::Unbounded))
+            .take(len)
+            .filter_map(|k| self.map.get(k).map(|v| (*k, *v)))
+            .collect();
+        receipt.probe(1 + out.len() as u64);
+        receipt.touch((out.len() * RAW_RECORD_SIZE) as u64);
+        (out, receipt)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes of memory in use.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Fraction of the budget used (0 when unlimited).
+    pub fn mem_fraction(&self) -> f64 {
+        match self.max_memory {
+            Some(budget) if budget > 0 => self.mem_bytes as f64 / budget as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apm_core::keyspace::record_for_seq;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut store = HashStore::new(None);
+        for seq in 0..1_000 {
+            let r = record_for_seq(seq);
+            store.insert(r.key, r.fields).unwrap();
+        }
+        for seq in (0..1_000).step_by(53) {
+            let r = record_for_seq(seq);
+            assert_eq!(store.get(&r.key).0, Some(r.fields));
+        }
+        assert_eq!(store.get(&record_for_seq(2_000).key).0, None);
+        assert_eq!(store.len(), 1_000);
+    }
+
+    #[test]
+    fn memory_accounting_is_linear_in_records() {
+        let mut store = HashStore::new(None);
+        let per = HashStore::bytes_per_record();
+        for seq in 0..10 {
+            let r = record_for_seq(seq);
+            store.insert(r.key, r.fields).unwrap();
+            assert_eq!(store.mem_bytes(), per * (seq + 1));
+        }
+    }
+
+    #[test]
+    fn reinsert_does_not_grow_memory() {
+        let mut store = HashStore::new(None);
+        let r = record_for_seq(1);
+        store.insert(r.key, r.fields).unwrap();
+        let before = store.mem_bytes();
+        store.insert(r.key, record_for_seq(2).fields).unwrap();
+        assert_eq!(store.mem_bytes(), before);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_oom() {
+        let budget = HashStore::bytes_per_record() * 5;
+        let mut store = HashStore::new(Some(budget));
+        for seq in 0..5 {
+            let r = record_for_seq(seq);
+            store.insert(r.key, r.fields).unwrap();
+        }
+        let r = record_for_seq(5);
+        let err = store.insert(r.key, r.fields).unwrap_err();
+        assert_eq!(err.budget, budget);
+        assert!(err.needed > budget);
+        assert!(err.to_string().contains("out of memory"));
+        // Reads still work after OOM (Redis keeps serving reads).
+        let r0 = record_for_seq(0);
+        assert_eq!(store.get(&r0.key).0, Some(r0.fields));
+    }
+
+    #[test]
+    fn scan_uses_ordered_index() {
+        let mut store = HashStore::new(None);
+        for seq in 0..500 {
+            let r = record_for_seq(seq);
+            store.insert(r.key, r.fields).unwrap();
+        }
+        let mut keys: Vec<MetricKey> = (0..500).map(|s| record_for_seq(s).key).collect();
+        keys.sort();
+        let (result, receipt) = store.scan(&keys[100], 50);
+        let got: Vec<MetricKey> = result.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, keys[100..150].to_vec());
+        assert_eq!(receipt.probes, 51, "one index walk + one hash probe per record");
+    }
+
+    #[test]
+    fn mem_fraction_tracks_budget() {
+        let budget = HashStore::bytes_per_record() * 10;
+        let mut store = HashStore::new(Some(budget));
+        for seq in 0..5 {
+            let r = record_for_seq(seq);
+            store.insert(r.key, r.fields).unwrap();
+        }
+        assert!((store.mem_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(HashStore::new(None).mem_fraction(), 0.0);
+    }
+}

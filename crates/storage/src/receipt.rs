@@ -1,0 +1,160 @@
+//! Cost receipts: the physical footprint of an engine operation.
+//!
+//! Engines in this crate do real data-structure work but never sleep or
+//! touch a real disk. Instead every call returns a [`CostReceipt`]
+//! describing what the operation *would* cost on hardware: how many index
+//! nodes / table probes were visited (CPU work) and which disk accesses
+//! would be issued (size + access pattern). The store layer converts
+//! receipts into simulator plans using its calibrated per-probe CPU cost
+//! and the node's disk model, after applying its cache model (a read that
+//! hits the page cache drops its `DiskIo`).
+
+/// Classification of one disk access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoClass {
+    /// Random read (point lookup in a cold file).
+    RandomRead,
+    /// Sequential read (scan continuation, compaction input).
+    SeqRead,
+    /// Random write (B-tree page write-back).
+    RandomWrite,
+    /// Sequential write (log append, flush, compaction output).
+    SeqWrite,
+}
+
+impl IoClass {
+    /// Whether this access is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, IoClass::RandomRead | IoClass::SeqRead)
+    }
+
+    /// Whether this access pays positioning time.
+    pub fn is_random(self) -> bool {
+        matches!(self, IoClass::RandomRead | IoClass::RandomWrite)
+    }
+}
+
+/// One disk access of `bytes` bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskIo {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Access classification.
+    pub class: IoClass,
+    /// True when this access may be absorbed by the OS page cache /
+    /// buffer pool at the store layer's discretion (data reads); false
+    /// for accesses that always hit the device (log syncs, flushes).
+    pub cacheable: bool,
+}
+
+impl DiskIo {
+    /// A cacheable random read.
+    pub fn random_read(bytes: u64) -> DiskIo {
+        DiskIo { bytes, class: IoClass::RandomRead, cacheable: true }
+    }
+
+    /// A cacheable sequential read.
+    pub fn seq_read(bytes: u64) -> DiskIo {
+        DiskIo { bytes, class: IoClass::SeqRead, cacheable: true }
+    }
+
+    /// An uncacheable sequential write (log append, flush).
+    pub fn seq_write(bytes: u64) -> DiskIo {
+        DiskIo { bytes, class: IoClass::SeqWrite, cacheable: false }
+    }
+
+    /// An uncacheable random write (page write-back).
+    pub fn random_write(bytes: u64) -> DiskIo {
+        DiskIo { bytes, class: IoClass::RandomWrite, cacheable: false }
+    }
+}
+
+/// Aggregate footprint of one engine call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostReceipt {
+    /// Data-structure node visits / hash probes / comparison batches —
+    /// the CPU-bound part of the operation. One probe ≈ one cache-missing
+    /// pointer chase plus associated comparisons.
+    pub probes: u64,
+    /// Bytes of payload handled (serialisation cost scales with this).
+    pub bytes_touched: u64,
+    /// Disk accesses that would be issued.
+    pub io: Vec<DiskIo>,
+}
+
+impl CostReceipt {
+    /// An empty receipt.
+    pub fn new() -> CostReceipt {
+        CostReceipt::default()
+    }
+
+    /// Adds probes.
+    pub fn probe(&mut self, n: u64) -> &mut Self {
+        self.probes += n;
+        self
+    }
+
+    /// Adds payload bytes.
+    pub fn touch(&mut self, bytes: u64) -> &mut Self {
+        self.bytes_touched += bytes;
+        self
+    }
+
+    /// Adds a disk access.
+    pub fn add_io(&mut self, io: DiskIo) -> &mut Self {
+        self.io.push(io);
+        self
+    }
+
+    /// Merges another receipt into this one.
+    pub fn absorb(&mut self, other: CostReceipt) -> &mut Self {
+        self.probes += other.probes;
+        self.bytes_touched += other.bytes_touched;
+        self.io.extend(other.io);
+        self
+    }
+
+    /// Total bytes across all disk accesses.
+    pub fn io_bytes(&self) -> u64 {
+        self.io.iter().map(|io| io.bytes).sum()
+    }
+
+    /// Number of read accesses.
+    pub fn read_ios(&self) -> usize {
+        self.io.iter().filter(|io| io.class.is_read()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_class_flags() {
+        assert!(IoClass::RandomRead.is_read() && IoClass::RandomRead.is_random());
+        assert!(IoClass::SeqRead.is_read() && !IoClass::SeqRead.is_random());
+        assert!(!IoClass::SeqWrite.is_read() && !IoClass::SeqWrite.is_random());
+        assert!(!IoClass::RandomWrite.is_read() && IoClass::RandomWrite.is_random());
+    }
+
+    #[test]
+    fn constructors_set_cacheability() {
+        assert!(DiskIo::random_read(1).cacheable);
+        assert!(DiskIo::seq_read(1).cacheable);
+        assert!(!DiskIo::seq_write(1).cacheable);
+        assert!(!DiskIo::random_write(1).cacheable);
+    }
+
+    #[test]
+    fn absorb_accumulates_everything() {
+        let mut a = CostReceipt::new();
+        a.probe(2).touch(75).add_io(DiskIo::seq_write(100));
+        let mut b = CostReceipt::new();
+        b.probe(3).add_io(DiskIo::random_read(4096));
+        a.absorb(b);
+        assert_eq!(a.probes, 5);
+        assert_eq!(a.bytes_touched, 75);
+        assert_eq!(a.io_bytes(), 4196);
+        assert_eq!(a.read_ios(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests: every storage engine behaves like a reference
+//! model (a sorted map) under arbitrary operation sequences.
+
+use apm_core::keyspace::record_for_seq;
+use apm_core::record::{FieldValues, MetricKey};
+use apm_storage::btree::{BTree, BTreeConfig};
+use apm_storage::hashstore::HashStore;
+use apm_storage::lsm::{JobKind, LsmConfig, LsmTree};
+use apm_storage::memtable::Memtable;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// An operation against a keyed store.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Get(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_space).prop_map(Op::Insert),
+        2 => (0..key_space).prop_map(Op::Get),
+        1 => ((0..key_space), (1usize..60)).prop_map(|(k, l)| Op::Scan(k, l)),
+    ]
+}
+
+fn key(seq: u64) -> MetricKey {
+    record_for_seq(seq).key
+}
+
+fn value(seq: u64) -> FieldValues {
+    record_for_seq(seq).fields
+}
+
+/// Drives announced LSM jobs to completion immediately.
+fn settle(tree: &mut LsmTree, job: Option<apm_storage::lsm::BackgroundJob>) {
+    let mut next = job;
+    while let Some(j) = next {
+        next = match j.kind {
+            JobKind::Flush => tree.complete_flush(j.id),
+            JobKind::Compaction => tree.complete_compaction(j.id),
+        };
+    }
+}
+
+fn model_scan(model: &BTreeMap<MetricKey, FieldValues>, start: &MetricKey, len: usize) -> Vec<MetricKey> {
+    model.range(start..).take(len).map(|(k, _)| *k).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lsm_matches_sorted_map_model(ops in prop::collection::vec(op_strategy(500), 1..400)) {
+        let mut tree = LsmTree::new(LsmConfig { memtable_flush_bytes: 75 * 40, ..LsmConfig::default() });
+        let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(seq) => {
+                    let (_, job) = tree.insert(key(seq), value(seq));
+                    settle(&mut tree, job);
+                    model.insert(key(seq), value(seq));
+                }
+                Op::Get(seq) => {
+                    let (got, _) = tree.get(&key(seq));
+                    prop_assert_eq!(got.as_ref(), model.get(&key(seq)), "get({}) diverged", seq);
+                }
+                Op::Scan(seq, len) => {
+                    let (rows, _) = tree.scan(&key(seq), len);
+                    let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
+                    prop_assert_eq!(got, model_scan(&model, &key(seq), len), "scan({}, {}) diverged", seq, len);
+                }
+            }
+        }
+        // Re-inserted keys keep an extra version per unmerged run, so the
+        // physical count may exceed the logical count until compaction.
+        prop_assert!(tree.record_count() >= model.len() as u64, "records lost");
+    }
+
+    #[test]
+    fn btree_matches_sorted_map_model(ops in prop::collection::vec(op_strategy(500), 1..400)) {
+        let mut tree = BTree::new(BTreeConfig { leaf_capacity: 6, internal_capacity: 5, page_bytes: 512 });
+        let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(seq) => {
+                    tree.insert(key(seq), value(seq));
+                    model.insert(key(seq), value(seq));
+                }
+                Op::Get(seq) => {
+                    let (got, trace) = tree.get(&key(seq));
+                    prop_assert_eq!(got.as_ref(), model.get(&key(seq)));
+                    prop_assert_eq!(trace.read.len(), tree.depth() as usize, "descent must visit depth pages");
+                }
+                Op::Scan(seq, len) => {
+                    let (rows, _) = tree.scan(&key(seq), len);
+                    let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
+                    prop_assert_eq!(got, model_scan(&model, &key(seq), len));
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+    }
+
+    #[test]
+    fn hashstore_matches_model_and_memory_is_exact(ops in prop::collection::vec(op_strategy(300), 1..300)) {
+        let mut store = HashStore::new(None);
+        let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(seq) => {
+                    store.insert(key(seq), value(seq)).expect("no budget");
+                    model.insert(key(seq), value(seq));
+                }
+                Op::Get(seq) => {
+                    let (got, _) = store.get(&key(seq));
+                    prop_assert_eq!(got.as_ref(), model.get(&key(seq)));
+                }
+                Op::Scan(seq, len) => {
+                    let (rows, _) = store.scan(&key(seq), len);
+                    let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
+                    prop_assert_eq!(got, model_scan(&model, &key(seq), len));
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        prop_assert_eq!(store.mem_bytes(), model.len() as u64 * HashStore::bytes_per_record());
+    }
+
+    #[test]
+    fn memtable_drain_returns_exactly_the_live_set(seqs in prop::collection::vec(0u64..200, 1..300)) {
+        let mut memtable = Memtable::new();
+        let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
+        for seq in seqs {
+            memtable.insert(key(seq), value(seq));
+            model.insert(key(seq), value(seq));
+        }
+        prop_assert_eq!(memtable.bytes(), model.len() as u64 * 75);
+        let drained = memtable.drain_sorted();
+        let expect: Vec<(MetricKey, FieldValues)> = model.into_iter().collect();
+        prop_assert_eq!(drained, expect);
+    }
+
+    #[test]
+    fn lsm_scans_never_return_duplicates_or_unsorted_keys(
+        inserts in prop::collection::vec(0u64..2_000, 50..500),
+        start in 0u64..2_000,
+    ) {
+        let mut tree = LsmTree::new(LsmConfig { memtable_flush_bytes: 75 * 25, ..LsmConfig::default() });
+        for seq in inserts {
+            let (_, job) = tree.insert(key(seq), value(seq));
+            settle(&mut tree, job);
+        }
+        let (rows, _) = tree.scan(&key(start), 50);
+        for w in rows.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "scan output not strictly sorted");
+        }
+        prop_assert!(rows.len() <= 50);
+        prop_assert!(rows.iter().all(|(k, _)| *k >= key(start)));
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(seqs in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut bloom = apm_storage::bloom::Bloom::with_capacity(seqs.len(), 10);
+        for &seq in &seqs {
+            bloom.insert(&key(seq));
+        }
+        for &seq in &seqs {
+            prop_assert!(bloom.may_contain(&key(seq)));
+        }
+    }
+}

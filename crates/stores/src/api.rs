@@ -1,0 +1,307 @@
+//! The common interface of the six stores plus shared plan-building
+//! helpers (client/server network hops, receipt → plan conversion).
+
+use apm_core::ops::{OpOutcome, Operation};
+use apm_core::record::Record;
+use apm_sim::cluster::NodeResources;
+use apm_sim::kernel::Token;
+use apm_sim::{ClusterSpec, Engine, Plan, SimDuration, Step};
+use apm_storage::receipt::{CostReceipt, DiskIo};
+
+/// Bit marking a token as a background job rather than a client op.
+pub const BACKGROUND_BIT: u64 = 1 << 63;
+
+/// Builds the token for background job `job_id`.
+pub fn background_token(job_id: u64) -> Token {
+    debug_assert!(job_id & BACKGROUND_BIT == 0);
+    Token(BACKGROUND_BIT | job_id)
+}
+
+/// Splits a completed token into `(is_background, id)`.
+pub fn split_token(token: Token) -> (bool, u64) {
+    (token.0 & BACKGROUND_BIT != 0, token.0 & !BACKGROUND_BIT)
+}
+
+/// Everything a store needs about its simulated environment.
+#[derive(Clone, Debug)]
+pub struct StoreCtx {
+    /// The hardware platform.
+    pub cluster: ClusterSpec,
+    /// Server node resources, one entry per storage node.
+    pub servers: Vec<NodeResources>,
+    /// Client (workload generator) machine resources.
+    pub clients: Vec<NodeResources>,
+    /// Dataset scale factor (1.0 = the paper's 10 M records/node). Memory
+    /// budgets (page cache, buffer pools, maxmemory) scale with it so the
+    /// data:RAM ratio matches the paper.
+    pub scale: f64,
+    /// Seed for store-internal randomness (cache sampling, token draws).
+    pub seed: u64,
+}
+
+impl StoreCtx {
+    /// Instantiates server and client machines on `engine`.
+    ///
+    /// `client_machines` follows §3: "we used up to 5 nodes to generate
+    /// the workload" for up to 12 server nodes — a ≈2.4:1 ratio — except
+    /// Redis, which "had to double the number of machines for the YCSB
+    /// clients" (§5.1).
+    pub fn new(
+        engine: &mut Engine,
+        cluster: ClusterSpec,
+        server_count: u32,
+        client_machines: u32,
+        scale: f64,
+        seed: u64,
+    ) -> StoreCtx {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let servers = cluster.instantiate(engine, server_count);
+        let clients: Vec<NodeResources> = (0..client_machines.max(1))
+            .map(|i| NodeResources {
+                cpu: engine.add_resource(format!("client{i}.cpu"), cluster.node.cores),
+                disk: engine.add_resource(format!("client{i}.disk"), 1),
+                nic: engine.add_resource(format!("client{i}.nic"), 1),
+            })
+            .collect();
+        StoreCtx { cluster, servers, clients, scale, seed }
+    }
+
+    /// The paper's standard client fleet size for `servers` server nodes.
+    pub fn standard_client_machines(servers: u32) -> u32 {
+        ((servers as f64 / 2.4).ceil() as u32).clamp(1, 5)
+    }
+
+    /// Number of server nodes.
+    pub fn node_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Client machine serving connection `client_id` (round-robin).
+    pub fn client_machine(&self, client_id: u32) -> &NodeResources {
+        &self.clients[client_id as usize % self.clients.len()]
+    }
+
+    /// A node's RAM budget scaled to the dataset scale factor.
+    pub fn scaled_ram(&self) -> u64 {
+        (self.cluster.node.ram_bytes as f64 * self.scale) as u64
+    }
+}
+
+/// CPU service-demand model converting a [`CostReceipt`] into core time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-operation CPU time (request parsing, dispatch), ns.
+    pub base_ns: u64,
+    /// CPU time per data-structure probe, ns.
+    pub per_probe_ns: u64,
+    /// CPU time per payload byte (serialisation), ns.
+    pub per_byte_ns: u64,
+}
+
+impl CostModel {
+    /// Core time for `receipt`.
+    pub fn cpu(&self, receipt: &CostReceipt) -> SimDuration {
+        SimDuration::from_nanos(
+            self.base_ns
+                + receipt.probes * self.per_probe_ns
+                + receipt.bytes_touched * self.per_byte_ns,
+        )
+    }
+}
+
+/// Builds the server-local steps for an operation: CPU work, then each
+/// disk access queued on the node's disk.
+pub fn server_steps(
+    node: &NodeResources,
+    cluster: &ClusterSpec,
+    cpu: SimDuration,
+    ios: &[DiskIo],
+) -> Vec<Step> {
+    let mut steps = Vec::with_capacity(1 + ios.len());
+    if cpu != SimDuration::ZERO {
+        steps.push(Step::Acquire { resource: node.cpu, service: cpu });
+    }
+    for io in ios {
+        let pattern = if io.class.is_random() {
+            apm_sim::IoPattern::Random
+        } else {
+            apm_sim::IoPattern::Sequential
+        };
+        steps.push(Step::Acquire {
+            resource: node.disk,
+            service: cluster.node.disk.service(io.bytes, pattern),
+        });
+    }
+    steps
+}
+
+/// Wraps server-side steps into a full client round trip:
+/// client CPU → client NIC → wire → server NIC → *server steps* →
+/// server NIC → wire → client NIC.
+#[allow(clippy::too_many_arguments)]
+pub fn round_trip_plan(
+    ctx: &StoreCtx,
+    client_id: u32,
+    server: &NodeResources,
+    client_cpu: SimDuration,
+    request_bytes: u64,
+    response_bytes: u64,
+    server_plan: Vec<Step>,
+) -> Plan {
+    let client = ctx.client_machine(client_id);
+    let net = &ctx.cluster.net;
+    let mut steps = Vec::with_capacity(server_plan.len() + 7);
+    if client_cpu != SimDuration::ZERO {
+        steps.push(Step::Acquire { resource: client.cpu, service: client_cpu });
+    }
+    steps.push(Step::Acquire { resource: client.nic, service: net.transfer(request_bytes) });
+    steps.push(Step::Delay(net.one_way_latency));
+    steps.push(Step::Acquire { resource: server.nic, service: net.transfer(request_bytes) });
+    steps.extend(server_plan);
+    steps.push(Step::Acquire { resource: server.nic, service: net.transfer(response_bytes) });
+    steps.push(Step::Delay(net.one_way_latency));
+    steps.push(Step::Acquire { resource: client.nic, service: net.transfer(response_bytes) });
+    Plan(steps)
+}
+
+/// A client-local plan (for rejected operations: the error is produced
+/// without contacting a server, e.g. Voldemort scans).
+pub fn client_only_plan(ctx: &StoreCtx, client_id: u32, cpu: SimDuration) -> Plan {
+    let client = ctx.client_machine(client_id);
+    Plan(vec![Step::Acquire { resource: client.cpu, service: cpu }])
+}
+
+/// The interface every benchmarked store implements.
+pub trait DistributedStore {
+    /// Store name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Load-phase insert: updates real state, settling any background
+    /// work immediately (load time is not measured, §3 reloads per run).
+    fn load(&mut self, record: &Record);
+
+    /// Hook called once after the load phase (flush memtables, etc.).
+    fn finish_load(&mut self) {}
+
+    /// Executes `op` against real state and returns the outcome plus the
+    /// physical plan for the simulator. May submit background plans on
+    /// `engine` (tagged with [`background_token`]).
+    fn plan_op(&mut self, client_id: u32, op: &Operation, engine: &mut Engine) -> (OpOutcome, Plan);
+
+    /// Called when a background job's plan completes.
+    fn on_background(&mut self, job_id: u64, engine: &mut Engine) {
+        let _ = (job_id, engine);
+    }
+
+    /// Called once mid-run when `RunConfig::event_at_secs` fires —
+    /// topology-change experiments (e.g. Cassandra node bootstrap).
+    fn on_timed_event(&mut self, engine: &mut Engine) {
+        let _ = engine;
+    }
+
+    /// Whether the store's YCSB client supports scans (§5.4: Voldemort's
+    /// does not).
+    fn supports_scans(&self) -> bool {
+        true
+    }
+
+    /// Client connection cap, if the store's client library imposes one
+    /// (§6: Voldemort).
+    fn connection_cap(&self) -> Option<u32> {
+        None
+    }
+
+    /// Per-node disk usage in bytes after load (Fig 17); `None` for
+    /// memory-only stores (Redis, VoltDB — "do not store the data on
+    /// disk", §5.7).
+    fn disk_bytes_per_node(&self) -> Option<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apm_sim::SimTime;
+
+    #[test]
+    fn token_split_roundtrips() {
+        let t = background_token(42);
+        assert_eq!(split_token(t), (true, 42));
+        assert_eq!(split_token(Token(7)), (false, 7));
+    }
+
+    #[test]
+    fn ctx_instantiates_servers_and_clients() {
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 4, 2, 0.02, 1);
+        assert_eq!(ctx.node_count(), 4);
+        assert_eq!(ctx.clients.len(), 2);
+        // Round-robin client machine assignment.
+        assert_eq!(ctx.client_machine(0).nic, ctx.client_machine(2).nic);
+        assert_ne!(ctx.client_machine(0).nic, ctx.client_machine(1).nic);
+    }
+
+    #[test]
+    fn standard_client_fleet_matches_paper_ratio() {
+        assert_eq!(StoreCtx::standard_client_machines(1), 1);
+        assert_eq!(StoreCtx::standard_client_machines(4), 2);
+        assert_eq!(StoreCtx::standard_client_machines(12), 5);
+        assert_eq!(StoreCtx::standard_client_machines(16), 5, "fleet caps at 5 (§3)");
+    }
+
+    #[test]
+    fn no_client_machine_runs_more_than_307_threads() {
+        // §3: "So no client node was running more than 307 threads" —
+        // 1536 connections over 5 machines.
+        let machines = StoreCtx::standard_client_machines(12);
+        let connections = 128 * 12u32;
+        let per_machine = connections.div_ceil(machines);
+        assert_eq!(per_machine, 308 - 1 + 1, "1536 / 5 rounds to 308; the paper's 307 is the floor");
+        assert!(connections / machines <= 307);
+    }
+
+    #[test]
+    fn scaled_ram_follows_scale() {
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 1, 1, 0.5, 1);
+        assert_eq!(ctx.scaled_ram(), 8 << 30);
+    }
+
+    #[test]
+    fn cost_model_is_linear() {
+        let model = CostModel { base_ns: 1_000, per_probe_ns: 100, per_byte_ns: 2 };
+        let mut r = CostReceipt::new();
+        r.probe(3).touch(75);
+        assert_eq!(model.cpu(&r), SimDuration::from_nanos(1_000 + 300 + 150));
+    }
+
+    #[test]
+    fn round_trip_plan_includes_both_nics_and_latency() {
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 1, 1, 0.1, 1);
+        let server = ctx.servers[0];
+        let plan = round_trip_plan(
+            &ctx,
+            0,
+            &server,
+            SimDuration::from_micros(10),
+            100,
+            200,
+            vec![Step::Acquire { resource: server.cpu, service: SimDuration::from_micros(50) }],
+        );
+        // Minimum duration: client cpu + 2 latencies + transfers + server work.
+        let expected_floor = SimDuration::from_micros(10 + 80 + 80 + 50);
+        assert!(plan.min_duration() >= expected_floor);
+        // Executes cleanly on the engine.
+        engine.submit(plan, Token(1));
+        let c = engine.next_completion().expect("plan runs");
+        assert!(c.latency() >= expected_floor);
+        assert!(c.finished > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn out_of_range_scale_panics() {
+        let mut engine = Engine::new();
+        StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 1, 1, 0.0, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Hash functions used by the client-side routing layers.
+//!
+//! Implemented from their specifications because the workspace is
+//! self-contained:
+//!
+//! * [`murmur2_64a`] — MurmurHash64A, the default key hasher of the Jedis
+//!   sharding library (§4.4/§5.1: the paper tried "both supported hashing
+//!   algorithms in Jedis, MurMurHash and MD5").
+//! * [`md5`] — RFC 1321, used by Cassandra's `RandomPartitioner` to place
+//!   keys on the token ring, and Jedis's alternative hasher.
+//! * [`fnv1a64`] — cheap general-purpose hash for internal sharding.
+
+/// MurmurHash64A (Austin Appleby), seed-parameterised.
+pub fn murmur2_64a(data: &[u8], seed: u64) -> u64 {
+    const M: u64 = 0xc6a4_a793_5bd1_e995;
+    const R: u32 = 47;
+    let mut h: u64 = seed ^ (data.len() as u64).wrapping_mul(M);
+    let chunks = data.chunks_exact(8);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        let mut k = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        k = k.wrapping_mul(M);
+        k ^= k >> R;
+        k = k.wrapping_mul(M);
+        h ^= k;
+        h = h.wrapping_mul(M);
+    }
+    for (i, &b) in tail.iter().enumerate() {
+        h ^= u64::from(b) << (8 * i);
+    }
+    if !tail.is_empty() {
+        h = h.wrapping_mul(M);
+    }
+    h ^= h >> R;
+    h = h.wrapping_mul(M);
+    h ^= h >> R;
+    h
+}
+
+/// FNV-1a 64-bit.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// MD5 (RFC 1321). Returns the 16-byte digest.
+pub fn md5(message: &[u8]) -> [u8; 16] {
+    const S: [u32; 64] = [
+        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5,
+        9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6,
+        10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+    ];
+    const K: [u32; 64] = [
+        0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+        0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+        0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+        0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+        0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+        0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+        0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+        0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+        0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+        0xeb86d391,
+    ];
+    let mut a0: u32 = 0x6745_2301;
+    let mut b0: u32 = 0xefcd_ab89;
+    let mut c0: u32 = 0x98ba_dcfe;
+    let mut d0: u32 = 0x1032_5476;
+
+    // Padding: 0x80, zeros, 64-bit little-endian bit length.
+    let bit_len = (message.len() as u64).wrapping_mul(8);
+    let mut padded = message.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_le_bytes());
+
+    for block in padded.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | (!b & d), i),
+                16..=31 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+    let mut digest = [0u8; 16];
+    digest[0..4].copy_from_slice(&a0.to_le_bytes());
+    digest[4..8].copy_from_slice(&b0.to_le_bytes());
+    digest[8..12].copy_from_slice(&c0.to_le_bytes());
+    digest[12..16].copy_from_slice(&d0.to_le_bytes());
+    digest
+}
+
+/// MD5 digest folded to a u128 (big-endian interpretation, as Cassandra's
+/// `RandomPartitioner` does before taking `abs mod 2^127`).
+pub fn md5_u128(message: &[u8]) -> u128 {
+    u128::from_be_bytes(md5(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn md5_rfc1321_test_vectors() {
+        // The reference vectors from RFC 1321 appendix A.5.
+        assert_eq!(hex(&md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(&md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(&md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(&md5(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(&md5(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex(&md5(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(&md5(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn md5_handles_block_boundary_lengths() {
+        // Lengths 55, 56, 63, 64, 65 exercise the padding edge cases.
+        for len in [55usize, 56, 63, 64, 65, 119, 120] {
+            let data = vec![b'x'; len];
+            let d = md5(&data);
+            assert_eq!(d.len(), 16);
+            // Digest must differ from the digest of length-1 variant.
+            let d2 = md5(&data[..len - 1]);
+            assert_ne!(d, d2, "digest collision at boundary {len}");
+        }
+    }
+
+    #[test]
+    fn murmur_is_deterministic_and_spreads() {
+        let a = murmur2_64a(b"SHARD-0-NODE-1", 0x1234ABCD);
+        let b = murmur2_64a(b"SHARD-0-NODE-1", 0x1234ABCD);
+        let c = murmur2_64a(b"SHARD-0-NODE-2", 0x1234ABCD);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Spread check: bucket 10k hashed keys into 16 bins.
+        let mut bins = [0u32; 16];
+        for i in 0..10_000u64 {
+            let h = murmur2_64a(format!("key{i}").as_bytes(), 0);
+            bins[(h % 16) as usize] += 1;
+        }
+        assert!(bins.iter().all(|&b| (400..900).contains(&b)), "{bins:?}");
+    }
+
+    #[test]
+    fn murmur_tail_lengths_all_distinct() {
+        let hashes: Vec<u64> = (0..8).map(|n| murmur2_64a(&vec![7u8; n], 0)).collect();
+        let distinct: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(distinct.len(), hashes.len());
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn md5_u128_is_big_endian_fold() {
+        let d = md5(b"abc");
+        assert_eq!(md5_u128(b"abc").to_be_bytes(), d);
+    }
+}

@@ -1,0 +1,372 @@
+//! The HBase-like store: region servers over HDFS.
+//!
+//! §4.1: HBase runs region servers that own contiguous key ranges and
+//! persist everything through HDFS. Architecture mirrored here:
+//!
+//! * a [`RegionMap`] routes keys by range (regions interleaved across
+//!   servers);
+//! * each server runs a real LSM engine (memstore → HFiles, the same
+//!   substrate as the Cassandra store);
+//! * *all* file I/O goes through the [`Hdfs`] layer — in 0.90 there were
+//!   no short-circuit reads, so even local block reads pay the DataNode
+//!   stream overhead on a small xceiver pool. That is the store's
+//!   signature: the worst read latency and the lowest single-node
+//!   throughput of the field (≈2.5 K ops/s, Fig 3) while writes are the
+//!   *fastest* (deferred WAL: the edit is acknowledged from the memstore,
+//!   Fig 5), and write-heavy workloads nearly double throughput (§5.3).
+//! * flushes and compactions are pipeline writes with 3× replication,
+//!   which is also why HBase is the least disk-efficient store (Fig 17).
+
+use crate::api::{
+    background_token, round_trip_plan, CostModel, DistributedStore, StoreCtx,
+};
+use crate::cache::PageCache;
+use crate::hdfs::{Hdfs, HdfsConfig};
+use crate::routing::RegionMap;
+use apm_core::ops::{OpOutcome, Operation};
+use apm_core::record::Record;
+use apm_sim::{Engine, Plan, SimDuration, Step};
+use apm_storage::encoding::{hbase_format, StorageFormat};
+use apm_storage::lsm::{BackgroundJob, JobKind, LsmConfig, LsmTree};
+use apm_storage::wal::{CommitLog, SyncPolicy};
+use std::collections::HashMap;
+
+/// Read path CPU (RPC, memstore + block lookup) — cheap; the latency is
+/// in HDFS.
+const READ_COST: CostModel = CostModel { base_ns: 260_000, per_probe_ns: 10_000, per_byte_ns: 30 };
+/// Write path CPU: building KeyValues (one per field!), CSLM insert, WAL
+/// edit. HBase 0.90's write path was heavyweight — calibrated to ≈10 K
+/// inserts/s on one 8-core node (Fig 9).
+const WRITE_COST: CostModel = CostModel { base_ns: 700_000, per_probe_ns: 10_000, per_byte_ns: 40 };
+/// Scan fragment cost (sequential next() calls on the region scanner).
+const SCAN_COST: CostModel = CostModel { base_ns: 900_000, per_probe_ns: 10_000, per_byte_ns: 30 };
+/// Client (HTable) cost per op.
+const CLIENT_CPU: SimDuration = SimDuration::from_micros(25);
+/// Page-cache share of RAM on the DataNodes (rest is the two JVMs).
+const PAGE_CACHE_FRACTION: f64 = 0.5;
+/// Regions per server (pre-split steady state).
+const REGIONS_PER_SERVER: usize = 4;
+/// Wire sizes.
+const REQ_BYTES: u64 = 150;
+const RESP_READ_BYTES: u64 = 260;
+const RESP_WRITE_BYTES: u64 = 40;
+
+struct Server {
+    lsm: LsmTree,
+    wal: CommitLog,
+    cache: PageCache,
+}
+
+/// The store.
+pub struct HbaseStore {
+    ctx: StoreCtx,
+    regions: RegionMap,
+    hdfs: Hdfs,
+    format: StorageFormat,
+    servers_state: Vec<Server>,
+    jobs: HashMap<u64, (usize, BackgroundJob)>,
+    next_job: u64,
+    /// Pending deferred-WAL bytes per server (flushed with memstores).
+    wal_backlog: Vec<u64>,
+}
+
+impl HbaseStore {
+    /// Creates the store.
+    pub fn new(ctx: StoreCtx, engine: &mut Engine) -> HbaseStore {
+        let flush_bytes = (((64u64 << 20) as f64 * ctx.scale) as u64).max(64 << 10);
+        let cache_bytes = (ctx.scaled_ram() as f64 * PAGE_CACHE_FRACTION) as u64;
+        let n = ctx.node_count();
+        let servers_state = (0..n)
+            .map(|i| Server {
+                lsm: LsmTree::new(LsmConfig { memtable_flush_bytes: flush_bytes, ..LsmConfig::default() }),
+                wal: CommitLog::new(SyncPolicy::Deferred, 40),
+                cache: PageCache::new(cache_bytes, ctx.seed ^ ((i as u64) << 16)),
+            })
+            .collect();
+        let hdfs = Hdfs::new(engine, &ctx, HdfsConfig::default());
+        HbaseStore {
+            regions: RegionMap::new(n, REGIONS_PER_SERVER),
+            hdfs,
+            format: hbase_format(),
+            servers_state,
+            jobs: HashMap::new(),
+            next_job: 1,
+            wal_backlog: vec![0; n],
+            ctx,
+        }
+    }
+
+    fn expand(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.format.expansion()).round() as u64
+    }
+
+    fn schedule_job(&mut self, server: usize, job: BackgroundJob, engine: &mut Engine) {
+        let id = self.next_job;
+        self.next_job += 1;
+        let mut plan_steps: Vec<Step> = Vec::new();
+        // Compaction first streams its inputs back in from HDFS.
+        if job.read_bytes > 0 {
+            plan_steps.extend(self.hdfs.read_steps(
+                &self.ctx,
+                server,
+                self.expand(job.read_bytes),
+                true, // compaction inputs are usually warm
+            ));
+        }
+        plan_steps.push(Step::Acquire {
+            resource: self.ctx.servers[server].cpu,
+            service: SimDuration::from_nanos(self.expand(job.write_bytes) * 10),
+        });
+        // Flush/compaction output is pipeline-written with replication;
+        // piggy-back the deferred WAL backlog on the same sync.
+        let wal_bytes = std::mem::take(&mut self.wal_backlog[server]);
+        let write = self.hdfs.write_plan(&self.ctx, server, self.expand(job.write_bytes) + wal_bytes);
+        plan_steps.extend(write.0);
+        self.jobs.insert(id, (server, job));
+        engine.submit(Plan(plan_steps), background_token(id));
+    }
+}
+
+impl DistributedStore for HbaseStore {
+    fn name(&self) -> &'static str {
+        "hbase"
+    }
+
+    fn load(&mut self, record: &Record) {
+        let server = self.regions.route(&record.key);
+        let (_, job) = self.servers_state[server].lsm.insert(record.key, record.fields);
+        let mut next = job;
+        while let Some(j) = next {
+            next = match j.kind {
+                JobKind::Flush => self.servers_state[server].lsm.complete_flush(j.id),
+                JobKind::Compaction => self.servers_state[server].lsm.complete_compaction(j.id),
+            };
+        }
+    }
+
+    fn finish_load(&mut self) {
+        for server in &mut self.servers_state {
+            let mut next = server.lsm.force_flush();
+            while let Some(j) = next {
+                next = match j.kind {
+                    JobKind::Flush => server.lsm.complete_flush(j.id),
+                    JobKind::Compaction => server.lsm.complete_compaction(j.id),
+                };
+            }
+        }
+    }
+
+    fn plan_op(&mut self, client: u32, op: &Operation, engine: &mut Engine) -> (OpOutcome, Plan) {
+        match op {
+            Operation::Read { key } => {
+                let server = self.regions.route(key);
+                let state = &mut self.servers_state[server];
+                let (found, receipt) = state.lsm.get(key);
+                let data_bytes = self.format.disk_usage(state.lsm.record_count());
+                let outcome = match found {
+                    Some(fields) => OpOutcome::Found(Record { key: *key, fields }),
+                    None => OpOutcome::Missing,
+                };
+                // Every HFile block consulted goes through the DataNode.
+                let mut steps = vec![Step::Acquire {
+                    resource: self.ctx.servers[server].cpu,
+                    service: READ_COST.cpu(&receipt),
+                }];
+                for io in &receipt.io {
+                    let cached = state.cache.sample_hit(data_bytes);
+                    steps.extend(self.hdfs.read_steps(&self.ctx, server, io.bytes, cached));
+                }
+                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[server], CLIENT_CPU, REQ_BYTES, RESP_READ_BYTES, steps);
+                (outcome, plan)
+            }
+            Operation::Insert { record } | Operation::Update { record } => {
+                let server = self.regions.route(&record.key);
+                let (receipt, flush) = self.servers_state[server].lsm.insert(record.key, record.fields);
+                let wal = self.servers_state[server].wal.append(75 * 5); // one WALEdit per KeyValue
+                debug_assert!(wal.io.is_none(), "deferred WAL");
+                self.wal_backlog[server] += self.servers_state[server].wal.take_unflushed();
+                let steps = vec![Step::Acquire {
+                    resource: self.ctx.servers[server].cpu,
+                    service: WRITE_COST.cpu(&receipt),
+                }];
+                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[server], CLIENT_CPU, REQ_BYTES, RESP_WRITE_BYTES, steps);
+                if let Some(job) = flush {
+                    self.schedule_job(server, job, engine);
+                }
+                (OpOutcome::Done, plan)
+            }
+            Operation::Scan { start, len } => {
+                let server = *self
+                    .regions
+                    .scan_route(start, *len)
+                    .first()
+                    .expect("scan has a home region");
+                let state = &mut self.servers_state[server];
+                let (rows, receipt) = state.lsm.scan(start, *len);
+                let data_bytes = self.format.disk_usage(state.lsm.record_count());
+                let mut steps = vec![Step::Acquire {
+                    resource: self.ctx.servers[server].cpu,
+                    service: SCAN_COST.cpu(&receipt),
+                }];
+                for io in &receipt.io {
+                    let cached = state.cache.sample_hit(data_bytes);
+                    steps.extend(self.hdfs.read_steps(&self.ctx, server, io.bytes, cached));
+                }
+                let resp = RESP_READ_BYTES * rows.len().max(1) as u64 / 2;
+                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[server], CLIENT_CPU, REQ_BYTES, resp, steps);
+                (OpOutcome::Scanned(rows.len()), plan)
+            }
+        }
+    }
+
+    fn on_background(&mut self, job_id: u64, engine: &mut Engine) {
+        let (server, job) = self.jobs.remove(&job_id).expect("known background job");
+        let follow = match job.kind {
+            JobKind::Flush => self.servers_state[server].lsm.complete_flush(job.id),
+            JobKind::Compaction => self.servers_state[server].lsm.complete_compaction(job.id),
+        };
+        if let Some(next) = follow {
+            self.schedule_job(server, next, engine);
+        }
+    }
+
+    fn disk_bytes_per_node(&self) -> Option<u64> {
+        let records: u64 = self.servers_state.iter().map(|s| s.lsm.record_count()).sum();
+        Some(self.format.disk_usage(records) / self.servers_state.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_benchmark, RunConfig};
+    use apm_core::driver::ClientConfig;
+    use apm_core::keyspace::record_for_seq;
+    use apm_core::ops::OpKind;
+    use apm_core::workload::Workload;
+    use apm_sim::ClusterSpec;
+
+    fn make(engine: &mut Engine, nodes: u32, scale: f64) -> HbaseStore {
+        let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), nodes, StoreCtx::standard_client_machines(nodes), scale, 37);
+        HbaseStore::new(ctx, engine)
+    }
+
+    fn quick_run(nodes: u32, workload: Workload) -> crate::runner::RunResult {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, nodes, 0.01);
+        let config = RunConfig {
+            workload,
+            client: ClientConfig::cluster_m(nodes).with_window(0.5, 3.0),
+            records_per_node: 20_000,
+            nodes,
+            seed: 41,
+            event_at_secs: None,
+        };
+        run_benchmark(&mut engine, &mut s, &config)
+    }
+
+    #[test]
+    fn reads_find_loaded_records() {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 3, 0.01);
+        for seq in 0..3_000 {
+            s.load(&record_for_seq(seq));
+        }
+        s.finish_load();
+        for seq in (0..3_000).step_by(211) {
+            let r = record_for_seq(seq);
+            let (outcome, _) = s.plan_op(0, &Operation::Read { key: r.key }, &mut engine);
+            assert_eq!(outcome, OpOutcome::Found(r), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn single_node_read_throughput_is_the_lowest() {
+        // Fig 3: "The slowest system in this test on a single node is
+        // HBase with 2.5K operations per second."
+        let t = quick_run(1, Workload::r()).throughput();
+        assert!((1_200.0..6_000.0).contains(&t), "hbase 1-node R: {t}");
+    }
+
+    #[test]
+    fn read_latency_is_high_and_write_latency_is_low() {
+        // Figs 4/5: HBase read latency 50-90 ms; write latency the
+        // lowest, well under 2 ms ("clearly trades a read latency for
+        // write latency").
+        let result = quick_run(1, Workload::r());
+        let r = result.mean_latency_ms(OpKind::Read).unwrap();
+        let w = result.mean_latency_ms(OpKind::Insert).unwrap();
+        assert!(r > 20.0, "hbase read latency too low: {r} ms");
+        assert!(w < 0.3 * r, "hbase writes must be far cheaper than reads: {w} vs {r}");
+    }
+
+    #[test]
+    fn write_heavy_workloads_increase_throughput() {
+        // §5.2/§5.3: RW ≈ +40% over R; W almost 2× RW.
+        let r = quick_run(1, Workload::r()).throughput();
+        let rw = quick_run(1, Workload::rw()).throughput();
+        let w = quick_run(1, Workload::w()).throughput();
+        assert!(rw > r * 1.2, "RW must beat R: {r} → {rw}");
+        assert!(w > rw * 1.3, "W must beat RW: {rw} → {w}");
+    }
+
+    #[test]
+    fn throughput_scales_with_region_servers() {
+        let one = quick_run(1, Workload::r()).throughput();
+        let four = quick_run(4, Workload::r()).throughput();
+        let speedup = four / one;
+        assert!((2.8..5.2).contains(&speedup), "hbase speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn background_flushes_replicate_through_hdfs() {
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 3, 1, 0.001, 37);
+        let mut s = HbaseStore::new(ctx, &mut engine);
+        // Insert through plan_op until a flush job fires.
+        for seq in 0..3_000 {
+            let record = record_for_seq(seq);
+            let (_, plan) = s.plan_op(0, &Operation::Insert { record }, &mut engine);
+            engine.submit(plan, apm_sim::kernel::Token(0));
+            while let Some(c) = engine.next_completion() {
+                let (bg, id) = crate::api::split_token(c.token);
+                if bg {
+                    s.on_background(id, &mut engine);
+                } else {
+                    break;
+                }
+            }
+        }
+        engine.run_to_idle();
+        while !s.jobs.is_empty() {
+            let ids: Vec<u64> = s.jobs.keys().copied().collect();
+            for id in ids {
+                s.on_background(id, &mut engine);
+            }
+            engine.run_to_idle();
+        }
+        let flushed: u64 = s.servers_state.iter().map(|x| x.lsm.stats().flushes).sum();
+        assert!(flushed > 0, "no memstore flush happened");
+        // Pipeline replication: disks on several nodes saw writes.
+        let disks_used = s
+            .ctx
+            .servers
+            .iter()
+            .filter(|n| engine.served(n.disk) > 0)
+            .count();
+        assert!(disks_used >= 2, "replication pipeline must hit ≥2 nodes: {disks_used}");
+    }
+
+    #[test]
+    fn disk_usage_is_the_largest_format() {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 2, 0.01);
+        for seq in 0..10_000 {
+            s.load(&record_for_seq(seq));
+        }
+        s.finish_load();
+        let per_node = s.disk_bytes_per_node().unwrap();
+        assert_eq!(per_node, hbase_format().disk_usage(5_000));
+        assert!(per_node > 9 * 75 * 5_000, "≈10× raw (§5.7)");
+    }
+}

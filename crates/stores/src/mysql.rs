@@ -1,0 +1,425 @@
+//! The sharded-MySQL store: independent InnoDB nodes behind the RDBMS
+//! YCSB client's consistent hashing.
+//!
+//! §4.6: the paper did *not* use MySQL Cluster — it spread "independent
+//! single-node servers on each node" and used "the already implemented
+//! RDBMS YCSB client which connects to the databases using JDBC and
+//! shards the data using a consistent hashing algorithm" (which §5.1
+//! found "did a much better sharding than the Jedis library").
+//!
+//! Mechanisms:
+//! * Point ops route to exactly one shard and run against a real
+//!   InnoDB-style B+tree through a buffer pool; redo + binlog are group
+//!   committed (a few ms write latency, Fig 5/8).
+//! * Scans are the weak spot (§5.4: the client's scan "is translated to
+//!   a SQL query that retrieves all records with a key equal or greater
+//!   than the start key. In the case of MySQL this is inefficient."):
+//!   every shard is queried and the client merges — so the per-scan work
+//!   is duplicated on *all* n nodes, which is why scan throughput stays
+//!   flat as the cluster grows while latency climbs (Figs 12/13).
+//! * Under insert-heavy churn (workload RSW) the range query degrades to
+//!   a full table scan — modelling the optimizer falling off the index
+//!   range path once statistics go stale at high insert rates — which
+//!   collapses RSW throughput to tens of ops/s and below one op/s on
+//!   larger clusters (§5.5, Fig 14).
+
+use crate::api::{round_trip_plan, server_steps, CostModel, DistributedStore, StoreCtx};
+use crate::routing::RdbmsShards;
+use apm_core::ops::{OpOutcome, Operation};
+use apm_core::record::Record;
+use apm_sim::{Engine, Plan, SimDuration, SimTime, Step};
+use apm_storage::btree::{BTree, BTreeConfig, PageTrace};
+use apm_storage::bufferpool::{Access, BufferPool};
+use apm_storage::encoding::{mysql_format, StorageFormat};
+use apm_storage::receipt::{CostReceipt, DiskIo};
+use apm_storage::wal::{CommitLog, SyncPolicy};
+
+/// Point query cost (parse, optimize, index dive, row copy) — calibrated
+/// to §5.1: "no significant differences between the throughput of
+/// Cassandra and MySQL" (~25 K ops/s on one node).
+const POINT_COST: CostModel = CostModel { base_ns: 270_000, per_probe_ns: 6_000, per_byte_ns: 30 };
+/// Insert cost (row build, index insert, redo record, binlog event).
+const WRITE_COST: CostModel = CostModel { base_ns: 290_000, per_probe_ns: 6_000, per_byte_ns: 30 };
+/// Healthy indexed range scan fragment per shard.
+const SCAN_COST: CostModel = CostModel { base_ns: 380_000, per_probe_ns: 6_000, per_byte_ns: 15 };
+/// CPU per row of a degraded full table scan.
+const FULL_SCAN_NS_PER_ROW: u64 = 2_500;
+/// Client JDBC cost per statement.
+const CLIENT_CPU: SimDuration = SimDuration::from_micros(20);
+/// Redo/binlog group-commit window.
+const COMMIT_WINDOW: SimDuration = SimDuration::from_millis(1);
+/// InnoDB buffer pool share of RAM (§6: "the size of the buffer pool
+/// accordingly to the size of the memory").
+const BUFFER_POOL_FRACTION: f64 = 0.75;
+/// Per-shard insert rate (ops/s) beyond which the optimizer's statistics
+/// churn makes the range scan degrade to a full table scan. Workload RSW
+/// (50 % inserts) crosses it; RS (6 % inserts) does not. Hysteresis: the
+/// degradation persists until inserts almost stop (stale statistics stay
+/// stale while the table keeps changing).
+const STATS_CHURN_ON: f64 = 2_000.0;
+
+/// InnoDB page layout: ~250 B effective per record (Fig 17's data file
+/// half of the 500 B total) → 16 KB page holds ≈64 records.
+const INNODB_PAGE: BTreeConfig = BTreeConfig { leaf_capacity: 64, internal_capacity: 300, page_bytes: 16 << 10 };
+/// Wire sizes (MySQL protocol).
+const REQ_BYTES: u64 = 130;
+const RESP_READ_BYTES: u64 = 190;
+const RESP_WRITE_BYTES: u64 = 60;
+const RESP_ROW_BYTES: u64 = 110;
+
+struct Shard {
+    tree: BTree,
+    pool: BufferPool,
+    log: CommitLog,
+    /// Insert-rate estimator: window start + count.
+    rate_window_start: SimTime,
+    rate_window_count: u64,
+    insert_rate: f64,
+    churning: bool,
+}
+
+impl Shard {
+    fn replay(&mut self, trace: &PageTrace) -> Vec<DiskIo> {
+        let mut ios = Vec::new();
+        let page_bytes = self.tree.page_bytes();
+        for page in trace.read.iter().chain(&trace.written) {
+            let access = if trace.written.contains(page) { Access::Write } else { Access::Read };
+            let r = self.pool.access(*page, access);
+            if !r.hit {
+                ios.push(DiskIo::random_read(page_bytes));
+            }
+            if r.writeback.is_some() {
+                ios.push(DiskIo::random_write(page_bytes));
+            }
+        }
+        for page in &trace.allocated {
+            // Fresh split pages need no read, only eventual write-back.
+            let r = self.pool.access(*page, Access::Write);
+            if r.writeback.is_some() {
+                ios.push(DiskIo::random_write(page_bytes));
+            }
+        }
+        ios
+    }
+
+    fn note_insert(&mut self, now: SimTime) {
+        self.rate_window_count += 1;
+        let elapsed = now.since(self.rate_window_start).as_secs_f64();
+        if elapsed >= 1.0 {
+            self.insert_rate = self.rate_window_count as f64 / elapsed;
+            self.rate_window_start = now;
+            self.rate_window_count = 0;
+            if self.insert_rate > STATS_CHURN_ON {
+                // Sticky for the rest of the run: nothing in the workload
+                // re-runs ANALYZE, so the stale plan persists.
+                self.churning = true;
+            }
+        }
+    }
+
+    fn stats_churning(&self) -> bool {
+        self.churning
+    }
+}
+
+/// The store.
+pub struct MysqlStore {
+    ctx: StoreCtx,
+    shards_map: RdbmsShards,
+    format: StorageFormat,
+    shards: Vec<Shard>,
+}
+
+impl MysqlStore {
+    /// Creates the store.
+    pub fn new(ctx: StoreCtx, _engine: &mut Engine) -> MysqlStore {
+        let pool_pages = ((ctx.scaled_ram() as f64 * BUFFER_POOL_FRACTION) as u64
+            / INNODB_PAGE.page_bytes)
+            .max(16) as usize;
+        let shards = (0..ctx.node_count())
+            .map(|_| Shard {
+                tree: BTree::new(INNODB_PAGE),
+                pool: BufferPool::new(pool_pages),
+                log: CommitLog::new(SyncPolicy::GroupCommit { window: COMMIT_WINDOW }, 60),
+                rate_window_start: SimTime::ZERO,
+                rate_window_count: 0,
+                insert_rate: 0.0,
+                churning: false,
+            })
+            .collect();
+        MysqlStore { shards_map: RdbmsShards::new(ctx.node_count()), format: mysql_format(), ctx, shards }
+    }
+
+    /// Diagnostic view of each shard's (insert-rate, churning) state.
+    pub fn churn_debug(&self) -> Vec<(f64, bool)> {
+        self.shards.iter().map(|s| (s.insert_rate, s.stats_churning())).collect()
+    }
+
+    fn scan_plan(&mut self, client: u32, start: &apm_core::record::MetricKey, len: usize) -> (OpOutcome, Plan) {
+        let net = self.ctx.cluster.net;
+        let n = self.shards.len();
+        let mut branches = Vec::with_capacity(n);
+        let mut merged: Vec<(apm_core::record::MetricKey, apm_core::record::FieldValues)> = Vec::new();
+        for shard_idx in 0..n {
+            let churning = self.shards[shard_idx].stats_churning();
+            let rows_in_shard = self.shards[shard_idx].tree.len();
+            let (rows, trace) = self.shards[shard_idx].tree.scan(start, len);
+            let returned = rows.len();
+            merged.extend(rows);
+            let ios = self.shards[shard_idx].replay(&trace);
+            let mut receipt = CostReceipt::new();
+            receipt.probe(trace.read.len() as u64).touch((returned * 75) as u64);
+            let (cpu, resp_bytes) = if churning {
+                // Degraded plan: full table scan, and the driver streams
+                // the *unbounded* result set ("all records with a key
+                // equal or greater than the start key", §5.4) — on
+                // average half the shard — to the client.
+                (
+                    SCAN_COST.cpu(&receipt)
+                        + SimDuration::from_nanos(rows_in_shard * FULL_SCAN_NS_PER_ROW),
+                    RESP_ROW_BYTES * (rows_in_shard / 2).max(returned as u64),
+                )
+            } else {
+                (SCAN_COST.cpu(&receipt), RESP_ROW_BYTES * returned.max(1) as u64)
+            };
+            let server = &self.ctx.servers[shard_idx];
+            let mut steps = vec![
+                Step::Acquire { resource: self.ctx.client_machine(client).nic, service: net.transfer(REQ_BYTES) },
+                Step::Delay(net.one_way_latency),
+                Step::Acquire { resource: server.nic, service: net.transfer(REQ_BYTES) },
+            ];
+            steps.extend(server_steps(server, &self.ctx.cluster, cpu, &ios));
+            steps.push(Step::Acquire { resource: server.nic, service: net.transfer(resp_bytes) });
+            steps.push(Step::Delay(net.one_way_latency));
+            steps.push(Step::Acquire {
+                resource: self.ctx.client_machine(client).nic,
+                service: net.transfer(resp_bytes),
+            });
+            branches.push(Plan(steps));
+        }
+        merged.sort_unstable_by_key(|(k, _)| *k);
+        merged.truncate(len);
+        let client_res = self.ctx.client_machine(client);
+        let plan = Plan(vec![
+            Step::Acquire { resource: client_res.cpu, service: CLIENT_CPU },
+            Step::Join { branches, need: n },
+            Step::Acquire {
+                resource: client_res.cpu,
+                service: SimDuration::from_nanos(3_000 + 400 * (n * len) as u64),
+            },
+        ]);
+        (OpOutcome::Scanned(merged.len()), plan)
+    }
+}
+
+impl DistributedStore for MysqlStore {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn load(&mut self, record: &Record) {
+        let shard = self.shards_map.route(&record.key);
+        let (_, trace) = self.shards[shard].tree.insert(record.key, record.fields);
+        let _ = self.shards[shard].replay(&trace);
+        self.shards[shard].log.append(75);
+    }
+
+    fn plan_op(&mut self, client: u32, op: &Operation, engine: &mut Engine) -> (OpOutcome, Plan) {
+        match op {
+            Operation::Read { key } => {
+                let shard_idx = self.shards_map.route(key);
+                let shard = &mut self.shards[shard_idx];
+                let (found, trace) = shard.tree.get(key);
+                let ios = shard.replay(&trace);
+                let mut receipt = CostReceipt::new();
+                receipt.probe(trace.read.len() as u64).touch(75);
+                let outcome = match found {
+                    Some(fields) => OpOutcome::Found(Record { key: *key, fields }),
+                    None => OpOutcome::Missing,
+                };
+                let steps = server_steps(
+                    &self.ctx.servers[shard_idx],
+                    &self.ctx.cluster,
+                    POINT_COST.cpu(&receipt),
+                    &ios,
+                );
+                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[shard_idx], CLIENT_CPU, REQ_BYTES, RESP_READ_BYTES, steps);
+                (outcome, plan)
+            }
+            Operation::Insert { record } | Operation::Update { record } => {
+                let shard_idx = self.shards_map.route(&record.key);
+                let now = engine.now();
+                let shard = &mut self.shards[shard_idx];
+                shard.note_insert(now);
+                let (_, trace) = shard.tree.insert(record.key, record.fields);
+                let mut ios = shard.replay(&trace);
+                let wal = shard.log.append(75);
+                let mut receipt = CostReceipt::new();
+                receipt
+                    .probe((trace.read.len() + trace.written.len()) as u64)
+                    .touch(75);
+                let server = &self.ctx.servers[shard_idx];
+                let mut steps = vec![Step::Acquire { resource: server.cpu, service: WRITE_COST.cpu(&receipt) }];
+                for io in ios.drain(..) {
+                    let pattern = if io.class.is_random() { apm_sim::IoPattern::Random } else { apm_sim::IoPattern::Sequential };
+                    steps.push(Step::Acquire { resource: server.disk, service: self.ctx.cluster.node.disk.service(io.bytes, pattern) });
+                }
+                if let Some(io) = wal.io {
+                    steps.push(Step::Acquire {
+                        resource: server.disk,
+                        service: self.ctx.cluster.node.disk.service(io.bytes, apm_sim::IoPattern::Sequential),
+                    });
+                }
+                if let Some(window) = wal.align {
+                    steps.push(Step::AlignTo { period: window, extra: SimDuration::ZERO });
+                }
+                let plan = round_trip_plan(&self.ctx, client, server, CLIENT_CPU, REQ_BYTES, RESP_WRITE_BYTES, steps);
+                (OpOutcome::Done, plan)
+            }
+            Operation::Scan { start, len } => {
+                let start = *start;
+                let len = *len;
+                self.scan_plan(client, &start, len)
+            }
+        }
+    }
+
+    fn disk_bytes_per_node(&self) -> Option<u64> {
+        let records: u64 = self.shards.iter().map(|s| s.tree.len()).sum();
+        Some(self.format.disk_usage(records) / self.shards.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_benchmark, RunConfig};
+    use apm_core::driver::ClientConfig;
+    use apm_core::keyspace::record_for_seq;
+    use apm_core::ops::OpKind;
+    use apm_core::workload::Workload;
+    use apm_sim::ClusterSpec;
+
+    fn make(engine: &mut Engine, nodes: u32, scale: f64) -> MysqlStore {
+        let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), nodes, StoreCtx::standard_client_machines(nodes), scale, 29);
+        MysqlStore::new(ctx, engine)
+    }
+
+    fn quick_run(nodes: u32, workload: Workload) -> crate::runner::RunResult {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, nodes, 0.01);
+        let config = RunConfig {
+            workload,
+            client: ClientConfig::cluster_m(nodes).with_window(0.5, 3.0),
+            records_per_node: 20_000,
+            nodes,
+            seed: 31,
+            event_at_secs: None,
+        };
+        run_benchmark(&mut engine, &mut s, &config)
+    }
+
+    #[test]
+    fn point_ops_roundtrip() {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 3, 0.01);
+        for seq in 0..3_000 {
+            s.load(&record_for_seq(seq));
+        }
+        for seq in (0..3_000).step_by(173) {
+            let r = record_for_seq(seq);
+            let (outcome, _) = s.plan_op(0, &Operation::Read { key: r.key }, &mut engine);
+            assert_eq!(outcome, OpOutcome::Found(r), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn single_node_read_throughput_matches_cassandra_band() {
+        // Fig 3: "no significant differences between the throughput of
+        // Cassandra and MySQL" (~25 K ops/s).
+        let t = quick_run(1, Workload::r()).throughput();
+        assert!((15_000.0..40_000.0).contains(&t), "mysql 1-node R: {t}");
+    }
+
+    #[test]
+    fn write_latency_reflects_group_commit() {
+        let result = quick_run(1, Workload::rw());
+        let w = result.mean_latency_ms(OpKind::Insert).unwrap();
+        let r = result.mean_latency_ms(OpKind::Read).unwrap();
+        assert!(w > r, "redo/binlog group commit must cost writes extra: {w} vs {r}");
+    }
+
+    #[test]
+    fn rs_scans_hit_every_shard_so_throughput_does_not_scale() {
+        // Fig 12: "MySQL has the best throughput for a single node, but
+        // does not scale with the number of nodes".
+        let one = quick_run(1, Workload::rs()).throughput();
+        let four = quick_run(4, Workload::rs()).throughput();
+        assert!(four < one * 2.5, "RS must not scale linearly: {one} → {four}");
+        assert!(one > 8_000.0, "1-node RS should be strong: {one}");
+    }
+
+    #[test]
+    fn rs_scan_latency_grows_with_cluster_size() {
+        // Fig 13: MySQL scan latency climbs steeply past 2 nodes.
+        let two = quick_run(2, Workload::rs());
+        let eight = quick_run(8, Workload::rs());
+        let lat2 = two.mean_latency_ms(OpKind::Scan).unwrap();
+        let lat8 = eight.mean_latency_ms(OpKind::Scan).unwrap();
+        assert!(lat8 > lat2 * 2.0, "scan latency must grow: {lat2} → {lat8}");
+    }
+
+    #[test]
+    fn rsw_collapses_under_insert_churn() {
+        // §5.5: "MySQL's throughput is as low as 20 operations per second
+        // for one node and goes below one operation per second for four
+        // and more nodes" — insert churn degrades the range scans.
+        // Needs a longer window than the other tests: the collapse is a
+        // convoy effect that takes a few simulated seconds to converge.
+        let long_run = |workload: Workload| {
+            let mut engine = Engine::new();
+            let mut s = make(&mut engine, 2, 0.01);
+            let config = RunConfig {
+                workload,
+                client: ClientConfig::cluster_m(2).with_window(2.0, 10.0),
+                records_per_node: 20_000,
+                nodes: 2,
+                seed: 31,
+            event_at_secs: None,
+        };
+            run_benchmark(&mut engine, &mut s, &config)
+        };
+        let rs = long_run(Workload::rs()).throughput();
+        let rsw = long_run(Workload::rsw()).throughput();
+        assert!(rsw < rs / 20.0, "RSW must collapse vs RS: rs={rs} rsw={rsw}");
+        assert!(rsw < 2_000.0, "RSW absolute throughput must be tiny: {rsw}");
+    }
+
+    #[test]
+    fn insert_rate_estimator_trips_only_under_heavy_churn() {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 1, 0.01);
+        for seq in 0..1_000 {
+            s.load(&record_for_seq(seq));
+        }
+        assert!(!s.shards[0].stats_churning(), "fresh shard must not churn");
+        // Simulate 10 K inserts/s for 2 simulated seconds.
+        for i in 0..20_000u64 {
+            let now = SimTime(i * 100_000); // one insert every 100 µs
+            s.shards[0].note_insert(now);
+        }
+        assert!(s.shards[0].stats_churning(), "10 K inserts/s must trip the estimator");
+    }
+
+    #[test]
+    fn disk_usage_includes_binlog() {
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 2, 0.01);
+        for seq in 0..10_000 {
+            s.load(&record_for_seq(seq));
+        }
+        let per_node = s.disk_bytes_per_node().unwrap();
+        assert_eq!(per_node, mysql_format().disk_usage(5_000));
+        assert!(mysql_format().includes_log);
+    }
+}

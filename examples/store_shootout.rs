@@ -1,0 +1,58 @@
+//! Compare all six stores on one workload — a miniature of the paper's
+//! evaluation, with a table like its figures.
+//!
+//! ```text
+//! cargo run --release --example store_shootout [R|RW|W|RS|RSW] [nodes]
+//! ```
+
+use apm_repro::core::ops::OpKind;
+use apm_repro::core::report::Table;
+use apm_repro::core::workload::Workload;
+use apm_repro::harness::experiment::{run_point, ExperimentProfile, StoreKind};
+use apm_repro::sim::ClusterSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args
+        .first()
+        .and_then(|name| Workload::by_name(name))
+        .unwrap_or_else(Workload::rw);
+    let nodes: u32 = args.get(1).and_then(|n| n.parse().ok()).unwrap_or(4);
+
+    let profile = ExperimentProfile {
+        scale: 0.005,
+        data_factor: 1.0,
+        warmup_secs: 1.0,
+        measure_secs: 6.0,
+        seed: 99,
+    };
+
+    let stores: Vec<StoreKind> = StoreKind::ALL
+        .into_iter()
+        .filter(|k| !workload.mix.has_scans() || k.supports_scans())
+        .collect();
+
+    let mut table = Table::new(
+        &format!("Workload {} on {} Cluster-M nodes", workload.name, nodes),
+        "metric",
+        "ops/s | ms",
+    );
+    table.columns = stores.iter().map(|s| s.name().to_string()).collect();
+
+    let points: Vec<_> = stores
+        .iter()
+        .map(|&store| {
+            eprintln!("running {} ...", store.name());
+            run_point(store, ClusterSpec::cluster_m(), nodes, &workload, &profile)
+        })
+        .collect();
+
+    table.push_row("throughput", points.iter().map(|p| Some(p.throughput())).collect());
+    for kind in [OpKind::Read, OpKind::Scan, OpKind::Insert] {
+        let cells: Vec<Option<f64>> = points.iter().map(|p| p.latency_ms(kind)).collect();
+        if cells.iter().any(Option::is_some) {
+            table.push_row(&format!("{} latency", kind.label()), cells);
+        }
+    }
+    println!("\n{}", table.render());
+}

@@ -1,0 +1,12 @@
+set datafile separator ','
+set key outside
+set title "Extension: compaction strategy (Cassandra, 4 nodes)"
+set xlabel 'strategy'
+set ylabel 'ops/sec | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-compaction.png'
+set style data linespoints
+plot 'ext-compaction.csv' using 2:xtic(1) with linespoints title 'thr_R', \
+     'ext-compaction.csv' using 3:xtic(1) with linespoints title 'thr_W', \
+     'ext-compaction.csv' using 4:xtic(1) with linespoints title 'read_ms_R'

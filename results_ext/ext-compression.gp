@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title "Extension: impact of compression (Cassandra, 4 nodes)"
+set xlabel 'config'
+set ylabel 'ops/sec | GB'
+set term pngcairo size 900,540
+set output 'ext-compression.png'
+set style data linespoints
+plot 'ext-compression.csv' using 2:xtic(1) with linespoints title 'thr_R', \
+     'ext-compression.csv' using 3:xtic(1) with linespoints title 'thr_W', \
+     'ext-compression.csv' using 4:xtic(1) with linespoints title 'disk_gb_per_node_at_10m'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set key outside
+set title "Extension: impact of replication (Cassandra, workload W, 4 nodes)"
+set xlabel 'rf'
+set ylabel 'ops/sec | ms | GB'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-replication.png'
+set style data linespoints
+plot 'ext-replication.csv' using 2:xtic(1) with linespoints title 'throughput', \
+     'ext-replication.csv' using 3:xtic(1) with linespoints title 'write_ms', \
+     'ext-replication.csv' using 4:xtic(1) with linespoints title 'disk_gb_per_node_at_10m'

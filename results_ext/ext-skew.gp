@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title "Extension: key popularity skew (Cassandra, workload R, 8 nodes)"
+set xlabel 'distribution'
+set ylabel 'ops/sec | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-skew.png'
+set style data linespoints
+plot 'ext-skew.csv' using 2:xtic(1) with linespoints title 'throughput', \
+     'ext-skew.csv' using 3:xtic(1) with linespoints title 'read_ms'

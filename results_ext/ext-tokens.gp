@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title "Extension: Cassandra token assignment (workload R, 8 nodes)"
+set xlabel 'tokens'
+set ylabel 'ops/sec | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-tokens.png'
+set style data linespoints
+plot 'ext-tokens.csv' using 2:xtic(1) with linespoints title 'throughput', \
+     'ext-tokens.csv' using 3:xtic(1) with linespoints title 'read_ms'

@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title "Extension: document store vs. the paper's winners (4 nodes, Cluster M)"
+set xlabel 'workload'
+set ylabel 'ops/sec'
+set term pngcairo size 900,540
+set output 'ext-mongodb.png'
+set style data linespoints
+plot 'ext-mongodb.csv' using 2:xtic(1) with linespoints title 'cassandra', \
+     'ext-mongodb.csv' using 3:xtic(1) with linespoints title 'hbase', \
+     'ext-mongodb.csv' using 4:xtic(1) with linespoints title 'mongodb'

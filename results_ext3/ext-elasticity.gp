@@ -1,0 +1,9 @@
+set datafile separator ','
+set key outside
+set title "Extension: live bootstrap 4→5 nodes at t=8s (Cassandra, workload R; streamed 7.2 MB)"
+set xlabel 'second'
+set ylabel 'ops completed'
+set term pngcairo size 900,540
+set output 'ext-elasticity.png'
+set style data linespoints
+plot 'ext-elasticity.csv' using 2:xtic(1) with linespoints title 'ops_per_sec'

@@ -1,0 +1,71 @@
+//! Cluster D (disk-bound) shapes — §5.8, Figures 18–20.
+//!
+//! 150 M records total over 8 nodes exceed the 4 GB of per-node RAM, so
+//! every store's read path hits disk: throughput rises steeply with the
+//! write ratio for the LSM stores, far less for the B-tree store.
+
+use apm_repro::core::ops::OpKind;
+use apm_repro::core::workload::Workload;
+use apm_repro::harness::experiment::{run_point, ExperimentProfile, Point, StoreKind};
+use apm_repro::sim::ClusterSpec;
+
+fn d_profile() -> ExperimentProfile {
+    // Cluster D loads 150 M total = 18.75 M/node — 1.875× the Cluster-M
+    // density, applied to the data only (not the memory budgets).
+    ExperimentProfile { data_factor: 1.875, ..ExperimentProfile::test() }
+}
+
+fn point(store: StoreKind, workload: &Workload) -> Point {
+    run_point(store, ClusterSpec::cluster_d(), 8, workload, &d_profile())
+}
+
+#[test]
+fn write_ratio_gains_match_figure18() {
+    // §5.8: R→W gains: Cassandra ×26, HBase ×15, Voldemort only ×3.
+    let r = Workload::r();
+    let w = Workload::w();
+    let cass_gain = point(StoreKind::Cassandra, &w).throughput() / point(StoreKind::Cassandra, &r).throughput();
+    let hbase_gain = point(StoreKind::HBase, &w).throughput() / point(StoreKind::HBase, &r).throughput();
+    let vold_gain = point(StoreKind::Voldemort, &w).throughput() / point(StoreKind::Voldemort, &r).throughput();
+    assert!(cass_gain > 8.0, "cassandra R→W gain {cass_gain:.1} (paper: 26)");
+    assert!(hbase_gain > 4.0, "hbase R→W gain {hbase_gain:.1} (paper: 15)");
+    assert!((1.2..8.0).contains(&vold_gain), "voldemort R→W gain {vold_gain:.1} (paper: 3)");
+    assert!(vold_gain < cass_gain, "the B-tree store must gain least from writes");
+}
+
+#[test]
+fn cluster_d_read_latencies_are_disk_bound() {
+    // Fig 19: read latencies in the tens of milliseconds; Voldemort "by
+    // far the best" (5-6 ms); HBase the worst.
+    let r = Workload::r();
+    let cassandra = point(StoreKind::Cassandra, &r).latency_ms(OpKind::Read).unwrap();
+    let voldemort = point(StoreKind::Voldemort, &r).latency_ms(OpKind::Read).unwrap();
+    let hbase = point(StoreKind::HBase, &r).latency_ms(OpKind::Read).unwrap();
+    assert!(cassandra > 10.0, "cassandra D reads must be disk-bound: {cassandra} ms (paper: 40)");
+    assert!(voldemort < cassandra, "voldemort {voldemort} must beat cassandra {cassandra}");
+    assert!(hbase > cassandra, "hbase {hbase} must be worst (paper: 70+ ms)");
+}
+
+#[test]
+fn hbase_write_latency_stays_low_even_disk_bound() {
+    // Fig 20: "As in Cluster M, HBase has a very low latency, well below
+    // 1 ms."
+    let rw = Workload::rw();
+    let hbase = point(StoreKind::HBase, &rw).latency_ms(OpKind::Insert).unwrap();
+    assert!(hbase < 2.0, "hbase D write latency {hbase} ms");
+    let cassandra = point(StoreKind::Cassandra, &rw).latency_ms(OpKind::Insert).unwrap();
+    assert!(hbase < cassandra, "hbase {hbase} vs cassandra {cassandra}");
+}
+
+#[test]
+fn cluster_d_throughput_is_far_below_cluster_m() {
+    // §5.9: "In this disk-bound setup, all systems have much lower
+    // throughputs and higher latencies."
+    let r = Workload::r();
+    let profile = ExperimentProfile::test();
+    for store in [StoreKind::Cassandra, StoreKind::Voldemort] {
+        let m = run_point(store, ClusterSpec::cluster_m(), 8, &r, &profile).throughput();
+        let d = point(store, &r).throughput();
+        assert!(d < m / 4.0, "{}: D {d} must be far below M {m}", store.name());
+    }
+}
