@@ -1,23 +1,22 @@
 //! Microbenchmarks of hashing and client-side routing.
 
+use apm_bench::runner::{black_box, Group};
 use apm_core::keyspace::key_for_seq;
 use apm_stores::hashes::{fnv1a64, md5, murmur2_64a};
-use apm_stores::routing::{JedisHash, JedisRing, PartitionMap, RdbmsShards, RegionMap, SiteMap, TokenAssignment, TokenRing};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use apm_stores::routing::{
+    JedisHash, JedisRing, PartitionMap, RdbmsShards, RegionMap, SiteMap, TokenAssignment, TokenRing,
+};
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hashes");
-    group.throughput(Throughput::Elements(1));
+fn bench_hashes() {
+    let group = Group::new("hashes");
     let key = key_for_seq(12345);
-    group.bench_function("md5_25b", |b| b.iter(|| black_box(md5(key.as_bytes()))));
-    group.bench_function("murmur2_25b", |b| b.iter(|| black_box(murmur2_64a(key.as_bytes(), 0))));
-    group.bench_function("fnv1a_25b", |b| b.iter(|| black_box(fnv1a64(key.as_bytes()))));
-    group.finish();
+    group.bench("md5_25b", || black_box(md5(key.as_bytes())));
+    group.bench("murmur2_25b", || black_box(murmur2_64a(key.as_bytes(), 0)));
+    group.bench("fnv1a_25b", || black_box(fnv1a64(key.as_bytes())));
 }
 
-fn bench_routers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing");
-    group.throughput(Throughput::Elements(1));
+fn bench_routers() {
+    let group = Group::new("routing");
     let token_ring = TokenRing::new(12, TokenAssignment::Optimal);
     let jedis = JedisRing::new(12, JedisHash::Murmur);
     let rdbms = RdbmsShards::new(12);
@@ -25,56 +24,44 @@ fn bench_routers(c: &mut Criterion) {
     let regions = RegionMap::new(12, 4);
     let sites = SiteMap::new(12);
     let mut i = 0u64;
-    group.bench_function("token_ring", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(token_ring.route(&key_for_seq(i)))
-        })
+    group.bench("token_ring", || {
+        i += 1;
+        black_box(token_ring.route(&key_for_seq(i)))
     });
-    group.bench_function("jedis_ring", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(jedis.route(&key_for_seq(i)))
-        })
+    group.bench("jedis_ring", || {
+        i += 1;
+        black_box(jedis.route(&key_for_seq(i)))
     });
-    group.bench_function("rdbms_shards", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(rdbms.route(&key_for_seq(i)))
-        })
+    group.bench("rdbms_shards", || {
+        i += 1;
+        black_box(rdbms.route(&key_for_seq(i)))
     });
-    group.bench_function("partition_map", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(partitions.route(&key_for_seq(i)))
-        })
+    group.bench("partition_map", || {
+        i += 1;
+        black_box(partitions.route(&key_for_seq(i)))
     });
-    group.bench_function("region_map", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(regions.route(&key_for_seq(i)))
-        })
+    group.bench("region_map", || {
+        i += 1;
+        black_box(regions.route(&key_for_seq(i)))
     });
-    group.bench_function("site_map", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(sites.route(&key_for_seq(i)))
-        })
+    group.bench("site_map", || {
+        i += 1;
+        black_box(sites.route(&key_for_seq(i)))
     });
-    group.finish();
 }
 
-fn bench_ring_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ring_build");
-    group.sample_size(20);
-    group.bench_function("jedis_12_shards", |b| {
-        b.iter(|| black_box(JedisRing::new(12, JedisHash::Murmur).shards()))
+fn bench_ring_construction() {
+    let group = Group::new("ring_build");
+    group.bench("jedis_12_shards", || {
+        black_box(JedisRing::new(12, JedisHash::Murmur).shards())
     });
-    group.bench_function("token_ring_random_12", |b| {
-        b.iter(|| black_box(TokenRing::new(12, TokenAssignment::Random { seed: 3 }).nodes()))
+    group.bench("token_ring_random_12", || {
+        black_box(TokenRing::new(12, TokenAssignment::Random { seed: 3 }).nodes())
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_hashes, bench_routers, bench_ring_construction);
-criterion_main!(benches);
+fn main() {
+    bench_hashes();
+    bench_routers();
+    bench_ring_construction();
+}

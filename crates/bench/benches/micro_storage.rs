@@ -1,12 +1,12 @@
 //! Microbenchmarks of the storage engine substrates.
 
+use apm_bench::runner::{black_box, Group};
 use apm_core::keyspace::record_for_seq;
 use apm_storage::bloom::Bloom;
 use apm_storage::btree::{BTree, BTreeConfig};
 use apm_storage::bufferpool::{Access, BufferPool, PageId};
 use apm_storage::hashstore::HashStore;
 use apm_storage::lsm::{JobKind, LsmConfig, LsmTree};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 const N: u64 = 100_000;
 
@@ -21,7 +21,10 @@ fn settle(tree: &mut LsmTree, job: Option<apm_storage::lsm::BackgroundJob>) {
 }
 
 fn loaded_lsm() -> LsmTree {
-    let mut tree = LsmTree::new(LsmConfig { memtable_flush_bytes: 75 * 10_000, ..LsmConfig::default() });
+    let mut tree = LsmTree::new(LsmConfig {
+        memtable_flush_bytes: 75 * 10_000,
+        ..LsmConfig::default()
+    });
     for seq in 0..N {
         let r = record_for_seq(seq);
         let (_, job) = tree.insert(r.key, r.fields);
@@ -39,128 +42,101 @@ fn loaded_btree() -> BTree {
     tree
 }
 
-fn bench_lsm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lsm");
-    group.throughput(Throughput::Elements(1));
+fn bench_lsm() {
+    let group = Group::new("lsm");
     let mut tree = loaded_lsm();
     let mut seq = N;
-    group.bench_function("insert", |b| {
-        b.iter(|| {
-            let r = record_for_seq(seq);
-            seq += 1;
-            let (receipt, job) = tree.insert(r.key, r.fields);
-            settle(&mut tree, job);
-            black_box(receipt);
-        })
+    group.bench("insert", || {
+        let r = record_for_seq(seq);
+        seq += 1;
+        let (receipt, job) = tree.insert(r.key, r.fields);
+        settle(&mut tree, job);
+        black_box(receipt);
     });
     let mut i = 0u64;
-    group.bench_function("get_hit", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            let key = record_for_seq(i).key;
-            black_box(tree.get(&key).0)
-        })
+    group.bench("get_hit", || {
+        i = (i + 7919) % N;
+        let key = record_for_seq(i).key;
+        black_box(tree.get(&key).0)
     });
-    group.bench_function("scan50", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            let key = record_for_seq(i).key;
-            black_box(tree.scan(&key, 50).0.len())
-        })
+    group.bench("scan50", || {
+        i = (i + 7919) % N;
+        let key = record_for_seq(i).key;
+        black_box(tree.scan(&key, 50).0.len())
     });
-    group.finish();
 }
 
-fn bench_btree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("btree");
-    group.throughput(Throughput::Elements(1));
+fn bench_btree() {
+    let group = Group::new("btree");
     let mut tree = loaded_btree();
     let mut seq = N;
-    group.bench_function("insert", |b| {
-        b.iter(|| {
-            let r = record_for_seq(seq);
-            seq += 1;
-            black_box(tree.insert(r.key, r.fields).1.read.len())
-        })
+    group.bench("insert", || {
+        let r = record_for_seq(seq);
+        seq += 1;
+        black_box(tree.insert(r.key, r.fields).1.read.len())
     });
     let mut i = 0u64;
-    group.bench_function("get_hit", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            let key = record_for_seq(i).key;
-            black_box(tree.get(&key).0)
-        })
+    group.bench("get_hit", || {
+        i = (i + 7919) % N;
+        let key = record_for_seq(i).key;
+        black_box(tree.get(&key).0)
     });
-    group.bench_function("scan50", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            let key = record_for_seq(i).key;
-            black_box(tree.scan(&key, 50).0.len())
-        })
+    group.bench("scan50", || {
+        i = (i + 7919) % N;
+        let key = record_for_seq(i).key;
+        black_box(tree.scan(&key, 50).0.len())
     });
-    group.finish();
 }
 
-fn bench_bloom(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bloom");
-    group.throughput(Throughput::Elements(1));
+fn bench_bloom() {
+    let group = Group::new("bloom");
     let mut bloom = Bloom::with_capacity(N as usize, 10);
     for seq in 0..N {
         bloom.insert(&record_for_seq(seq).key);
     }
     let mut i = 0u64;
-    group.bench_function("probe_hit", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            black_box(bloom.may_contain(&record_for_seq(i).key))
-        })
+    group.bench("probe_hit", || {
+        i = (i + 7919) % N;
+        black_box(bloom.may_contain(&record_for_seq(i).key))
     });
-    group.bench_function("probe_miss", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            black_box(bloom.may_contain(&record_for_seq(N + i).key))
-        })
+    group.bench("probe_miss", || {
+        i = (i + 7919) % N;
+        black_box(bloom.may_contain(&record_for_seq(N + i).key))
     });
-    group.finish();
 }
 
-fn bench_hashstore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hashstore");
-    group.throughput(Throughput::Elements(1));
+fn bench_hashstore() {
+    let group = Group::new("hashstore");
     let mut store = HashStore::new(None);
     for seq in 0..N {
         let r = record_for_seq(seq);
         store.insert(r.key, r.fields).unwrap();
     }
     let mut i = 0u64;
-    group.bench_function("get", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            black_box(store.get(&record_for_seq(i).key).0)
-        })
+    group.bench("get", || {
+        i = (i + 7919) % N;
+        black_box(store.get(&record_for_seq(i).key).0)
     });
-    group.bench_function("scan50", |b| {
-        b.iter(|| {
-            i = (i + 7919) % N;
-            black_box(store.scan(&record_for_seq(i).key, 50).0.len())
-        })
+    group.bench("scan50", || {
+        i = (i + 7919) % N;
+        black_box(store.scan(&record_for_seq(i).key, 50).0.len())
     });
-    group.finish();
 }
 
-fn bench_bufferpool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bufferpool");
-    group.throughput(Throughput::Elements(1));
+fn bench_bufferpool() {
+    let group = Group::new("bufferpool");
     let mut pool = BufferPool::new(10_000);
     let mut i = 0u64;
-    group.bench_function("access_thrash", |b| {
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            black_box(pool.access(PageId(i), Access::Read).hit)
-        })
+    group.bench("access_thrash", || {
+        i = (i + 7919) % 100_000;
+        black_box(pool.access(PageId(i), Access::Read).hit)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_lsm, bench_btree, bench_bloom, bench_hashstore, bench_bufferpool);
-criterion_main!(benches);
+fn main() {
+    bench_lsm();
+    bench_btree();
+    bench_bloom();
+    bench_hashstore();
+    bench_bufferpool();
+}

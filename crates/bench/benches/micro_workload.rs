@@ -1,85 +1,79 @@
 //! Microbenchmarks of workload generation, statistics, and the raw
 //! simulator event loop.
 
+use apm_bench::runner::{black_box, Group};
 use apm_core::stats::{BenchStats, Histogram};
 use apm_core::workload::{Workload, WorkloadGenerator};
 use apm_sim::kernel::{Engine, Token};
 use apm_sim::plan::Plan;
 use apm_sim::time::SimDuration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_workload_gen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload");
-    group.throughput(Throughput::Elements(1));
+fn bench_workload_gen() {
+    let group = Group::new("workload");
     for workload in [Workload::r(), Workload::w(), Workload::rsw()] {
+        let name = format!("next_op_{}", workload.name);
         let mut generator = WorkloadGenerator::new(workload.clone(), 1_000_000, 7);
-        group.bench_function(format!("next_op_{}", workload.name), |b| {
-            b.iter(|| {
-                let op = generator.next_op();
-                if op.kind() == apm_core::ops::OpKind::Insert {
-                    generator.ack_insert();
-                }
-                black_box(op.kind())
-            })
+        group.bench(&name, || {
+            let op = generator.next_op();
+            if op.kind() == apm_core::ops::OpKind::Insert {
+                generator.ack_insert();
+            }
+            black_box(op.kind())
         });
     }
-    group.finish();
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("histogram");
-    group.throughput(Throughput::Elements(1));
+fn bench_histogram() {
+    let group = Group::new("histogram");
     let mut h = Histogram::new();
     let mut v = 1u64;
-    group.bench_function("record", |b| {
-        b.iter(|| {
-            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(black_box(v % 100_000_000));
-        })
+    group.bench("record", || {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(black_box(v % 100_000_000));
     });
     for v in 0..1_000_000u64 {
         h.record(v * 131 % 100_000_000);
     }
-    group.bench_function("quantile_p99", |b| b.iter(|| black_box(h.quantile(0.99))));
+    group.bench("quantile_p99", || black_box(h.quantile(0.99)));
     let mut stats = BenchStats::new();
-    group.bench_function("bench_stats_record", |b| {
-        b.iter(|| {
-            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
-            stats.record(apm_core::ops::OpKind::Insert, v % 10_000_000);
-        })
+    group.bench("bench_stats_record", || {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        stats.record(apm_core::ops::OpKind::Insert, v % 10_000_000);
     });
-    group.finish();
 }
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel");
+fn bench_kernel() {
+    let group = Group::new("kernel");
     // One iteration = submit and complete a closed loop of 1000 plans on
     // a contended resource: measures events/second of the simulator.
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("closed_loop_1000_ops", |b| {
-        b.iter(|| {
-            let mut engine = Engine::new();
-            let cpu = engine.add_resource("cpu", 8);
-            for i in 0..64 {
-                engine.submit(
-                    Plan::build().acquire(cpu, SimDuration::from_micros(100)).finish(),
-                    Token(i),
-                );
-            }
-            let mut completed = 0u64;
-            while completed < 1_000 {
-                let c = engine.next_completion().expect("closed loop");
-                completed += 1;
-                engine.submit(
-                    Plan::build().acquire(cpu, SimDuration::from_micros(100)).finish(),
-                    c.token,
-                );
-            }
-            black_box(engine.now())
-        })
+    group.bench("closed_loop_1000_ops", || {
+        let mut engine = Engine::new();
+        let cpu = engine.add_resource("cpu", 8);
+        for i in 0..64 {
+            engine.submit(
+                Plan::build()
+                    .acquire(cpu, SimDuration::from_micros(100))
+                    .finish(),
+                Token(i),
+            );
+        }
+        let mut completed = 0u64;
+        while completed < 1_000 {
+            let c = engine.next_completion().expect("closed loop");
+            completed += 1;
+            engine.submit(
+                Plan::build()
+                    .acquire(cpu, SimDuration::from_micros(100))
+                    .finish(),
+                c.token,
+            );
+        }
+        black_box(engine.now())
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_workload_gen, bench_histogram, bench_kernel);
-criterion_main!(benches);
+fn main() {
+    bench_workload_gen();
+    bench_histogram();
+    bench_kernel();
+}

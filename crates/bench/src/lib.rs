@@ -1,6 +1,7 @@
 //! # apm-bench
 //!
-//! Criterion benchmarks for the reproduction:
+//! Self-timing benchmarks for the reproduction (the workspace builds
+//! offline, so no criterion; [`runner`] provides the harness):
 //!
 //! - `benches/figures.rs` — one benchmark per paper figure, running a
 //!   reduced-resolution version of its experiment end to end (the
@@ -15,6 +16,8 @@
 //!   recording, and raw simulator event throughput.
 //!
 //! Run with `cargo bench -p apm-bench` (or `--bench micro_storage` etc.).
+
+pub mod runner;
 
 /// A tiny experiment profile shared by the figure benches: small enough
 /// that one iteration completes in a fraction of a second.

@@ -1,0 +1,74 @@
+//! A minimal self-timing bench harness: runs a closure in batches until a
+//! wall-clock budget is spent and reports ns/iter. No statistics beyond
+//! best-batch and mean — these benches track trends and act as smoke
+//! tests, not as a rigorous measurement apparatus.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Warmup time per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// A named group of benchmarks, printed criterion-style as
+/// `group/name ... ns/iter`.
+pub struct Group {
+    name: &'static str,
+}
+
+impl Group {
+    pub fn new(name: &'static str) -> Group {
+        Group { name }
+    }
+
+    /// Times `f` (one logical iteration per call) and prints the result.
+    pub fn bench<R, F: FnMut() -> R>(&self, name: &str, mut f: F) {
+        // Warmup + batch-size calibration.
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as u64 / calib_iters.max(1);
+        let batch = (10_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let mut batches: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let begin = Instant::now();
+        while begin.elapsed() < BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batches.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        let mean = batches.iter().sum::<f64>() / batches.len() as f64;
+        let best = batches.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{}/{name:<28} {mean:>12.1} ns/iter (best {best:>10.1}, {total_iters} iters)",
+            self.name
+        );
+    }
+
+    /// Times `f` once per iteration for slow benchmarks (whole-experiment
+    /// pipelines); runs a fixed small number of iterations.
+    pub fn bench_slow<R, F: FnMut() -> R>(&self, name: &str, iters: u32, mut f: F) {
+        black_box(f()); // warmup
+        let mut times: Vec<f64> = Vec::new();
+        for _ in 0..iters.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{}/{name:<28} {mean:>12.2} ms/iter (best {best:>10.2}, {} iters)",
+            self.name,
+            times.len()
+        );
+    }
+}

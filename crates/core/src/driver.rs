@@ -116,7 +116,12 @@ mod tests {
         let cfg = ClientConfig::cluster_m(12).with_max_connections(60);
         assert_eq!(cfg.connections, 60);
         // A cap above the population is a no-op.
-        assert_eq!(ClientConfig::cluster_m(1).with_max_connections(10_000).connections, 128);
+        assert_eq!(
+            ClientConfig::cluster_m(1)
+                .with_max_connections(10_000)
+                .connections,
+            128
+        );
     }
 
     #[test]
@@ -130,6 +135,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_target_rate_is_rejected() {
-        let _ = ClientConfig::cluster_m(1).with_throttle(Throttle::TargetOps(0.0)).issue_interval_secs();
+        let _ = ClientConfig::cluster_m(1)
+            .with_throttle(Throttle::TargetOps(0.0))
+            .issue_interval_secs();
     }
 }

@@ -127,7 +127,13 @@ impl ZipfState {
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfState { n, theta, alpha, zetan, eta }
+        ZipfState {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     fn sample(&self, u: f64) -> u64 {
@@ -157,7 +163,11 @@ fn zeta(n: u64, theta: f64) -> f64 {
 impl KeyChooser {
     /// Creates a chooser with its own RNG stream.
     pub fn new(dist: KeyDistribution, rng: SplitRng) -> Self {
-        KeyChooser { dist, rng, zipf: None }
+        KeyChooser {
+            dist,
+            rng,
+            zipf: None,
+        }
     }
 
     /// Picks the sequence number of an existing record, given that
@@ -272,11 +282,18 @@ mod tests {
 
     #[test]
     fn choosers_never_exceed_count() {
-        for dist in [KeyDistribution::Uniform, KeyDistribution::Zipfian(0.99), KeyDistribution::Latest] {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipfian(0.99),
+            KeyDistribution::Latest,
+        ] {
             let mut chooser = KeyChooser::new(dist, SplitRng::new(3));
             for count in [1u64, 2, 17, 1_000] {
                 for _ in 0..500 {
-                    assert!(chooser.choose(count) < count, "{dist:?} exceeded count {count}");
+                    assert!(
+                        chooser.choose(count) < count,
+                        "{dist:?} exceeded count {count}"
+                    );
                 }
             }
         }

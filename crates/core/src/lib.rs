@@ -26,6 +26,8 @@ pub mod timeseries;
 pub mod workload;
 
 pub use ops::{OpKind, Operation};
-pub use record::{FieldValues, MetricKey, Record, FIELD_COUNT, FIELD_SIZE, KEY_SIZE, RAW_RECORD_SIZE};
+pub use record::{
+    FieldValues, MetricKey, Record, FIELD_COUNT, FIELD_SIZE, KEY_SIZE, RAW_RECORD_SIZE,
+};
 pub use stats::{BenchStats, Histogram};
 pub use workload::{OpMix, Workload, WorkloadGenerator};

@@ -58,18 +58,27 @@ pub struct MonitoredSystem {
 impl MonitoredSystem {
     /// The paper's motivating scenario: 10K nodes × 10K metrics @ 10 s.
     pub fn paper_scenario() -> Self {
-        MonitoredSystem { hosts: 10_000, metrics_per_host: 10_000, interval_secs: 10 }
+        MonitoredSystem {
+            hosts: 10_000,
+            metrics_per_host: 10_000,
+            interval_secs: 10,
+        }
     }
 
     /// The paper's closing capacity estimate: 240 monitored nodes served
     /// by 12 storage nodes (5 % overhead budget), 10K metrics @ 10 s.
     pub fn conclusion_scenario() -> Self {
-        MonitoredSystem { hosts: 240, metrics_per_host: 10_000, interval_secs: 10 }
+        MonitoredSystem {
+            hosts: 240,
+            metrics_per_host: 10_000,
+            interval_secs: 10,
+        }
     }
 
     /// Sustained insert rate the storage tier must absorb (measurements/s).
     pub fn inserts_per_second(&self) -> u64 {
-        u64::from(self.hosts) * u64::from(self.metrics_per_host) / u64::from(self.interval_secs.max(1))
+        u64::from(self.hosts) * u64::from(self.metrics_per_host)
+            / u64::from(self.interval_secs.max(1))
     }
 
     /// Raw data volume produced per day, in bytes (75-byte records).
@@ -89,7 +98,8 @@ impl MonitoredSystem {
 pub fn metric_name(host: u32, index: u32) -> String {
     let agent = index % 4;
     let kind = METRIC_KINDS[(index as usize) % METRIC_KINDS.len()];
-    let component_kind = COMPONENT_KINDS[(index as usize / METRIC_KINDS.len()) % COMPONENT_KINDS.len()];
+    let component_kind =
+        COMPONENT_KINDS[(index as usize / METRIC_KINDS.len()) % COMPONENT_KINDS.len()];
     let component = index / (METRIC_KINDS.len() * COMPONENT_KINDS.len()) as u32;
     format!("Host{host:05}/Agent{agent}/{component_kind}{component:04}/{kind}")
 }
@@ -163,18 +173,28 @@ mod tests {
     #[test]
     fn paper_scenario_reports_10m_inserts_per_second() {
         // §1: "10 million individual measurements are reported per second".
-        assert_eq!(MonitoredSystem::paper_scenario().inserts_per_second(), 10_000_000);
+        assert_eq!(
+            MonitoredSystem::paper_scenario().inserts_per_second(),
+            10_000_000
+        );
     }
 
     #[test]
     fn conclusion_scenario_reports_240k_inserts_per_second() {
         // §8: "the total number of inserts per second is 240K".
-        assert_eq!(MonitoredSystem::conclusion_scenario().inserts_per_second(), 240_000);
+        assert_eq!(
+            MonitoredSystem::conclusion_scenario().inserts_per_second(),
+            240_000
+        );
     }
 
     #[test]
     fn raw_volume_uses_75_byte_records() {
-        let s = MonitoredSystem { hosts: 1, metrics_per_host: 10, interval_secs: 10 };
+        let s = MonitoredSystem {
+            hosts: 1,
+            metrics_per_host: 10,
+            interval_secs: 10,
+        };
         assert_eq!(s.inserts_per_second(), 1);
         assert_eq!(s.raw_bytes_per_day(), 86_400 * 75);
     }
@@ -201,7 +221,9 @@ mod tests {
         let batch_b = b.next_batch();
         assert_eq!(batch_a, batch_b);
         assert_eq!(batch_a.len(), 5);
-        assert!(batch_a.iter().all(|m| m.timestamp == 1_000 && m.duration == 10));
+        assert!(batch_a
+            .iter()
+            .all(|m| m.timestamp == 1_000 && m.duration == 10));
         assert_eq!(a.next_timestamp(), 1_010);
         let second = a.next_batch();
         assert!(second.iter().all(|m| m.timestamp == 1_010));

@@ -129,7 +129,10 @@ mod tests {
         let rec = Record::from_id(5);
         let ops = [
             Operation::Read { key: rec.key },
-            Operation::Scan { start: rec.key, len: 50 },
+            Operation::Scan {
+                start: rec.key,
+                len: 50,
+            },
             Operation::Insert { record: rec },
             Operation::Update { record: rec },
         ];

@@ -44,7 +44,9 @@ impl MetricKey {
     /// accounting assumptions of the stores).
     pub fn from_bytes(bytes: [u8; KEY_SIZE]) -> Self {
         assert!(
-            bytes.iter().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()),
+            bytes
+                .iter()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()),
             "metric keys must be lower-case alphanumeric"
         );
         MetricKey(bytes)
@@ -184,7 +186,10 @@ pub struct Record {
 impl Record {
     /// Builds the canonical record for identifier `id`.
     pub fn from_id(id: u64) -> Self {
-        Record { key: MetricKey::from_id(id), fields: FieldValues::from_seed(id) }
+        Record {
+            key: MetricKey::from_id(id),
+            fields: FieldValues::from_seed(id),
+        }
     }
 
     /// Raw size of the record (always 75 bytes).
@@ -241,7 +246,10 @@ impl ApmMeasurement {
         pack_decimal(&mut fields[2], self.max.unsigned_abs());
         pack_decimal(&mut fields[3], self.timestamp);
         pack_decimal(&mut fields[4], self.duration as u64);
-        Record { key: MetricKey::from_id(id), fields: FieldValues(fields) }
+        Record {
+            key: MetricKey::from_id(id),
+            fields: FieldValues(fields),
+        }
     }
 
     /// Recovers the numeric payload from a packed record. The metric name
@@ -268,7 +276,9 @@ fn pack_decimal(field: &mut [u8; FIELD_SIZE], mut v: u64) {
 }
 
 fn unpack_decimal(field: &[u8; FIELD_SIZE]) -> u64 {
-    field.iter().fold(0u64, |acc, &b| acc * 10 + (b - b'0') as u64)
+    field
+        .iter()
+        .fold(0u64, |acc, &b| acc * 10 + (b - b'0') as u64)
 }
 
 #[cfg(test)]
@@ -292,7 +302,18 @@ mod tests {
 
     #[test]
     fn key_order_matches_id_order() {
-        let ids = [0u64, 1, 2, 35, 36, 37, 1000, 10_000_000, u64::MAX - 1, u64::MAX];
+        let ids = [
+            0u64,
+            1,
+            2,
+            35,
+            36,
+            37,
+            1000,
+            10_000_000,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
         for w in ids.windows(2) {
             assert!(MetricKey::from_id(w[0]) < MetricKey::from_id(w[1]));
         }

@@ -39,7 +39,11 @@ impl Table {
     /// # Panics
     /// Panics if `cells.len()` does not match the number of columns.
     pub fn push_row(&mut self, row: &str, cells: Vec<Option<f64>>) {
-        assert_eq!(cells.len(), self.columns.len(), "row width must match column count");
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
         self.rows.push(row.to_string());
         self.cells.push(cells);
     }
@@ -57,7 +61,12 @@ impl Table {
         let _ = writeln!(out, "{} [{}]", self.title, self.unit);
         let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
         widths.push(
-            self.rows.iter().map(String::len).chain([self.row_label.len()]).max().unwrap_or(4),
+            self.rows
+                .iter()
+                .map(String::len)
+                .chain([self.row_label.len()])
+                .max()
+                .unwrap_or(4),
         );
         for (c, col) in self.columns.iter().enumerate() {
             let w = self
@@ -143,7 +152,16 @@ mod tests {
     #[test]
     fn render_contains_all_labels_and_values() {
         let text = sample().render();
-        for needle in ["Figure X", "ops/sec", "nodes", "cassandra", "hbase", "25000", "180000", "-"] {
+        for needle in [
+            "Figure X",
+            "ops/sec",
+            "nodes",
+            "cassandra",
+            "hbase",
+            "25000",
+            "180000",
+            "-",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

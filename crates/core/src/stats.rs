@@ -35,7 +35,13 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { counts: vec![0; BUCKETS * SUB_BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            counts: vec![0; BUCKETS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     fn index_for(value: u64) -> usize {
@@ -138,11 +144,15 @@ pub struct BenchStats {
     per_kind: BTreeMap<OpKind, Histogram>,
     /// Operations rejected by the store, per kind.
     rejected: BTreeMap<OpKind, u64>,
+    /// Operations that errored (node down, timeout, lost data), per kind.
+    errors: BTreeMap<OpKind, u64>,
     /// Measurement window length in nanoseconds.
     window_ns: u64,
     /// Completed operations per one-second bucket since window start
     /// (the throughput timeline used by the elasticity experiment).
     timeline: Vec<u64>,
+    /// Errored operations per one-second bucket since window start.
+    error_timeline: Vec<u64>,
 }
 
 impl BenchStats {
@@ -176,6 +186,69 @@ impl BenchStats {
         *self.rejected.entry(kind).or_default() += 1;
     }
 
+    /// Records an errored operation (connection refused, timed out, or
+    /// data lost to a crash) at `offset_ns` past the window start.
+    pub fn record_error(&mut self, kind: OpKind, offset_ns: u64) {
+        *self.errors.entry(kind).or_default() += 1;
+        let bucket = (offset_ns / 1_000_000_000) as usize;
+        if bucket >= self.error_timeline.len() {
+            self.error_timeline.resize(bucket + 1, 0);
+        }
+        self.error_timeline[bucket] += 1;
+    }
+
+    /// Per-second errored-operation counts since the window start.
+    pub fn error_timeline(&self) -> &[u64] {
+        &self.error_timeline
+    }
+
+    /// Total errored operations.
+    pub fn total_errors(&self) -> u64 {
+        self.errors.values().sum()
+    }
+
+    /// Errored operation count for `kind`.
+    pub fn errors(&self, kind: OpKind) -> u64 {
+        self.errors.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Fraction of attempted operations that succeeded (1.0 with no
+    /// errors; rejections are back-pressure, not failures, and don't
+    /// count against availability).
+    pub fn availability(&self) -> f64 {
+        let ok = self.total_ops();
+        let attempted = ok + self.total_errors();
+        if attempted == 0 {
+            1.0
+        } else {
+            ok as f64 / attempted as f64
+        }
+    }
+
+    /// Seconds from `restore_sec` until per-second throughput first
+    /// sustains ≥ `threshold` × the pre-fault baseline (the mean of the
+    /// seconds strictly before `fault_sec`). `None` when throughput never
+    /// recovers inside the window.
+    pub fn recovery_secs(
+        &self,
+        fault_sec: usize,
+        restore_sec: usize,
+        threshold: f64,
+    ) -> Option<u64> {
+        let pre: &[u64] = self.timeline.get(..fault_sec)?;
+        if pre.is_empty() {
+            return None;
+        }
+        let baseline = pre.iter().sum::<u64>() as f64 / pre.len() as f64;
+        let target = baseline * threshold;
+        for (i, &ops) in self.timeline.iter().enumerate().skip(restore_sec) {
+            if ops as f64 >= target {
+                return Some((i - restore_sec) as u64);
+            }
+        }
+        None
+    }
+
     /// Sets the measurement window (for throughput computation).
     pub fn set_window_ns(&mut self, window_ns: u64) {
         self.window_ns = window_ns;
@@ -207,12 +280,18 @@ impl BenchStats {
 
     /// Mean latency of `kind` in milliseconds, or `None` if no sample.
     pub fn mean_latency_ms(&self, kind: OpKind) -> Option<f64> {
-        self.per_kind.get(&kind).filter(|h| h.count() > 0).map(|h| h.mean() / 1e6)
+        self.per_kind
+            .get(&kind)
+            .filter(|h| h.count() > 0)
+            .map(|h| h.mean() / 1e6)
     }
 
     /// Quantile latency of `kind` in milliseconds.
     pub fn quantile_latency_ms(&self, kind: OpKind, q: f64) -> Option<f64> {
-        self.per_kind.get(&kind).filter(|h| h.count() > 0).map(|h| h.quantile(q) as f64 / 1e6)
+        self.per_kind
+            .get(&kind)
+            .filter(|h| h.count() > 0)
+            .map(|h| h.quantile(q) as f64 / 1e6)
     }
 
     /// Successful operation count for `kind`.
@@ -234,6 +313,9 @@ impl BenchStats {
         }
         for (kind, n) in &other.rejected {
             *self.rejected.entry(*kind).or_default() += n;
+        }
+        for (kind, n) in &other.errors {
+            *self.errors.entry(*kind).or_default() += n;
         }
         self.window_ns += other.window_ns;
     }
@@ -279,7 +361,10 @@ mod tests {
             let exact = sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)] as f64;
             let approx = h.quantile(q) as f64;
             let rel = (approx - exact).abs() / exact;
-            assert!(rel < 0.07, "quantile {q}: exact {exact}, approx {approx}, rel {rel}");
+            assert!(
+                rel < 0.07,
+                "quantile {q}: exact {exact}, approx {approx}, rel {rel}"
+            );
         }
     }
 
@@ -336,6 +421,41 @@ mod tests {
         stats.record(OpKind::Insert, 10);
         assert_eq!(stats.total_rejected(), 2);
         assert_eq!(stats.total_ops(), 1);
+    }
+
+    #[test]
+    fn bench_stats_availability_counts_errors_not_rejections() {
+        let mut stats = BenchStats::new();
+        for _ in 0..99 {
+            stats.record(OpKind::Read, 1_000);
+        }
+        stats.record_error(OpKind::Read, 500_000_000);
+        stats.record_rejection(OpKind::Read);
+        assert!((stats.availability() - 0.99).abs() < 1e-9);
+        assert_eq!(stats.total_errors(), 1);
+        assert_eq!(stats.errors(OpKind::Read), 1);
+        assert_eq!(stats.error_timeline(), &[1]);
+    }
+
+    #[test]
+    fn empty_stats_report_full_availability() {
+        assert!((BenchStats::new().availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_secs_finds_first_recovered_second() {
+        let mut stats = BenchStats::new();
+        // Seconds 0-4: 100 ops/s baseline; 5-9: crashed (10 ops/s);
+        // restore at 10; recovery reaches 90 ops/s at second 12.
+        let shape = [100, 100, 100, 100, 100, 10, 10, 10, 10, 10, 40, 70, 95, 100];
+        for (sec, &ops) in shape.iter().enumerate() {
+            for _ in 0..ops {
+                stats.record_timeline(sec as u64 * 1_000_000_000);
+            }
+        }
+        assert_eq!(stats.recovery_secs(5, 10, 0.9), Some(2));
+        assert_eq!(stats.recovery_secs(5, 10, 0.99), Some(3));
+        assert_eq!(stats.recovery_secs(5, 10, 1.2), None);
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl SeriesCodec {
     /// Creates a codec for the given reporting interval and epoch.
     pub fn new(interval_secs: u32, epoch: u64) -> SeriesCodec {
         assert!(interval_secs > 0, "reporting interval must be positive");
-        SeriesCodec { interval_secs, epoch }
+        SeriesCodec {
+            interval_secs,
+            epoch,
+        }
     }
 
     /// Slot index for a UNIX timestamp (clamped below at the epoch).
@@ -92,7 +95,12 @@ pub struct WindowAggregate {
 impl WindowAggregate {
     /// Empty aggregate.
     pub fn new() -> WindowAggregate {
-        WindowAggregate { count: 0, sum: 0, min: i64::MAX, max: i64::MIN }
+        WindowAggregate {
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
     }
 
     /// Folds one measurement in, using its pre-aggregated min/max (the
@@ -146,10 +154,7 @@ where
     F: FnMut(MetricKey, usize) -> Vec<(MetricKey, FieldValues)>,
 {
     let mut total = WindowAggregate::new();
-    let one_series = |codec: &SeriesCodec,
-                      series: u64,
-                      window: u64,
-                      scan: &mut F| {
+    let one_series = |codec: &SeriesCodec, series: u64, window: u64, scan: &mut F| {
         let (start, len) = codec.window_scan(series, now, window);
         let mut agg = WindowAggregate::new();
         for (key, fields) in scan(start, len) {
@@ -166,10 +171,16 @@ where
         agg
     };
     match query {
-        ApmQuery::WindowMax { series, window_secs } => {
+        ApmQuery::WindowMax {
+            series,
+            window_secs,
+        } => {
             total.merge(&one_series(codec, *series, *window_secs, &mut scan));
         }
-        ApmQuery::WindowAvgAcross { series, window_secs } => {
+        ApmQuery::WindowAvgAcross {
+            series,
+            window_secs,
+        } => {
             for &s in series {
                 total.merge(&one_series(codec, s, *window_secs, &mut scan));
             }
@@ -264,7 +275,10 @@ mod tests {
         let now = c.timestamp_of(99);
         let agg = execute(
             &c,
-            &ApmQuery::WindowMax { series: 3, window_secs: 600 },
+            &ApmQuery::WindowMax {
+                series: 3,
+                window_secs: 600,
+            },
             now,
             scan_fn(&map),
         );
@@ -282,7 +296,10 @@ mod tests {
         let now = c.timestamp_of(199);
         let agg = execute(
             &c,
-            &ApmQuery::WindowAvgAcross { series: vec![1, 2, 3], window_secs: 900 },
+            &ApmQuery::WindowAvgAcross {
+                series: vec![1, 2, 3],
+                window_secs: 900,
+            },
             now,
             scan_fn(&map),
         );
@@ -301,7 +318,10 @@ mod tests {
         let now = c.timestamp_of(49);
         let agg = execute(
             &c,
-            &ApmQuery::WindowMax { series: 1, window_secs: 10_000 },
+            &ApmQuery::WindowMax {
+                series: 1,
+                window_secs: 10_000,
+            },
             now,
             scan_fn(&map),
         );

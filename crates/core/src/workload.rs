@@ -31,12 +31,22 @@ pub struct OpMix {
 
 impl OpMix {
     /// Creates a mix, validating that it sums to 100 %.
-    pub fn new(read_pct: u8, scan_pct: u8, insert_pct: u8, update_pct: u8) -> Result<Self, MixError> {
+    pub fn new(
+        read_pct: u8,
+        scan_pct: u8,
+        insert_pct: u8,
+        update_pct: u8,
+    ) -> Result<Self, MixError> {
         let sum = read_pct as u16 + scan_pct as u16 + insert_pct as u16 + update_pct as u16;
         if sum != 100 {
             return Err(MixError { sum });
         }
-        Ok(OpMix { read_pct, scan_pct, insert_pct, update_pct })
+        Ok(OpMix {
+            read_pct,
+            scan_pct,
+            insert_pct,
+            update_pct,
+        })
     }
 
     /// Whether this mix contains scans (stores without scan support are
@@ -134,12 +144,20 @@ impl Workload {
 
     /// All five Table-1 workloads in presentation order.
     pub fn all() -> Vec<Workload> {
-        vec![Workload::r(), Workload::rw(), Workload::w(), Workload::rs(), Workload::rsw()]
+        vec![
+            Workload::r(),
+            Workload::rw(),
+            Workload::w(),
+            Workload::rs(),
+            Workload::rsw(),
+        ]
     }
 
     /// Looks a workload up by its Table-1 name (case-insensitive).
     pub fn by_name(name: &str) -> Option<Workload> {
-        Workload::all().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+        Workload::all()
+            .into_iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -165,7 +183,13 @@ impl WorkloadGenerator {
     pub fn new(workload: Workload, initial_records: u64, seed: u64) -> Self {
         let mut rng = SplitRng::new(seed);
         let chooser = KeyChooser::new(workload.distribution, rng.split(0xC0FFEE));
-        WorkloadGenerator { workload, chooser, rng, next_seq: initial_records, acked: initial_records }
+        WorkloadGenerator {
+            workload,
+            chooser,
+            rng,
+            next_seq: initial_records,
+            acked: initial_records,
+        }
     }
 
     /// The workload being generated.
@@ -190,20 +214,29 @@ impl WorkloadGenerator {
         match self.workload.mix.pick(draw) {
             OpKind::Read => {
                 let seq = self.chooser.choose(self.acked);
-                Operation::Read { key: record_for_seq(seq).key }
+                Operation::Read {
+                    key: record_for_seq(seq).key,
+                }
             }
             OpKind::Scan => {
                 let seq = self.chooser.choose(self.acked);
-                Operation::Scan { start: record_for_seq(seq).key, len: self.workload.scan_length }
+                Operation::Scan {
+                    start: record_for_seq(seq).key,
+                    len: self.workload.scan_length,
+                }
             }
             OpKind::Insert => {
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                Operation::Insert { record: record_for_seq(seq) }
+                Operation::Insert {
+                    record: record_for_seq(seq),
+                }
             }
             OpKind::Update => {
                 let seq = self.chooser.choose(self.acked);
-                Operation::Update { record: record_for_seq(seq) }
+                Operation::Update {
+                    record: record_for_seq(seq),
+                }
             }
         }
     }
@@ -226,7 +259,13 @@ impl WorkloadGenerator {
 /// Returns Table 1 as (name, read %, scan %, insert %) rows — used by the
 /// `repro table1` command and the documentation tests.
 pub fn table1() -> [(&'static str, u8, u8, u8); 5] {
-    [("R", 95, 0, 5), ("RW", 50, 0, 50), ("W", 1, 0, 99), ("RS", 47, 47, 6), ("RSW", 25, 25, 50)]
+    [
+        ("R", 95, 0, 5),
+        ("RW", 50, 0, 50),
+        ("W", 1, 0, 99),
+        ("RS", 47, 47, 6),
+        ("RSW", 25, 25, 50),
+    ]
 }
 
 #[cfg(test)]
@@ -241,7 +280,10 @@ mod tests {
             assert_eq!(w.mix.read_pct, read, "{name} read%");
             assert_eq!(w.mix.scan_pct, scan, "{name} scan%");
             assert_eq!(w.mix.insert_pct, insert, "{name} insert%");
-            assert_eq!(w.mix.update_pct, 0, "{name} has no updates (append-only APM data)");
+            assert_eq!(
+                w.mix.update_pct, 0,
+                "{name} has no updates (append-only APM data)"
+            );
             assert_eq!(w.scan_length, 50, "{name} scan length (§3)");
         }
     }
@@ -269,9 +311,21 @@ mod tests {
                 *counts.entry(op.kind()).or_default() += 1;
             }
             let pct = |k: OpKind| 100.0 * *counts.get(&k).unwrap_or(&0) as f64 / total as f64;
-            assert!((pct(OpKind::Read) - workload.mix.read_pct as f64).abs() < 2.0, "{}", workload.name);
-            assert!((pct(OpKind::Scan) - workload.mix.scan_pct as f64).abs() < 2.0, "{}", workload.name);
-            assert!((pct(OpKind::Insert) - workload.mix.insert_pct as f64).abs() < 2.0, "{}", workload.name);
+            assert!(
+                (pct(OpKind::Read) - workload.mix.read_pct as f64).abs() < 2.0,
+                "{}",
+                workload.name
+            );
+            assert!(
+                (pct(OpKind::Scan) - workload.mix.scan_pct as f64).abs() < 2.0,
+                "{}",
+                workload.name
+            );
+            assert!(
+                (pct(OpKind::Insert) - workload.mix.insert_pct as f64).abs() < 2.0,
+                "{}",
+                workload.name
+            );
         }
     }
 

@@ -11,7 +11,9 @@
 use apm_harness::experiment::ExperimentProfile;
 use apm_harness::extensions::{all_extensions, generate_extension};
 use apm_harness::figures::{all_figures, figure_by_id, generate};
-use apm_harness::output::{render_experiments_md, write_csv, write_gnuplot, FigureResult, ResultsFile};
+use apm_harness::output::{
+    render_experiments_md, write_csv, write_gnuplot, FigureResult, ResultsFile,
+};
 use apm_harness::shape::checks_for;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -165,7 +167,10 @@ fn main() -> ExitCode {
     );
     println!("profile: {profile_desc}\n");
 
-    let mut results = ResultsFile { profile: profile_desc, figures: Vec::new() };
+    let mut results = ResultsFile {
+        profile: profile_desc,
+        figures: Vec::new(),
+    };
     let mut failed_checks = 0usize;
     for id in &ids {
         let started = std::time::Instant::now();
@@ -185,12 +190,15 @@ fn main() -> ExitCode {
         }
         println!("  ({id} took {:.1}s)\n", started.elapsed().as_secs_f64());
         if let Some(dir) = &args.out {
-            if let Err(e) = write_csv(dir, id, &table).and_then(|_| write_gnuplot(dir, id, &table)) {
+            if let Err(e) = write_csv(dir, id, &table).and_then(|_| write_gnuplot(dir, id, &table))
+            {
                 eprintln!("failed to write CSV/plot for {id}: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        results.figures.push(FigureResult::capture(id, &table, &checks));
+        results
+            .figures
+            .push(FigureResult::capture(id, &table, &checks));
     }
 
     if let Some(dir) = &args.out {

@@ -7,7 +7,7 @@
 use apm_core::driver::{ClientConfig, Throttle};
 use apm_core::ops::OpKind;
 use apm_core::workload::Workload;
-use apm_sim::{ClusterSpec, Engine};
+use apm_sim::{ClusterSpec, Engine, FaultSchedule};
 use apm_stores::api::{DistributedStore, StoreCtx};
 use apm_stores::cassandra::{CassandraConfig, CassandraStore};
 use apm_stores::hbase::HbaseStore;
@@ -54,7 +54,9 @@ impl StoreKind {
 
     /// Parses a store name.
     pub fn by_name(name: &str) -> Option<StoreKind> {
-        StoreKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+        StoreKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
     }
 
     /// Whether the store's YCSB client supports scans (§5.4).
@@ -66,7 +68,10 @@ impl StoreKind {
     /// (§5.8: Redis and VoltDB cannot; MySQL was omitted there for
     /// cluster-availability reasons — we follow the paper's figure).
     pub fn in_cluster_d_figures(self) -> bool {
-        matches!(self, StoreKind::Cassandra | StoreKind::HBase | StoreKind::Voldemort)
+        matches!(
+            self,
+            StoreKind::Cassandra | StoreKind::HBase | StoreKind::Voldemort
+        )
     }
 
     /// Builds the store over a fresh context.
@@ -119,12 +124,24 @@ impl ExperimentProfile {
     /// 8-second windows. Ratios that matter (data : RAM, flush cadence
     /// per record) are preserved by scaling memory budgets identically.
     pub fn quick() -> ExperimentProfile {
-        ExperimentProfile { scale: 0.005, data_factor: 1.0, warmup_secs: 2.0, measure_secs: 8.0, seed: 0xA9A1_2012 }
+        ExperimentProfile {
+            scale: 0.005,
+            data_factor: 1.0,
+            warmup_secs: 2.0,
+            measure_secs: 8.0,
+            seed: 0xA9A1_2012,
+        }
     }
 
     /// Tiny profile for unit/integration tests.
     pub fn test() -> ExperimentProfile {
-        ExperimentProfile { scale: 0.002, data_factor: 1.0, warmup_secs: 0.5, measure_secs: 3.0, seed: 7 }
+        ExperimentProfile {
+            scale: 0.002,
+            data_factor: 1.0,
+            warmup_secs: 0.5,
+            measure_secs: 3.0,
+            seed: 7,
+        }
     }
 
     /// Records per node at this scale.
@@ -162,7 +179,14 @@ pub fn run_point(
     workload: &Workload,
     profile: &ExperimentProfile,
 ) -> Point {
-    run_point_throttled(store, cluster, nodes, workload, profile, Throttle::Unlimited)
+    run_point_throttled(
+        store,
+        cluster,
+        nodes,
+        workload,
+        profile,
+        Throttle::Unlimited,
+    )
 }
 
 /// Runs one point with an explicit throttle (§5.6 bounded-throughput).
@@ -189,10 +213,17 @@ pub fn run_point_throttled(
         records_per_node: profile.records_per_node(),
         nodes,
         seed: profile.seed,
-            event_at_secs: None,
-        };
+        event_at_secs: None,
+        faults: FaultSchedule::none(),
+        op_deadline: None,
+    };
     let result = run_benchmark(&mut engine, boxed.as_mut(), &config);
-    Point { store, nodes, workload: workload_name(workload), result }
+    Point {
+        store,
+        nodes,
+        workload: workload_name(workload),
+        result,
+    }
 }
 
 fn workload_name(w: &Workload) -> &'static str {
@@ -213,22 +244,39 @@ mod tests {
 
     #[test]
     fn voldemort_is_the_only_scanless_store() {
-        let scanless: Vec<_> =
-            StoreKind::ALL.into_iter().filter(|k| !k.supports_scans()).collect();
+        let scanless: Vec<_> = StoreKind::ALL
+            .into_iter()
+            .filter(|k| !k.supports_scans())
+            .collect();
         assert_eq!(scanless, vec![StoreKind::Voldemort]);
     }
 
     #[test]
     fn cluster_d_runs_the_three_disk_stores() {
-        let d: Vec<_> = StoreKind::ALL.into_iter().filter(|k| k.in_cluster_d_figures()).collect();
-        assert_eq!(d, vec![StoreKind::Cassandra, StoreKind::HBase, StoreKind::Voldemort]);
+        let d: Vec<_> = StoreKind::ALL
+            .into_iter()
+            .filter(|k| k.in_cluster_d_figures())
+            .collect();
+        assert_eq!(
+            d,
+            vec![StoreKind::Cassandra, StoreKind::HBase, StoreKind::Voldemort]
+        );
     }
 
     #[test]
     fn profile_scales_record_counts() {
-        let p = ExperimentProfile { scale: 0.01, data_factor: 1.0, warmup_secs: 1.0, measure_secs: 2.0, seed: 1 };
+        let p = ExperimentProfile {
+            scale: 0.01,
+            data_factor: 1.0,
+            warmup_secs: 1.0,
+            measure_secs: 2.0,
+            seed: 1,
+        };
         assert_eq!(p.records_per_node(), 100_000);
-        let d = ExperimentProfile { data_factor: 1.875, ..p };
+        let d = ExperimentProfile {
+            data_factor: 1.875,
+            ..p
+        };
         assert_eq!(d.records_per_node(), 187_500, "Cluster D density");
     }
 
@@ -236,8 +284,18 @@ mod tests {
     fn run_point_produces_throughput_for_every_store() {
         let profile = ExperimentProfile::test();
         for kind in StoreKind::ALL {
-            let point = run_point(kind, ClusterSpec::cluster_m(), 1, &apm_core::workload::Workload::rw(), &profile);
-            assert!(point.throughput() > 500.0, "{} produced no throughput", kind.name());
+            let point = run_point(
+                kind,
+                ClusterSpec::cluster_m(),
+                1,
+                &apm_core::workload::Workload::rw(),
+                &profile,
+            );
+            assert!(
+                point.throughput() > 500.0,
+                "{} produced no throughput",
+                kind.name()
+            );
         }
     }
 }

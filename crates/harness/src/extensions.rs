@@ -12,10 +12,10 @@ use apm_core::keyspace::KeyDistribution;
 use apm_core::ops::OpKind;
 use apm_core::report::Table;
 use apm_core::workload::Workload;
-use apm_sim::{ClusterSpec, Engine};
+use apm_sim::{ClusterSpec, Engine, FaultSchedule};
+use apm_storage::lsm::CompactionStrategy;
 use apm_stores::api::StoreCtx;
 use apm_stores::cassandra::{CassandraConfig, CassandraStore};
-use apm_storage::lsm::CompactionStrategy;
 use apm_stores::routing::TokenAssignment;
 use apm_stores::runner::{run_benchmark, RunConfig, RunResult};
 
@@ -29,6 +29,10 @@ pub fn all_extensions() -> Vec<(&'static str, &'static str)> {
         ("ext-compaction", "Extension: size-tiered vs. leveled compaction (Cassandra, workloads R and W, 4 nodes)"),
         ("ext-mongodb", "Extension: the excluded document store (MongoDB-like) vs. Cassandra and HBase, 4 nodes"),
         ("ext-elasticity", "Extension: live node bootstrap (Cassandra, workload R, 4→5 nodes mid-run)"),
+        ("ext-faults-crash", "Extension: single-node crash and restart, rf=1 vs rf=2 (Cassandra, workload R, 4 nodes)"),
+        ("ext-faults-slowdisk", "Extension: one fail-slow disk, x1/x4/x16 (HBase, workload R, 4 nodes)"),
+        ("ext-faults-partition", "Extension: one shard partitioned, stall vs client timeout (Redis, workload R, 4 nodes)"),
+        ("ext-faults-failover", "Extension: crash recovery compared across Cassandra rf=2, HBase, Redis (workload R, 4 nodes)"),
     ]
 }
 
@@ -42,6 +46,10 @@ pub fn generate_extension(id: &str, profile: &ExperimentProfile) -> Option<Table
         "ext-compaction" => Some(compaction_ablation(profile)),
         "ext-mongodb" => Some(mongodb_comparison(profile)),
         "ext-elasticity" => Some(elasticity(profile)),
+        "ext-faults-crash" => Some(crate::faults::crash_failover(profile)),
+        "ext-faults-slowdisk" => Some(crate::faults::slow_disk(profile)),
+        "ext-faults-partition" => Some(crate::faults::partition(profile)),
+        "ext-faults-failover" => Some(crate::faults::failover_comparison(profile)),
         _ => None,
     }
 }
@@ -69,8 +77,10 @@ fn run_cassandra(
         records_per_node: profile.records_per_node(),
         nodes,
         seed: profile.seed,
-            event_at_secs: None,
-        };
+        event_at_secs: None,
+        faults: FaultSchedule::none(),
+        op_deadline: None,
+    };
     run_benchmark(&mut engine, &mut store, &run)
 }
 
@@ -84,10 +94,16 @@ pub fn replication_sweep(profile: &ExperimentProfile) -> Table {
         "rf",
         "ops/sec | ms | GB",
     );
-    table.columns =
-        vec!["throughput".into(), "write_ms".into(), "disk_gb_per_node_at_10m".into()];
+    table.columns = vec![
+        "throughput".into(),
+        "write_ms".into(),
+        "disk_gb_per_node_at_10m".into(),
+    ];
     for rf in 1..=3 {
-        let config = CassandraConfig { replication: rf, ..CassandraConfig::default() };
+        let config = CassandraConfig {
+            replication: rf,
+            ..CassandraConfig::default()
+        };
         let result = run_cassandra(config, nodes, &Workload::w(), profile);
         // Disk usage from a load-only pass (run-time inserts depend on
         // throughput and would skew the per-record comparison).
@@ -138,13 +154,19 @@ pub fn compression_ablation(profile: &ExperimentProfile) -> Table {
         "disk_gb_per_node_at_10m".into(),
     ];
     for (label, compression) in [("off", false), ("on", true)] {
-        let config = CassandraConfig { compression, ..CassandraConfig::default() };
+        let config = CassandraConfig {
+            compression,
+            ..CassandraConfig::default()
+        };
         let r = run_cassandra(config, nodes, &Workload::r(), profile);
         let w = run_cassandra(config, nodes, &Workload::w(), profile);
         let disk = w
             .disk_bytes_per_node
             .map(|b| b as f64 / profile.scale / profile.data_factor / 1e9);
-        table.push_row(label, vec![Some(r.throughput()), Some(w.throughput()), disk]);
+        table.push_row(
+            label,
+            vec![Some(r.throughput()), Some(w.throughput()), disk],
+        );
     }
     table
 }
@@ -165,12 +187,21 @@ pub fn token_ablation(profile: &ExperimentProfile) -> Table {
         ("random", TokenAssignment::Random { seed: profile.seed }),
     ] {
         let result = run_cassandra(
-            CassandraConfig { tokens, ..CassandraConfig::default() },
+            CassandraConfig {
+                tokens,
+                ..CassandraConfig::default()
+            },
             nodes,
             &Workload::r(),
             profile,
         );
-        table.push_row(label, vec![Some(result.throughput()), result.mean_latency_ms(OpKind::Read)]);
+        table.push_row(
+            label,
+            vec![
+                Some(result.throughput()),
+                result.mean_latency_ms(OpKind::Read),
+            ],
+        );
     }
     table
 }
@@ -191,10 +222,18 @@ pub fn skew_ablation(profile: &ExperimentProfile) -> Table {
         ("zipfian", KeyDistribution::Zipfian(0.99)),
         ("latest", KeyDistribution::Latest),
     ] {
-        let workload = Workload { distribution, ..Workload::r() };
-        let result =
-            run_cassandra(CassandraConfig::default(), nodes, &workload, profile);
-        table.push_row(label, vec![Some(result.throughput()), result.mean_latency_ms(OpKind::Read)]);
+        let workload = Workload {
+            distribution,
+            ..Workload::r()
+        };
+        let result = run_cassandra(CassandraConfig::default(), nodes, &workload, profile);
+        table.push_row(
+            label,
+            vec![
+                Some(result.throughput()),
+                result.mean_latency_ms(OpKind::Read),
+            ],
+        );
     }
     table
 }
@@ -214,12 +253,19 @@ pub fn compaction_ablation(profile: &ExperimentProfile) -> Table {
         ("size-tiered", CompactionStrategy::SizeTiered),
         ("leveled", CompactionStrategy::Leveled),
     ] {
-        let config = CassandraConfig { strategy, ..CassandraConfig::default() };
+        let config = CassandraConfig {
+            strategy,
+            ..CassandraConfig::default()
+        };
         let r = run_cassandra(config, nodes, &Workload::r(), profile);
         let w = run_cassandra(config, nodes, &Workload::w(), profile);
         table.push_row(
             label,
-            vec![Some(r.throughput()), Some(w.throughput()), r.mean_latency_ms(OpKind::Read)],
+            vec![
+                Some(r.throughput()),
+                Some(w.throughput()),
+                r.mean_latency_ms(OpKind::Read),
+            ],
         );
     }
     table
@@ -242,11 +288,22 @@ pub fn mongodb_comparison(profile: &ExperimentProfile) -> Table {
     );
     table.columns = vec!["cassandra".into(), "hbase".into(), "mongodb".into()];
     for workload in [Workload::r(), Workload::rw(), Workload::w()] {
-        let cassandra =
-            run_point(StoreKind::Cassandra, ClusterSpec::cluster_m(), nodes, &workload, profile)
-                .throughput();
-        let hbase = run_point(StoreKind::HBase, ClusterSpec::cluster_m(), nodes, &workload, profile)
-            .throughput();
+        let cassandra = run_point(
+            StoreKind::Cassandra,
+            ClusterSpec::cluster_m(),
+            nodes,
+            &workload,
+            profile,
+        )
+        .throughput();
+        let hbase = run_point(
+            StoreKind::HBase,
+            ClusterSpec::cluster_m(),
+            nodes,
+            &workload,
+            profile,
+        )
+        .throughput();
         let mongo = {
             let mut engine = Engine::new();
             let ctx = StoreCtx::new(
@@ -265,13 +322,18 @@ pub fn mongodb_comparison(profile: &ExperimentProfile) -> Table {
                 records_per_node: profile.records_per_node(),
                 nodes,
                 seed: profile.seed,
-            event_at_secs: None,
-        };
+                event_at_secs: None,
+                faults: FaultSchedule::none(),
+                op_deadline: None,
+            };
             let result = run_benchmark(&mut engine, &mut store, &config);
             let _ = store.name();
             result.throughput()
         };
-        table.push_row(workload.name, vec![Some(cassandra), Some(hbase), Some(mongo)]);
+        table.push_row(
+            workload.name,
+            vec![Some(cassandra), Some(hbase), Some(mongo)],
+        );
     }
     table
 }
@@ -297,7 +359,10 @@ pub fn elasticity(profile: &ExperimentProfile) -> Table {
     );
     let mut store = CassandraStore::new(
         ctx,
-        CassandraConfig { bootstrap_on_event: true, ..CassandraConfig::default() },
+        CassandraConfig {
+            bootstrap_on_event: true,
+            ..CassandraConfig::default()
+        },
     );
     let config = RunConfig {
         workload: Workload::r(),
@@ -306,6 +371,8 @@ pub fn elasticity(profile: &ExperimentProfile) -> Table {
         nodes,
         seed: profile.seed,
         event_at_secs: Some(add_at),
+        faults: FaultSchedule::none(),
+        op_deadline: None,
     };
     let result = apm_stores::runner::run_benchmark(&mut engine, &mut store, &config);
     let mut table = Table::new(
@@ -340,7 +407,10 @@ mod tests {
         let d1 = t.get("1", "disk_gb_per_node_at_10m").unwrap();
         let d3 = t.get("3", "disk_gb_per_node_at_10m").unwrap();
         let ratio = d3 / d1;
-        assert!((2.5..3.5).contains(&ratio), "rf=3 disk must triple: {ratio:.2}");
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "rf=3 disk must triple: {ratio:.2}"
+        );
     }
 
     #[test]
@@ -348,10 +418,17 @@ mod tests {
         let t = compression_ablation(&profile());
         let disk_off = t.get("off", "disk_gb_per_node_at_10m").unwrap();
         let disk_on = t.get("on", "disk_gb_per_node_at_10m").unwrap();
-        assert!((0.4..0.7).contains(&(disk_on / disk_off)), "compression ratio: {}", disk_on / disk_off);
+        assert!(
+            (0.4..0.7).contains(&(disk_on / disk_off)),
+            "compression ratio: {}",
+            disk_on / disk_off
+        );
         let r_off = t.get("off", "thr_R").unwrap();
         let r_on = t.get("on", "thr_R").unwrap();
-        assert!(r_on < r_off, "decompression must cost read throughput: {r_off} → {r_on}");
+        assert!(
+            r_on < r_off,
+            "decompression must cost read throughput: {r_off} → {r_on}"
+        );
     }
 
     #[test]
@@ -361,7 +438,10 @@ mod tests {
         let t = token_ablation(&profile());
         let optimal = t.get("optimal", "throughput").unwrap();
         let random = t.get("random", "throughput").unwrap();
-        assert!(random < optimal * 0.97, "random tokens must cost throughput: {optimal} vs {random}");
+        assert!(
+            random < optimal * 0.97,
+            "random tokens must cost throughput: {optimal} vs {random}"
+        );
     }
 
     #[test]
@@ -374,6 +454,10 @@ mod tests {
             "ext-compaction",
             "ext-mongodb",
             "ext-elasticity",
+            "ext-faults-crash",
+            "ext-faults-slowdisk",
+            "ext-faults-partition",
+            "ext-faults-failover",
         ];
         for (id, _) in all_extensions() {
             assert!(known.contains(&id), "unlisted extension {id}");
@@ -390,25 +474,45 @@ mod tests {
         let t = mongodb_comparison(&profile());
         let mongo_w = t.get("W", "mongodb").unwrap();
         let cassandra_w = t.get("W", "cassandra").unwrap();
-        assert!(mongo_w < cassandra_w * 0.6, "mongo W {mongo_w} vs cassandra {cassandra_w}");
+        assert!(
+            mongo_w < cassandra_w * 0.6,
+            "mongo W {mongo_w} vs cassandra {cassandra_w}"
+        );
         let mongo_r = t.get("R", "mongodb").unwrap();
         let hbase_r = t.get("R", "hbase").unwrap();
-        assert!(mongo_r > hbase_r, "mongo R {mongo_r} must beat hbase {hbase_r}");
+        assert!(
+            mongo_r > hbase_r,
+            "mongo R {mongo_r} must beat hbase {hbase_r}"
+        );
     }
 
     #[test]
     fn elasticity_timeline_recovers_after_the_bootstrap() {
         let t = elasticity(&profile());
-        let timeline: Vec<f64> =
-            t.rows.iter().filter_map(|r| t.get(r, "ops_per_sec")).collect();
-        assert!(timeline.len() >= 6, "timeline too short: {}", timeline.len());
+        let timeline: Vec<f64> = t
+            .rows
+            .iter()
+            .filter_map(|r| t.get(r, "ops_per_sec"))
+            .collect();
+        assert!(
+            timeline.len() >= 6,
+            "timeline too short: {}",
+            timeline.len()
+        );
         let half = timeline.len() / 2;
         let pre: f64 = timeline[1..half - 1].iter().sum::<f64>() / (half - 2) as f64;
-        let post: f64 = timeline[half + 1..].iter().sum::<f64>() / (timeline.len() - half - 1) as f64;
+        let post: f64 =
+            timeline[half + 1..].iter().sum::<f64>() / (timeline.len() - half - 1) as f64;
         // Throughput must survive the bootstrap (within 25% of before, in
         // either direction — a 5th node with one token barely helps).
-        assert!(post > pre * 0.75, "post-bootstrap collapse: pre {pre:.0} post {post:.0}");
-        assert!(t.title.contains("streamed"), "title must report streamed bytes");
+        assert!(
+            post > pre * 0.75,
+            "post-bootstrap collapse: pre {pre:.0} post {post:.0}"
+        );
+        assert!(
+            t.title.contains("streamed"),
+            "title must report streamed bytes"
+        );
     }
 
     #[test]
@@ -424,7 +528,10 @@ mod tests {
     fn skew_ablation_runs_and_keeps_throughput_positive() {
         let t = skew_ablation(&profile());
         for row in ["uniform", "zipfian", "latest"] {
-            assert!(t.get(row, "throughput").unwrap() > 1_000.0, "{row} collapsed");
+            assert!(
+                t.get(row, "throughput").unwrap() > 1_000.0,
+                "{row} collapsed"
+            );
         }
     }
 }

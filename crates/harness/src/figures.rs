@@ -59,31 +59,90 @@ pub struct FigureSpec {
 /// All reproducible artifacts in paper order.
 pub fn all_figures() -> Vec<FigureSpec> {
     vec![
-        FigureSpec { id: "table1", title: "Table 1: Workload specifications" },
-        FigureSpec { id: "fig3", title: "Figure 3: Throughput for Workload R" },
-        FigureSpec { id: "fig4", title: "Figure 4: Read latency for Workload R" },
-        FigureSpec { id: "fig5", title: "Figure 5: Write latency for Workload R" },
-        FigureSpec { id: "fig6", title: "Figure 6: Throughput for Workload RW" },
-        FigureSpec { id: "fig7", title: "Figure 7: Read latency for Workload RW" },
-        FigureSpec { id: "fig8", title: "Figure 8: Write latency for Workload RW" },
-        FigureSpec { id: "fig9", title: "Figure 9: Throughput for Workload W" },
-        FigureSpec { id: "fig10", title: "Figure 10: Read latency for Workload W" },
-        FigureSpec { id: "fig11", title: "Figure 11: Write latency for Workload W" },
-        FigureSpec { id: "fig12", title: "Figure 12: Throughput for Workload RS" },
-        FigureSpec { id: "fig13", title: "Figure 13: Scan latency for Workload RS" },
-        FigureSpec { id: "fig14", title: "Figure 14: Throughput for Workload RSW" },
-        FigureSpec { id: "fig15", title: "Figure 15: Read latency for bounded throughput (Workload R, 8 nodes)" },
-        FigureSpec { id: "fig16", title: "Figure 16: Write latency for bounded throughput (Workload R, 8 nodes)" },
-        FigureSpec { id: "fig17", title: "Figure 17: Disk usage for 10M records/node" },
-        FigureSpec { id: "fig18", title: "Figure 18: Throughput for 8 nodes in Cluster D" },
-        FigureSpec { id: "fig19", title: "Figure 19: Read latency for 8 nodes in Cluster D" },
-        FigureSpec { id: "fig20", title: "Figure 20: Write latency for 8 nodes in Cluster D" },
+        FigureSpec {
+            id: "table1",
+            title: "Table 1: Workload specifications",
+        },
+        FigureSpec {
+            id: "fig3",
+            title: "Figure 3: Throughput for Workload R",
+        },
+        FigureSpec {
+            id: "fig4",
+            title: "Figure 4: Read latency for Workload R",
+        },
+        FigureSpec {
+            id: "fig5",
+            title: "Figure 5: Write latency for Workload R",
+        },
+        FigureSpec {
+            id: "fig6",
+            title: "Figure 6: Throughput for Workload RW",
+        },
+        FigureSpec {
+            id: "fig7",
+            title: "Figure 7: Read latency for Workload RW",
+        },
+        FigureSpec {
+            id: "fig8",
+            title: "Figure 8: Write latency for Workload RW",
+        },
+        FigureSpec {
+            id: "fig9",
+            title: "Figure 9: Throughput for Workload W",
+        },
+        FigureSpec {
+            id: "fig10",
+            title: "Figure 10: Read latency for Workload W",
+        },
+        FigureSpec {
+            id: "fig11",
+            title: "Figure 11: Write latency for Workload W",
+        },
+        FigureSpec {
+            id: "fig12",
+            title: "Figure 12: Throughput for Workload RS",
+        },
+        FigureSpec {
+            id: "fig13",
+            title: "Figure 13: Scan latency for Workload RS",
+        },
+        FigureSpec {
+            id: "fig14",
+            title: "Figure 14: Throughput for Workload RSW",
+        },
+        FigureSpec {
+            id: "fig15",
+            title: "Figure 15: Read latency for bounded throughput (Workload R, 8 nodes)",
+        },
+        FigureSpec {
+            id: "fig16",
+            title: "Figure 16: Write latency for bounded throughput (Workload R, 8 nodes)",
+        },
+        FigureSpec {
+            id: "fig17",
+            title: "Figure 17: Disk usage for 10M records/node",
+        },
+        FigureSpec {
+            id: "fig18",
+            title: "Figure 18: Throughput for 8 nodes in Cluster D",
+        },
+        FigureSpec {
+            id: "fig19",
+            title: "Figure 19: Read latency for 8 nodes in Cluster D",
+        },
+        FigureSpec {
+            id: "fig20",
+            title: "Figure 20: Write latency for 8 nodes in Cluster D",
+        },
     ]
 }
 
 /// Looks up a figure spec by id.
 pub fn figure_by_id(id: &str) -> Option<FigureSpec> {
-    all_figures().into_iter().find(|f| f.id.eq_ignore_ascii_case(id))
+    all_figures()
+        .into_iter()
+        .find(|f| f.id.eq_ignore_ascii_case(id))
 }
 
 /// Generates a figure's table. Unknown ids panic (checked by the CLI).
@@ -117,7 +176,10 @@ pub fn table1_table() -> Table {
     let mut t = Table::new("Table 1: Workload specifications", "workload", "%");
     t.columns = vec!["read".into(), "scan".into(), "insert".into()];
     for (name, read, scan, insert) in table1() {
-        t.push_row(name, vec![Some(read as f64), Some(scan as f64), Some(insert as f64)]);
+        t.push_row(
+            name,
+            vec![Some(read as f64), Some(scan as f64), Some(insert as f64)],
+        );
     }
     t
 }
@@ -130,7 +192,12 @@ fn stores_for(workload: &Workload) -> Vec<StoreKind> {
 }
 
 /// Figures 3–14: sweep node counts for one workload on Cluster M.
-pub fn node_sweep(id: &str, workload: &Workload, metric: Metric, profile: &ExperimentProfile) -> Table {
+pub fn node_sweep(
+    id: &str,
+    workload: &Workload,
+    metric: Metric,
+    profile: &ExperimentProfile,
+) -> Table {
     let spec = figure_by_id(id).expect("known figure");
     let stores = stores_for(workload);
     let mut table = Table::new(spec.title, "nodes", metric.unit());
@@ -153,8 +220,10 @@ pub fn node_sweep(id: &str, workload: &Workload, metric: Metric, profile: &Exper
 /// latency). VoltDB is omitted (footnote 8).
 pub fn bounded_latency(id: &str, metric: Metric, profile: &ExperimentProfile) -> Table {
     let spec = figure_by_id(id).expect("known figure");
-    let stores: Vec<StoreKind> =
-        StoreKind::ALL.into_iter().filter(|&k| k != StoreKind::VoltDb).collect();
+    let stores: Vec<StoreKind> = StoreKind::ALL
+        .into_iter()
+        .filter(|&k| k != StoreKind::VoltDb)
+        .collect();
     let workload = Workload::r();
     let mut table = Table::new(spec.title, "load%", "normalized");
     table.columns = stores.iter().map(|s| s.name().to_string()).collect();
@@ -162,7 +231,13 @@ pub fn bounded_latency(id: &str, metric: Metric, profile: &ExperimentProfile) ->
     let maxima: Vec<(f64, Option<f64>)> = stores
         .iter()
         .map(|&store| {
-            let p = run_point(store, ClusterSpec::cluster_m(), FIXED_NODES, &workload, profile);
+            let p = run_point(
+                store,
+                ClusterSpec::cluster_m(),
+                FIXED_NODES,
+                &workload,
+                profile,
+            );
             (p.throughput(), metric.extract(&p))
         })
         .collect();
@@ -204,10 +279,17 @@ pub fn bounded_latency(id: &str, metric: Metric, profile: &ExperimentProfile) ->
 /// formats are exact, so the scaled load extrapolates linearly).
 pub fn disk_usage(id: &str, profile: &ExperimentProfile) -> Table {
     let spec = figure_by_id(id).expect("known figure");
-    let stores =
-        [StoreKind::Cassandra, StoreKind::HBase, StoreKind::Voldemort, StoreKind::Mysql];
+    let stores = [
+        StoreKind::Cassandra,
+        StoreKind::HBase,
+        StoreKind::Voldemort,
+        StoreKind::Mysql,
+    ];
     let mut table = Table::new(spec.title, "nodes", "GB total");
-    table.columns = stores.iter().map(|s| s.name().to_string()).collect::<Vec<_>>();
+    table.columns = stores
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect::<Vec<_>>();
     table.columns.push("raw".into());
     for &nodes in &NODE_COUNTS {
         let mut cells: Vec<Option<f64>> = stores
@@ -244,19 +326,29 @@ pub fn disk_usage(id: &str, profile: &ExperimentProfile) -> Table {
 /// 150 M records *total*.
 pub fn cluster_d(id: &str, metric: Metric, profile: &ExperimentProfile) -> Table {
     let spec = figure_by_id(id).expect("known figure");
-    let stores: Vec<StoreKind> =
-        StoreKind::ALL.into_iter().filter(|k| k.in_cluster_d_figures()).collect();
+    let stores: Vec<StoreKind> = StoreKind::ALL
+        .into_iter()
+        .filter(|k| k.in_cluster_d_figures())
+        .collect();
     let mut table = Table::new(spec.title, "workload", metric.unit());
     table.columns = stores.iter().map(|s| s.name().to_string()).collect();
     // 150 M total over 8 nodes = 18.75 M per node — denser than the
     // hardware scale, which is what makes Cluster D disk-bound.
-    let d_profile = ExperimentProfile { data_factor: 1.875, ..*profile };
+    let d_profile = ExperimentProfile {
+        data_factor: 1.875,
+        ..*profile
+    };
     for workload in [Workload::r(), Workload::rw(), Workload::w()] {
         let cells = stores
             .iter()
             .map(|&store| {
-                let point =
-                    run_point(store, ClusterSpec::cluster_d(), FIXED_NODES, &workload, &d_profile);
+                let point = run_point(
+                    store,
+                    ClusterSpec::cluster_d(),
+                    FIXED_NODES,
+                    &workload,
+                    &d_profile,
+                );
                 metric.extract(&point)
             })
             .collect();
@@ -280,7 +372,10 @@ mod tests {
             );
         }
         assert!(figure_by_id("table1").is_some());
-        assert!(figure_by_id("fig2").is_none(), "fig 1/2 are illustrations, not experiments");
+        assert!(
+            figure_by_id("fig2").is_none(),
+            "fig 1/2 are illustrations, not experiments"
+        );
     }
 
     #[test]
@@ -303,9 +398,8 @@ mod tests {
         let profile = ExperimentProfile::test();
         let t = disk_usage("fig17", &profile);
         // §5.7 per-node GB at any node count; the table stores totals.
-        let per_node = |store: &str, nodes: &str| {
-            t.get(nodes, store).unwrap() / nodes.parse::<f64>().unwrap()
-        };
+        let per_node =
+            |store: &str, nodes: &str| t.get(nodes, store).unwrap() / nodes.parse::<f64>().unwrap();
         assert!((per_node("cassandra", "2") - 2.5).abs() < 0.4);
         assert!((per_node("mysql", "2") - 5.0).abs() < 0.6);
         assert!((per_node("voldemort", "2") - 5.5).abs() < 0.6);

@@ -28,7 +28,9 @@
 
 pub mod experiment;
 pub mod extensions;
+pub mod faults;
 pub mod figures;
+pub mod json;
 pub mod output;
 pub mod reference;
 pub mod shape;

@@ -4,17 +4,17 @@
 //! into a JSON results file; `render_experiments_md` builds the
 //! paper-vs-measured report that becomes EXPERIMENTS.md.
 
+use crate::json::{self, Json, JsonError};
 use crate::reference::{for_figure, Provenance};
 use crate::shape::ShapeResult;
 use apm_core::report::Table;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// A serializable snapshot of one generated figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigureResult {
     pub id: String,
     pub title: String,
@@ -38,7 +38,10 @@ impl FigureResult {
             columns: table.columns.clone(),
             rows: table.rows.clone(),
             cells: table.cells.clone(),
-            checks: checks.iter().map(|c| (c.claim.to_string(), c.pass, c.detail.clone())).collect(),
+            checks: checks
+                .iter()
+                .map(|c| (c.claim.to_string(), c.pass, c.detail.clone()))
+                .collect(),
         }
     }
 
@@ -56,22 +59,158 @@ impl FigureResult {
 }
 
 /// The full results file.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ResultsFile {
     /// Profile description (scale, window).
     pub profile: String,
     pub figures: Vec<FigureResult>,
 }
 
+fn strings(values: &[String]) -> Json {
+    Json::Arr(values.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn string_list(value: &Json, what: &str) -> Result<Vec<String>, JsonError> {
+    value
+        .as_arr()
+        .ok_or_else(|| shape_err(what))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| shape_err(what))
+        })
+        .collect()
+}
+
+fn shape_err(what: &str) -> JsonError {
+    JsonError {
+        msg: format!("missing or mistyped field `{what}`"),
+        offset: 0,
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    obj.get(key).ok_or_else(|| shape_err(key))
+}
+
+impl FigureResult {
+    fn to_value(&self) -> Json {
+        let cells = Json::Arr(
+            self.cells
+                .iter()
+                .map(|row| {
+                    Json::Arr(
+                        row.iter()
+                            .map(|c| c.map_or(Json::Null, Json::Num))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let checks = Json::Arr(
+            self.checks
+                .iter()
+                .map(|(claim, pass, detail)| {
+                    Json::Arr(vec![
+                        Json::Str(claim.clone()),
+                        Json::Bool(*pass),
+                        Json::Str(detail.clone()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("title".into(), Json::Str(self.title.clone())),
+            ("row_label".into(), Json::Str(self.row_label.clone())),
+            ("unit".into(), Json::Str(self.unit.clone())),
+            ("columns".into(), strings(&self.columns)),
+            ("rows".into(), strings(&self.rows)),
+            ("cells".into(), cells),
+            ("checks".into(), checks),
+        ])
+    }
+
+    fn from_value(value: &Json) -> Result<FigureResult, JsonError> {
+        let text = |key: &str| -> Result<String, JsonError> {
+            field(value, key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| shape_err(key))
+        };
+        let cells = field(value, "cells")?
+            .as_arr()
+            .ok_or_else(|| shape_err("cells"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| shape_err("cells"))?
+                    .iter()
+                    .map(|cell| match cell {
+                        Json::Null => Ok(None),
+                        Json::Num(v) => Ok(Some(*v)),
+                        _ => Err(shape_err("cells")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let checks = field(value, "checks")?
+            .as_arr()
+            .ok_or_else(|| shape_err("checks"))?
+            .iter()
+            .map(|check| {
+                let parts = check.as_arr().ok_or_else(|| shape_err("checks"))?;
+                match parts {
+                    [Json::Str(claim), Json::Bool(pass), Json::Str(detail)] => {
+                        Ok((claim.clone(), *pass, detail.clone()))
+                    }
+                    _ => Err(shape_err("checks")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FigureResult {
+            id: text("id")?,
+            title: text("title")?,
+            row_label: text("row_label")?,
+            unit: text("unit")?,
+            columns: string_list(field(value, "columns")?, "columns")?,
+            rows: string_list(field(value, "rows")?, "rows")?,
+            cells,
+            checks,
+        })
+    }
+}
+
 impl ResultsFile {
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("results serialize")
+        let doc = Json::Obj(vec![
+            ("profile".into(), Json::Str(self.profile.clone())),
+            (
+                "figures".into(),
+                Json::Arr(self.figures.iter().map(FigureResult::to_value).collect()),
+            ),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        text
     }
 
     /// Loads from JSON.
-    pub fn from_json(json: &str) -> Result<ResultsFile, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(text: &str) -> Result<ResultsFile, JsonError> {
+        let doc = json::parse(text)?;
+        let profile = field(&doc, "profile")?
+            .as_str()
+            .ok_or_else(|| shape_err("profile"))?
+            .to_string();
+        let figures = field(&doc, "figures")?
+            .as_arr()
+            .ok_or_else(|| shape_err("figures"))?
+            .iter()
+            .map(FigureResult::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ResultsFile { profile, figures })
     }
 }
 
@@ -89,7 +228,11 @@ pub fn write_csv(dir: &Path, id: &str, table: &Table) -> io::Result<std::path::P
 pub fn write_gnuplot(dir: &Path, id: &str, table: &Table) -> io::Result<std::path::PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{id}.gp"));
-    let logscale = if table.unit.contains("ms") { "set logscale y\n" } else { "" };
+    let logscale = if table.unit.contains("ms") {
+        "set logscale y\n"
+    } else {
+        ""
+    };
     let mut plots = Vec::new();
     for (i, col) in table.columns.iter().enumerate() {
         plots.push(format!(
@@ -135,7 +278,11 @@ pub fn render_experiments_md(results: &ResultsFile) -> String {
         let _ = writeln!(out, "```text\n{}```\n", figure.to_table().render());
         let refs = for_figure(&figure.id);
         if !refs.is_empty() {
-            let _ = writeln!(out, "| store | {} | paper | measured | src |", figure.row_label);
+            let _ = writeln!(
+                out,
+                "| store | {} | paper | measured | src |",
+                figure.row_label
+            );
             let _ = writeln!(out, "|---|---|---|---|---|");
             for r in refs {
                 let measured = figure
@@ -167,7 +314,10 @@ pub fn render_experiments_md(results: &ResultsFile) -> String {
             let _ = writeln!(out);
         }
     }
-    let _ = writeln!(out, "---\n\n**Shape checks passed: {passed_checks}/{total_checks}**");
+    let _ = writeln!(
+        out,
+        "---\n\n**Shape checks passed: {passed_checks}/{total_checks}**"
+    );
     out
 }
 
@@ -185,24 +335,44 @@ mod tests {
 
     #[test]
     fn figure_result_roundtrips_through_json() {
-        let checks = vec![ShapeResult { claim: "x", pass: true, detail: "ok".into() }];
+        let checks = vec![ShapeResult {
+            claim: "x",
+            pass: true,
+            detail: "ok".into(),
+        }];
         let fig = FigureResult::capture("fig3", &sample_table(), &checks);
-        let file = ResultsFile { profile: "test".into(), figures: vec![fig] };
+        let file = ResultsFile {
+            profile: "test".into(),
+            figures: vec![fig],
+        };
         let parsed = ResultsFile::from_json(&file.to_json()).expect("roundtrip");
         assert_eq!(parsed.figures.len(), 1);
-        assert_eq!(parsed.figures[0].to_table().get("1", "cassandra"), Some(25_000.0));
+        assert_eq!(
+            parsed.figures[0].to_table().get("1", "cassandra"),
+            Some(25_000.0)
+        );
         assert!(parsed.figures[0].checks[0].1);
     }
 
     #[test]
     fn markdown_report_contains_tables_refs_and_checks() {
-        let checks = vec![ShapeResult { claim: "claim-a", pass: false, detail: "d".into() }];
+        let checks = vec![ShapeResult {
+            claim: "claim-a",
+            pass: false,
+            detail: "d".into(),
+        }];
         let fig = FigureResult::capture("fig3", &sample_table(), &checks);
-        let file = ResultsFile { profile: "scale 0.005".into(), figures: vec![fig] };
+        let file = ResultsFile {
+            profile: "scale 0.005".into(),
+            figures: vec![fig],
+        };
         let md = render_experiments_md(&file);
         assert!(md.contains("Figure 3"));
         assert!(md.contains("25000"));
-        assert!(md.contains("more than 50K"), "fig3 reference rows must appear");
+        assert!(
+            md.contains("more than 50K"),
+            "fig3 reference rows must appear"
+        );
         assert!(md.contains("[FAIL] claim-a"));
         assert!(md.contains("Shape checks passed: 0/1"));
     }
@@ -221,7 +391,9 @@ mod tests {
         let mut lat = sample_table();
         lat.unit = "ms".into();
         let p2 = write_gnuplot(&dir, "fig4", &lat).expect("write");
-        assert!(std::fs::read_to_string(p2).unwrap().contains("set logscale y"));
+        assert!(std::fs::read_to_string(p2)
+            .unwrap()
+            .contains("set logscale y"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -21,7 +21,11 @@ pub struct ShapeResult {
 
 impl ShapeResult {
     fn of(claim: &'static str, pass: bool, detail: String) -> ShapeResult {
-        ShapeResult { claim, pass, detail }
+        ShapeResult {
+            claim,
+            pass,
+            detail,
+        }
     }
 }
 
@@ -39,13 +43,23 @@ fn ratio_check(
     match (numer, denom) {
         (Some(n), Some(d)) if d > 0.0 => {
             let r = n / d;
-            ShapeResult::of(claim, r >= min && r <= max, format!("ratio {r:.2} (want {min:.2}..{max:.2})"))
+            ShapeResult::of(
+                claim,
+                r >= min && r <= max,
+                format!("ratio {r:.2} (want {min:.2}..{max:.2})"),
+            )
         }
         _ => ShapeResult::of(claim, false, "missing cells".into()),
     }
 }
 
-fn order_check(claim: &'static str, t: &Table, row: &str, smaller: &str, larger: &str) -> ShapeResult {
+fn order_check(
+    claim: &'static str,
+    t: &Table,
+    row: &str,
+    smaller: &str,
+    larger: &str,
+) -> ShapeResult {
     match (cell(t, row, smaller), cell(t, row, larger)) {
         (Some(s), Some(l)) => ShapeResult::of(
             claim,
@@ -246,6 +260,126 @@ pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
         ],
         "fig20" => vec![
             order_check("§5.8: HBase write latency stays very low on Cluster D", t, "RW", "hbase", "cassandra"),
+        ],
+        "ext-faults-crash" => vec![
+            ratio_check(
+                "faults: at rf=2 a single-node crash keeps availability ≥ 99%",
+                cell(t, "rf2", "availability"),
+                Some(1.0),
+                0.99,
+                1.001,
+            ),
+            ratio_check(
+                "faults: at rf=1 the crashed node's key range is unavailable (availability clearly below rf=2)",
+                cell(t, "rf1", "availability"),
+                cell(t, "rf2", "availability"),
+                0.0,
+                0.96,
+            ),
+            ratio_check(
+                "faults: rf=1 sees errors during the outage",
+                cell(t, "rf1", "errors"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "faults: post-restart throughput recovers within 10% of the pre-fault mean (rf=2)",
+                cell(t, "rf2", "recovery_ratio"),
+                Some(1.0),
+                0.9,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "faults: post-restart throughput recovers within 10% of the pre-fault mean (rf=1)",
+                cell(t, "rf1", "recovery_ratio"),
+                Some(1.0),
+                0.9,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-faults-slowdisk" => vec![
+            ratio_check(
+                "faults: a 16× fail-slow disk dents mid-window throughput",
+                cell(t, "x16", "mid_ops_per_sec"),
+                cell(t, "x1", "mid_ops_per_sec"),
+                0.0,
+                0.9,
+            ),
+            ratio_check(
+                "faults: degraded is not down — zero errors at x16",
+                cell(t, "x16", "errors"),
+                Some(1.0),
+                0.0,
+                0.0,
+            ),
+            ratio_check(
+                "faults: availability stays 1.0 through the slowdown",
+                cell(t, "x16", "availability"),
+                Some(1.0),
+                0.999,
+                1.001,
+            ),
+            ratio_check(
+                "faults: throughput recovers once the disk is restored",
+                cell(t, "x16", "recovery_ratio"),
+                Some(1.0),
+                0.85,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-faults-partition" => vec![
+            ratio_check(
+                "faults: without deadlines a partition stalls the whole closed loop",
+                cell(t, "stall", "mid_ops_per_sec"),
+                cell(t, "stall", "pre_ops_per_sec"),
+                0.0,
+                0.1,
+            ),
+            ratio_check(
+                "faults: stalled connections are not errors",
+                cell(t, "stall", "errors"),
+                Some(1.0),
+                0.0,
+                0.0,
+            ),
+            ratio_check(
+                "faults: a 10 ms client deadline keeps the surviving shards serving",
+                cell(t, "timeout-10ms", "mid_ops_per_sec"),
+                cell(t, "timeout-10ms", "pre_ops_per_sec"),
+                0.05,
+                1.0,
+            ),
+            ratio_check(
+                "faults: deadlines surface the partition as timeout errors",
+                cell(t, "timeout-10ms", "errors"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-faults-failover" => vec![
+            ratio_check(
+                "faults: Cassandra rf=2 failover is near-instant (availability ≥ 99%)",
+                cell(t, "cassandra-rf2", "availability"),
+                Some(1.0),
+                0.99,
+                1.001,
+            ),
+            ratio_check(
+                "faults: HBase pays a detection + WAL-replay availability gap",
+                cell(t, "hbase", "availability"),
+                cell(t, "cassandra-rf2", "availability"),
+                0.0,
+                0.99,
+            ),
+            ratio_check(
+                "faults: Redis without replication or persistence is worst — the shard's data is gone",
+                cell(t, "redis", "availability"),
+                cell(t, "hbase", "availability"),
+                0.0,
+                0.98,
+            ),
         ],
         _ => Vec::new(),
     }

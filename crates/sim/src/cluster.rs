@@ -77,7 +77,12 @@ impl ClusterSpec {
     /// Panics if `n` is zero or exceeds the cluster's physical size.
     pub fn instantiate(&self, engine: &mut Engine, n: u32) -> Vec<NodeResources> {
         assert!(n > 0, "cluster needs at least one node");
-        assert!(n <= self.max_nodes, "cluster {} has only {} nodes", self.name, self.max_nodes);
+        assert!(
+            n <= self.max_nodes,
+            "cluster {} has only {} nodes",
+            self.name,
+            self.max_nodes
+        );
         (0..n)
             .map(|i| NodeResources {
                 cpu: engine.add_resource(format!("node{i}.cpu"), self.node.cores),
@@ -126,10 +131,7 @@ mod tests {
         let mut engine = Engine::new();
         let nodes = ClusterSpec::cluster_m().instantiate(&mut engine, 3);
         assert_eq!(nodes.len(), 3);
-        let mut all: Vec<ResourceId> = nodes
-            .iter()
-            .flat_map(|n| [n.cpu, n.disk, n.nic])
-            .collect();
+        let mut all: Vec<ResourceId> = nodes.iter().flat_map(|n| [n.cpu, n.disk, n.nic]).collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 9, "resources must be distinct");

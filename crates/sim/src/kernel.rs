@@ -25,6 +25,42 @@ pub struct ResourceId(pub u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Token(pub u64);
 
+/// Terminal status of a completed plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Every step ran to completion.
+    #[default]
+    Ok,
+    /// A step hit a failed resource, or a join's quorum became
+    /// impossible after branch failures.
+    Failed,
+    /// The plan's deadline elapsed before it finished.
+    TimedOut,
+}
+
+impl Outcome {
+    /// True when the plan ran to completion.
+    pub fn is_ok(self) -> bool {
+        self == Outcome::Ok
+    }
+}
+
+/// How a failed resource treats requests (see [`Engine::fail_resource`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailMode {
+    /// Requests are refused: the plan aborts with [`Outcome::Failed`]
+    /// after `latency` (models a connection-refused / error response).
+    /// Requests already queued at fail time are refused immediately.
+    Reject {
+        /// Time the client spends learning of the failure.
+        latency: SimDuration,
+    },
+    /// Requests hang in the queue until the resource is restored
+    /// (models a network blackhole; pair with
+    /// [`Engine::submit_with_deadline`] for client-side timeouts).
+    Stall,
+}
+
 /// A finished top-level plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Completion {
@@ -34,6 +70,8 @@ pub struct Completion {
     pub submitted: SimTime,
     /// When the final step finished.
     pub finished: SimTime,
+    /// Whether the plan succeeded, failed, or timed out.
+    pub outcome: Outcome,
 }
 
 impl Completion {
@@ -53,6 +91,10 @@ struct Resource {
     /// Accumulated server-busy nanoseconds (for utilisation reports).
     busy_ns: u128,
     served: u64,
+    /// Fault state: `Some(mode)` while the resource is down.
+    down: Option<FailMode>,
+    /// Service-time multiplier (1 = healthy; >1 = fail-slow / degraded).
+    slowdown: u32,
 }
 
 /// Reference to an execution slot, protected by a generation counter so
@@ -70,8 +112,12 @@ struct Exec {
     token: Token,
     submitted: SimTime,
     parent: Option<ExecRef>,
-    /// For a pending Join: number of child completions still required.
+    /// For a pending Join: number of child successes still required.
     join_need: usize,
+    /// For a pending Join: number of children still running.
+    join_pending: usize,
+    /// Sticky failure status; reported in the [`Completion`].
+    outcome: Outcome,
     generation: u32,
     live: bool,
 }
@@ -82,6 +128,8 @@ enum Event {
     Resume(ExecRef),
     /// An Acquire finished: release one slot of the resource, then resume.
     AcquireDone(ExecRef, ResourceId),
+    /// A deadline set by `submit_with_deadline` elapsed.
+    Timeout(ExecRef),
 }
 
 /// The simulation engine.
@@ -125,8 +173,92 @@ impl Engine {
             waiting: VecDeque::new(),
             busy_ns: 0,
             served: 0,
+            down: None,
+            slowdown: 1,
         });
         id
+    }
+
+    /// Marks `resource` as failed. With [`FailMode::Reject`] every queued
+    /// and future request aborts its plan with [`Outcome::Failed`]; with
+    /// [`FailMode::Stall`] requests wait (forever, absent a deadline)
+    /// until [`Engine::restore_resource`]. Requests already *in service*
+    /// finish normally — they left the node before it died.
+    pub fn fail_resource(&mut self, resource: ResourceId, mode: FailMode) {
+        let r = &mut self.resources[resource.0 as usize];
+        r.down = Some(mode);
+        if let FailMode::Reject { latency } = mode {
+            let waiting: Vec<(ExecRef, SimDuration)> = r.waiting.drain(..).collect();
+            for (exec, _service) in waiting {
+                self.abort_exec(exec, Outcome::Failed, latency);
+            }
+        }
+    }
+
+    /// Clears `resource`'s fault state and starts serving any stalled
+    /// queue entries.
+    pub fn restore_resource(&mut self, resource: ResourceId) {
+        self.resources[resource.0 as usize].down = None;
+        self.kick(resource);
+    }
+
+    /// True while `resource` is failed.
+    pub fn resource_is_down(&self, resource: ResourceId) -> bool {
+        self.resources[resource.0 as usize].down.is_some()
+    }
+
+    /// Multiplies `resource`'s service times by `factor` (fail-slow /
+    /// degraded hardware). `factor == 1` restores full speed. Applies to
+    /// services that start after the call.
+    ///
+    /// # Panics
+    /// Panics if `factor` is zero.
+    pub fn set_resource_slowdown(&mut self, resource: ResourceId, factor: u32) {
+        assert!(factor > 0, "slowdown factor must be positive");
+        self.resources[resource.0 as usize].slowdown = factor;
+    }
+
+    /// Current service-time multiplier of `resource`.
+    pub fn resource_slowdown(&self, resource: ResourceId) -> u32 {
+        self.resources[resource.0 as usize].slowdown
+    }
+
+    /// Starts service for `exec` on `resource`. The caller has already
+    /// accounted for the server slot in `busy`.
+    fn begin_service(&mut self, resource: ResourceId, exec: ExecRef, service: SimDuration) {
+        let r = &mut self.resources[resource.0 as usize];
+        let scaled =
+            SimDuration::from_nanos(service.as_nanos().saturating_mul(u64::from(r.slowdown)));
+        r.busy_ns += u128::from(scaled.as_nanos());
+        let at = self.now + scaled;
+        self.schedule(at, Event::AcquireDone(exec, resource));
+    }
+
+    /// Fills free server slots from the waiting queue (after a restore).
+    fn kick(&mut self, resource: ResourceId) {
+        loop {
+            let r = &mut self.resources[resource.0 as usize];
+            if r.busy >= r.capacity || r.down.is_some() {
+                return;
+            }
+            let Some((next, service)) = r.waiting.pop_front() else {
+                return;
+            };
+            r.busy += 1;
+            self.begin_service(resource, next, service);
+        }
+    }
+
+    /// Aborts `exec`: skips its remaining steps and finishes it with
+    /// `outcome` after `after` (the time the client spends learning of
+    /// the failure).
+    fn abort_exec(&mut self, exec: ExecRef, outcome: Outcome, after: SimDuration) {
+        debug_assert!(self.is_current(exec));
+        let slot = &mut self.execs[exec.idx as usize];
+        slot.outcome = outcome;
+        slot.pc = slot.steps.len();
+        let at = self.now + after;
+        self.schedule(at, Event::Resume(exec));
     }
 
     /// Fraction of `resource`'s total server-time spent busy so far.
@@ -170,6 +302,32 @@ impl Engine {
         self.schedule(start, Event::Resume(exec));
     }
 
+    /// Submits a plan now with a client-side deadline: if it has not
+    /// finished within `deadline` it completes with [`Outcome::TimedOut`]
+    /// at exactly the deadline. Work it queued stays queued (a server
+    /// may still burn time serving the abandoned request).
+    pub fn submit_with_deadline(&mut self, plan: Plan, token: Token, deadline: SimDuration) {
+        self.submit_at_with_deadline(self.now, plan, token, deadline);
+    }
+
+    /// Submits a plan to start at `start` with a deadline counted from
+    /// `start` (see [`Engine::submit_with_deadline`]).
+    ///
+    /// # Panics
+    /// Panics if `start` is before the current simulated time.
+    pub fn submit_at_with_deadline(
+        &mut self,
+        start: SimTime,
+        plan: Plan,
+        token: Token,
+        deadline: SimDuration,
+    ) {
+        assert!(start >= self.now, "cannot submit into the past");
+        let exec = self.alloc_exec(plan.0, token, start, None);
+        self.schedule(start, Event::Resume(exec));
+        self.schedule(start + deadline, Event::Timeout(exec));
+    }
+
     fn alloc_exec(
         &mut self,
         steps: Vec<Step>,
@@ -186,8 +344,13 @@ impl Engine {
             slot.submitted = submitted;
             slot.parent = parent;
             slot.join_need = 0;
+            slot.join_pending = 0;
+            slot.outcome = Outcome::Ok;
             slot.live = true;
-            ExecRef { idx, generation: slot.generation }
+            ExecRef {
+                idx,
+                generation: slot.generation,
+            }
         } else {
             let idx = self.execs.len() as u32;
             self.execs.push(Exec {
@@ -197,6 +360,8 @@ impl Engine {
                 submitted,
                 parent,
                 join_need: 0,
+                join_pending: 0,
+                outcome: Outcome::Ok,
                 generation: 0,
                 live: true,
             });
@@ -264,13 +429,21 @@ impl Engine {
                 }
                 Step::Acquire { resource, service } => {
                     let r = &mut self.resources[resource.0 as usize];
-                    if r.busy < r.capacity {
-                        r.busy += 1;
-                        r.busy_ns += u128::from(service.as_nanos());
-                        let at = self.now + service;
-                        self.schedule(at, Event::AcquireDone(exec, resource));
-                    } else {
-                        r.waiting.push_back((exec, service));
+                    match r.down {
+                        Some(FailMode::Reject { latency }) => {
+                            self.abort_exec(exec, Outcome::Failed, latency);
+                        }
+                        Some(FailMode::Stall) => {
+                            r.waiting.push_back((exec, service));
+                        }
+                        None => {
+                            if r.busy < r.capacity {
+                                r.busy += 1;
+                                self.begin_service(resource, exec, service);
+                            } else {
+                                r.waiting.push_back((exec, service));
+                            }
+                        }
                     }
                     return;
                 }
@@ -285,8 +458,10 @@ impl Engine {
                         }
                         continue;
                     }
-                    self.execs[exec.idx as usize].join_need = need;
-                    let token = self.execs[exec.idx as usize].token;
+                    let slot = &mut self.execs[exec.idx as usize];
+                    slot.join_need = need;
+                    slot.join_pending = branches.len();
+                    let token = slot.token;
                     for branch in branches {
                         let child = self.alloc_exec(branch.0, token, self.now, Some(exec));
                         self.ready.push_back(child);
@@ -298,9 +473,9 @@ impl Engine {
     }
 
     fn finish_exec(&mut self, exec: ExecRef) {
-        let (token, submitted, parent) = {
+        let (token, submitted, parent, outcome) = {
             let slot = &self.execs[exec.idx as usize];
-            (slot.token, slot.submitted, slot.parent)
+            (slot.token, slot.submitted, slot.parent, slot.outcome)
         };
         self.free_exec(exec);
         match parent {
@@ -308,8 +483,18 @@ impl Engine {
                 if self.is_current(parent_ref) {
                     let parent_slot = &mut self.execs[parent_ref.idx as usize];
                     if parent_slot.join_need > 0 {
-                        parent_slot.join_need -= 1;
-                        if parent_slot.join_need == 0 {
+                        parent_slot.join_pending -= 1;
+                        if outcome.is_ok() {
+                            parent_slot.join_need -= 1;
+                            if parent_slot.join_need == 0 {
+                                self.ready.push_back(parent_ref);
+                            }
+                        } else if parent_slot.join_need > parent_slot.join_pending {
+                            // Not enough branches left to reach quorum:
+                            // the join — and with it the plan — fails.
+                            parent_slot.join_need = 0;
+                            parent_slot.outcome = outcome;
+                            parent_slot.pc = parent_slot.steps.len();
                             self.ready.push_back(parent_ref);
                         }
                     }
@@ -322,6 +507,7 @@ impl Engine {
                     token,
                     submitted,
                     finished: self.now,
+                    outcome,
                 });
             }
         }
@@ -353,16 +539,31 @@ impl Engine {
             Event::AcquireDone(exec, resource) => {
                 let r = &mut self.resources[resource.0 as usize];
                 r.served += 1;
-                if let Some((next, service)) = r.waiting.pop_front() {
-                    // Hand the slot straight to the next waiter.
-                    r.busy_ns += u128::from(service.as_nanos());
-                    let at = self.now + service;
-                    self.schedule(at, Event::AcquireDone(next, resource));
+                // Hand the slot straight to the next waiter — unless the
+                // resource is down (a stalled queue drains on restore).
+                if r.down.is_none() {
+                    if let Some((next, service)) = r.waiting.pop_front() {
+                        self.begin_service(resource, next, service);
+                    } else {
+                        r.busy -= 1;
+                    }
                 } else {
                     r.busy -= 1;
                 }
                 if self.is_current(exec) {
                     self.ready.push_back(exec);
+                }
+            }
+            Event::Timeout(exec) => {
+                if self.is_current(exec) {
+                    // Abandon the plan wherever it is: queue entries and
+                    // in-flight services it owns become stale (servers may
+                    // still burn time on them, as real ones do).
+                    let slot = &mut self.execs[exec.idx as usize];
+                    slot.outcome = Outcome::TimedOut;
+                    slot.pc = slot.steps.len();
+                    slot.join_need = 0;
+                    self.finish_exec(exec);
                 }
             }
         }
@@ -494,7 +695,10 @@ mod tests {
             Plan::build().delay(us(50)).finish(),
             Plan::build().delay(us(20)).finish(),
         ];
-        engine.submit(Plan::build().join_all(branches).delay(us(1)).finish(), Token(9));
+        engine.submit(
+            Plan::build().join_all(branches).delay(us(1)).finish(),
+            Token(9),
+        );
         let c = engine.next_completion().unwrap();
         assert_eq!(c.latency(), us(51));
     }
@@ -510,7 +714,11 @@ mod tests {
         ];
         engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(1));
         let c = engine.next_completion().unwrap();
-        assert_eq!(c.latency(), us(5), "quorum of 1 returns at the fastest branch");
+        assert_eq!(
+            c.latency(),
+            us(5),
+            "quorum of 1 returns at the fastest branch"
+        );
         // Straggler keeps running after the completion: CPU gets used.
         engine.run_to_idle();
         assert_eq!(engine.served(cpu), 1);
@@ -523,7 +731,13 @@ mod tests {
         let disk = engine.add_resource("disk", 1);
         let bg = vec![Plan::build().acquire(disk, us(100)).finish()];
         engine.submit(
-            Plan(vec![Step::Join { branches: bg, need: 0 }, Step::Delay(us(1))]),
+            Plan(vec![
+                Step::Join {
+                    branches: bg,
+                    need: 0,
+                },
+                Step::Delay(us(1)),
+            ]),
             Token(3),
         );
         let c = engine.next_completion().unwrap();
@@ -546,7 +760,11 @@ mod tests {
     #[test]
     fn submit_at_defers_start_and_latency_window() {
         let mut engine = Engine::new();
-        engine.submit_at(SimTime(1_000_000), Plan::build().delay(us(5)).finish(), Token(2));
+        engine.submit_at(
+            SimTime(1_000_000),
+            Plan::build().delay(us(5)).finish(),
+            Token(2),
+        );
         let c = engine.next_completion().unwrap();
         assert_eq!(c.submitted, SimTime(1_000_000));
         assert_eq!(c.latency(), us(5));
@@ -570,8 +788,7 @@ mod tests {
         engine.submit(Plan::build().delay(us(30)).finish(), Token(0));
         engine.submit(Plan::build().delay(us(10)).finish(), Token(1));
         engine.submit(Plan::build().delay(us(20)).finish(), Token(2));
-        let order: Vec<Token> =
-            engine.run_to_idle().into_iter().map(|c| c.token).collect();
+        let order: Vec<Token> = engine.run_to_idle().into_iter().map(|c| c.token).collect();
         assert_eq!(order, vec![Token(1), Token(2), Token(0)]);
     }
 
@@ -582,7 +799,11 @@ mod tests {
             engine.submit(Plan::build().delay(us(1)).finish(), Token(round));
             engine.next_completion();
         }
-        assert!(engine.execs.len() < 4, "slots must be recycled, got {}", engine.execs.len());
+        assert!(
+            engine.execs.len() < 4,
+            "slots must be recycled, got {}",
+            engine.execs.len()
+        );
     }
 
     #[test]
@@ -598,15 +819,24 @@ mod tests {
         let mut engine = Engine::new();
         for (i, offset) in [1u64, 4, 9].into_iter().enumerate() {
             engine.submit(
-                Plan::build().delay(SimDuration::from_micros(offset)).align_to(us(10), SimDuration::ZERO).finish(),
+                Plan::build()
+                    .delay(SimDuration::from_micros(offset))
+                    .align_to(us(10), SimDuration::ZERO)
+                    .finish(),
                 Token(i as u64),
             );
         }
         let completions = engine.run_to_idle();
-        assert!(completions.iter().all(|c| c.finished == SimTime(10_000)), "{completions:?}");
+        assert!(
+            completions.iter().all(|c| c.finished == SimTime(10_000)),
+            "{completions:?}"
+        );
         // A write landing after the boundary joins the NEXT group.
         engine.submit(
-            Plan::build().delay(SimDuration::from_micros(1)).align_to(us(10), SimDuration::ZERO).finish(),
+            Plan::build()
+                .delay(SimDuration::from_micros(1))
+                .align_to(us(10), SimDuration::ZERO)
+                .finish(),
             Token(9),
         );
         let c = engine.run_to_idle();
@@ -620,5 +850,157 @@ mod tests {
         engine.submit(Plan::build().delay(us(10)).finish(), Token(0));
         engine.next_completion();
         engine.submit_at(SimTime(5), Plan::empty(), Token(1));
+    }
+
+    #[test]
+    fn rejecting_resource_fails_plans_with_error_latency() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        engine.fail_resource(disk, FailMode::Reject { latency: us(5) });
+        engine.submit(Plan::build().acquire(disk, us(100)).finish(), Token(1));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.outcome, Outcome::Failed);
+        assert_eq!(
+            c.latency(),
+            us(5),
+            "refusal costs the error latency, not service"
+        );
+        assert_eq!(engine.served(disk), 0);
+    }
+
+    #[test]
+    fn rejecting_resource_drains_already_queued_work() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for i in 0..3 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        // When the first request completes the second is already in
+        // service and the third still queued. Failing the resource aborts
+        // the queued waiter but lets in-flight work finish.
+        let first = engine.next_completion().unwrap();
+        assert_eq!(first.outcome, Outcome::Ok);
+        engine.fail_resource(disk, FailMode::Reject { latency: us(1) });
+        let second = engine.next_completion().unwrap();
+        assert_eq!((second.token, second.outcome), (Token(2), Outcome::Failed));
+        let third = engine.next_completion().unwrap();
+        assert_eq!((third.token, third.outcome), (Token(1), Outcome::Ok));
+    }
+
+    #[test]
+    fn stalled_resource_holds_work_until_restore() {
+        let mut engine = Engine::new();
+        let nic = engine.add_resource("nic", 1);
+        engine.fail_resource(nic, FailMode::Stall);
+        engine.submit(Plan::build().acquire(nic, us(10)).finish(), Token(1));
+        // Nothing completes while stalled; the clock stays put.
+        assert!(engine.run_until(SimTime(1_000_000)).is_empty());
+        engine.restore_resource(nic);
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.outcome, Outcome::Ok);
+        assert!(c.finished >= SimTime(1_000_000));
+    }
+
+    #[test]
+    fn slowdown_multiplies_service_time() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        engine.set_resource_slowdown(disk, 4);
+        engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(1));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.latency(), us(40));
+        engine.set_resource_slowdown(disk, 1);
+        engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(2));
+        assert_eq!(engine.next_completion().unwrap().latency(), us(10));
+    }
+
+    #[test]
+    fn deadline_times_out_stalled_requests() {
+        let mut engine = Engine::new();
+        let nic = engine.add_resource("nic", 1);
+        engine.fail_resource(nic, FailMode::Stall);
+        engine.submit_with_deadline(
+            Plan::build().acquire(nic, us(10)).finish(),
+            Token(1),
+            us(500),
+        );
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.outcome, Outcome::TimedOut);
+        assert_eq!(c.latency(), us(500));
+    }
+
+    #[test]
+    fn deadline_is_inert_when_work_finishes_in_time() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        engine.submit_with_deadline(
+            Plan::build().acquire(disk, us(10)).finish(),
+            Token(1),
+            us(500),
+        );
+        let c = engine.next_completion().unwrap();
+        assert_eq!(c.outcome, Outcome::Ok);
+        assert_eq!(c.latency(), us(10));
+        assert!(
+            engine.run_to_idle().is_empty(),
+            "stale timeout must not complete anything"
+        );
+    }
+
+    #[test]
+    fn join_fails_when_quorum_becomes_impossible() {
+        let mut engine = Engine::new();
+        let a = engine.add_resource("replica-a", 1);
+        let b = engine.add_resource("replica-b", 1);
+        engine.fail_resource(a, FailMode::Reject { latency: us(1) });
+        engine.fail_resource(b, FailMode::Reject { latency: us(1) });
+        let branches = vec![
+            Plan::build().acquire(a, us(10)).finish(),
+            Plan::build().acquire(b, us(10)).finish(),
+        ];
+        engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(9));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(
+            c.outcome,
+            Outcome::Failed,
+            "no branch can satisfy the quorum"
+        );
+    }
+
+    #[test]
+    fn join_survives_minority_branch_failure() {
+        let mut engine = Engine::new();
+        let a = engine.add_resource("replica-a", 1);
+        let b = engine.add_resource("replica-b", 1);
+        engine.fail_resource(a, FailMode::Reject { latency: us(1) });
+        let branches = vec![
+            Plan::build().acquire(a, us(10)).finish(),
+            Plan::build().acquire(b, us(10)).finish(),
+        ];
+        engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(9));
+        let c = engine.next_completion().unwrap();
+        assert_eq!(
+            c.outcome,
+            Outcome::Ok,
+            "the live replica satisfies the quorum"
+        );
+        assert_eq!(c.latency(), us(10));
+    }
+
+    #[test]
+    fn restore_resumes_fifo_service_for_stalled_queue() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        engine.fail_resource(disk, FailMode::Stall);
+        for i in 0..3 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        assert!(engine.run_until(SimTime(50_000)).is_empty());
+        engine.restore_resource(disk);
+        let tokens: Vec<u64> = (0..3)
+            .map(|_| engine.next_completion().unwrap().token.0)
+            .collect();
+        assert_eq!(tokens, vec![0, 1, 2], "stalled queue drains in FIFO order");
+        assert_eq!(engine.served(disk), 3);
     }
 }

@@ -21,6 +21,7 @@
 
 pub mod cluster;
 pub mod disk;
+pub mod fault;
 pub mod kernel;
 pub mod net;
 pub mod plan;
@@ -28,7 +29,8 @@ pub mod time;
 
 pub use cluster::{ClusterSpec, NodeResources, NodeSpec};
 pub use disk::{DiskSpec, IoPattern};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule};
+pub use kernel::{Completion, Engine, FailMode, Outcome, ResourceId, Token};
 pub use net::NetSpec;
-pub use kernel::{Completion, Engine, ResourceId, Token};
 pub use plan::{Plan, Step};
 pub use time::{SimDuration, SimTime};

@@ -18,13 +18,19 @@ use crate::time::SimDuration;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Step {
     /// Wait for a slot on `resource` (FIFO), then hold it for `service`.
-    Acquire { resource: ResourceId, service: SimDuration },
+    Acquire {
+        resource: ResourceId,
+        service: SimDuration,
+    },
     /// Pure delay with no resource contention (e.g. switch latency).
     Delay(SimDuration),
     /// Wait until the next boundary of a periodic epoch of length
     /// `period`, then a further `extra` — models group commit: a write
     /// joining a commit group waits for the group's sync.
-    AlignTo { period: SimDuration, extra: SimDuration },
+    AlignTo {
+        period: SimDuration,
+        extra: SimDuration,
+    },
     /// Execute `branches` in parallel; proceed when `need` of them have
     /// completed. Remaining branches keep running (and keep occupying
     /// resources) in the background — quorum semantics.
@@ -51,7 +57,9 @@ impl Plan {
         self.0
             .iter()
             .map(|s| match s {
-                Step::Join { branches, .. } => 1 + branches.iter().map(Plan::total_steps).sum::<usize>(),
+                Step::Join { branches, .. } => {
+                    1 + branches.iter().map(Plan::total_steps).sum::<usize>()
+                }
                 _ => 1,
             })
             .sum()
@@ -171,7 +179,9 @@ mod tests {
     fn join_all_waits_for_slowest_branch() {
         let fast = Plan::build().delay(SimDuration::from_micros(1)).finish();
         let slow = Plan::build().delay(SimDuration::from_micros(9)).finish();
-        let plan = Plan::build().join_all(vec![fast.clone(), slow.clone()]).finish();
+        let plan = Plan::build()
+            .join_all(vec![fast.clone(), slow.clone()])
+            .finish();
         assert_eq!(plan.min_duration(), SimDuration::from_micros(9));
         let quorum = Plan::build().join_quorum(vec![fast, slow], 1).finish();
         assert_eq!(quorum.min_duration(), SimDuration::from_micros(1));

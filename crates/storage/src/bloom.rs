@@ -32,9 +32,18 @@ impl Bloom {
     /// Builds a filter sized for `expected_keys` at `bits_per_key`
     /// (Cassandra/HBase default ≈ 10 bits/key → ~1 % false positives).
     pub fn with_capacity(expected_keys: usize, bits_per_key: usize) -> Bloom {
-        let bits = (expected_keys.max(1) * bits_per_key.max(1)).next_power_of_two().max(64);
-        let k = ((bits_per_key as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
-        Bloom { bits: vec![0; bits / 64], mask: bits as u64 - 1, k, inserted: 0 }
+        let bits = (expected_keys.max(1) * bits_per_key.max(1))
+            .next_power_of_two()
+            .max(64);
+        let k = ((bits_per_key as f64) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as u32;
+        Bloom {
+            bits: vec![0; bits / 64],
+            mask: bits as u64 - 1,
+            k,
+            inserted: 0,
+        }
     }
 
     /// Inserts a key.
@@ -84,7 +93,10 @@ mod tests {
             bloom.insert(&key_for_seq(seq));
         }
         for seq in 0..10_000 {
-            assert!(bloom.may_contain(&key_for_seq(seq)), "false negative at {seq}");
+            assert!(
+                bloom.may_contain(&key_for_seq(seq)),
+                "false negative at {seq}"
+            );
         }
     }
 
@@ -94,7 +106,9 @@ mod tests {
         for seq in 0..10_000 {
             bloom.insert(&key_for_seq(seq));
         }
-        let fp = (10_000..110_000).filter(|&seq| bloom.may_contain(&key_for_seq(seq))).count();
+        let fp = (10_000..110_000)
+            .filter(|&seq| bloom.may_contain(&key_for_seq(seq)))
+            .count();
         let rate = fp as f64 / 100_000.0;
         assert!(rate < 0.03, "false positive rate too high: {rate}");
     }

@@ -23,7 +23,11 @@ pub struct BTreeConfig {
 
 impl Default for BTreeConfig {
     fn default() -> Self {
-        BTreeConfig { leaf_capacity: 150, internal_capacity: 400, page_bytes: 16 << 10 }
+        BTreeConfig {
+            leaf_capacity: 150,
+            internal_capacity: 400,
+            page_bytes: 16 << 10,
+        }
     }
 }
 
@@ -41,8 +45,14 @@ pub struct PageTrace {
 
 #[derive(Clone, Debug)]
 enum Node {
-    Internal { keys: Vec<MetricKey>, children: Vec<usize> },
-    Leaf { entries: Vec<(MetricKey, FieldValues)>, next: Option<usize> },
+    Internal {
+        keys: Vec<MetricKey>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        entries: Vec<(MetricKey, FieldValues)>,
+        next: Option<usize>,
+    },
 }
 
 /// The B+tree.
@@ -58,10 +68,16 @@ pub struct BTree {
 impl BTree {
     /// Creates an empty tree.
     pub fn new(config: BTreeConfig) -> BTree {
-        assert!(config.leaf_capacity >= 2 && config.internal_capacity >= 3, "degenerate page capacities");
+        assert!(
+            config.leaf_capacity >= 2 && config.internal_capacity >= 3,
+            "degenerate page capacities"
+        );
         BTree {
             config,
-            nodes: vec![Node::Leaf { entries: Vec::new(), next: None }],
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+            }],
             root: 0,
             len: 0,
             depth: 1,
@@ -116,7 +132,9 @@ impl BTree {
     pub fn get(&self, key: &MetricKey) -> (Option<FieldValues>, PageTrace) {
         let mut trace = PageTrace::default();
         let leaf = self.leaf_for(key, &mut trace);
-        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         let value = entries
             .binary_search_by(|(k, _)| k.cmp(key))
             .ok()
@@ -130,7 +148,9 @@ impl BTree {
         let mut trace = PageTrace::default();
         let leaf = self.leaf_for(&key, &mut trace);
         trace.written.push(PageId(leaf as u64));
-        let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else {
+            unreachable!()
+        };
         let new = match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
             Ok(i) => {
                 entries[i].1 = value;
@@ -160,7 +180,10 @@ impl BTree {
                 let mid = entries.len() / 2;
                 let right_entries = entries.split_off(mid);
                 let sep = right_entries[0].0;
-                let right = Node::Leaf { entries: right_entries, next: *next };
+                let right = Node::Leaf {
+                    entries: right_entries,
+                    next: *next,
+                };
                 let right_idx = self.nodes.len();
                 self.nodes.push(right);
                 if let Node::Leaf { next, .. } = &mut self.nodes[node_idx] {
@@ -174,7 +197,10 @@ impl BTree {
                 let right_keys = keys.split_off(mid + 1);
                 keys.pop(); // the separator moves up
                 let right_children = children.split_off(mid + 1);
-                let right = Node::Internal { keys: right_keys, children: right_children };
+                let right = Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                };
                 let right_idx = self.nodes.len();
                 self.nodes.push(right);
                 (sep, right_idx)
@@ -182,7 +208,10 @@ impl BTree {
         };
         trace.allocated.push(PageId(right_idx as u64));
         if node_idx == self.root {
-            let new_root = Node::Internal { keys: vec![sep], children: vec![node_idx, right_idx] };
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![node_idx, right_idx],
+            };
             self.nodes.push(new_root);
             self.root = self.nodes.len() - 1;
             self.depth += 1;
@@ -190,10 +219,14 @@ impl BTree {
             return;
         }
         // Find the parent of node_idx by descending towards `sep`.
-        let parent_idx = self.find_parent(self.root, node_idx, &sep).expect("non-root node has a parent");
+        let parent_idx = self
+            .find_parent(self.root, node_idx, &sep)
+            .expect("non-root node has a parent");
         trace.written.push(PageId(parent_idx as u64));
         let overfull = {
-            let Node::Internal { keys, children } = &mut self.nodes[parent_idx] else { unreachable!() };
+            let Node::Internal { keys, children } = &mut self.nodes[parent_idx] else {
+                unreachable!()
+            };
             let slot = keys.partition_point(|k| *k <= sep);
             keys.insert(slot, sep);
             children.insert(slot + 1, right_idx);
@@ -218,12 +251,18 @@ impl BTree {
     }
 
     /// Range scan of up to `len` records from `start`, following leaf links.
-    pub fn scan(&self, start: &MetricKey, len: usize) -> (Vec<(MetricKey, FieldValues)>, PageTrace) {
+    pub fn scan(
+        &self,
+        start: &MetricKey,
+        len: usize,
+    ) -> (Vec<(MetricKey, FieldValues)>, PageTrace) {
         let mut trace = PageTrace::default();
         let mut leaf = self.leaf_for(start, &mut trace);
         let mut out = Vec::with_capacity(len);
         loop {
-            let Node::Leaf { entries, next } = &self.nodes[leaf] else { unreachable!() };
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                unreachable!()
+            };
             let from = entries.partition_point(|(k, _)| k < start);
             for (k, v) in &entries[from..] {
                 if out.len() == len {
@@ -248,7 +287,11 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
 
     fn tiny() -> BTreeConfig {
-        BTreeConfig { leaf_capacity: 8, internal_capacity: 8, page_bytes: 1 << 10 }
+        BTreeConfig {
+            leaf_capacity: 8,
+            internal_capacity: 8,
+            page_bytes: 1 << 10,
+        }
     }
 
     fn load(tree: &mut BTree, seqs: std::ops::Range<u64>) {
@@ -311,7 +354,11 @@ mod tests {
         let got: Vec<MetricKey> = result.iter().map(|(k, _)| *k).collect();
         assert_eq!(got, keys[200..250].to_vec());
         // A 50-record scan over 8-entry leaves crosses several leaves.
-        assert!(trace.read.len() > 5, "leaf chain not followed: {}", trace.read.len());
+        assert!(
+            trace.read.len() > 5,
+            "leaf chain not followed: {}",
+            trace.read.len()
+        );
     }
 
     #[test]
@@ -346,6 +393,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn degenerate_config_panics() {
-        BTree::new(BTreeConfig { leaf_capacity: 1, internal_capacity: 2, page_bytes: 1 });
+        BTree::new(BTreeConfig {
+            leaf_capacity: 1,
+            internal_capacity: 2,
+            page_bytes: 1,
+        });
     }
 }

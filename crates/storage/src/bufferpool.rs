@@ -93,15 +93,25 @@ impl BufferPool {
             if access == Access::Write {
                 frame.dirty = true;
             }
-            return PoolResult { hit: true, writeback: None };
+            return PoolResult {
+                hit: true,
+                writeback: None,
+            };
         }
         self.stats.misses += 1;
         let dirty = access == Access::Write;
         if self.frames.len() < self.capacity {
             let idx = self.frames.len();
-            self.frames.push(Frame { page, referenced: true, dirty });
+            self.frames.push(Frame {
+                page,
+                referenced: true,
+                dirty,
+            });
             self.map.insert(page, idx);
-            return PoolResult { hit: false, writeback: None };
+            return PoolResult {
+                hit: false,
+                writeback: None,
+            };
         }
         // Clock sweep: clear reference bits until a victim is found.
         let victim_idx = loop {
@@ -122,10 +132,17 @@ impl BufferPool {
         } else {
             None
         };
-        self.frames[victim_idx] = Frame { page, referenced: true, dirty };
+        self.frames[victim_idx] = Frame {
+            page,
+            referenced: true,
+            dirty,
+        };
         self.map.insert(page, victim_idx);
         self.hand = (victim_idx + 1) % self.capacity;
-        PoolResult { hit: false, writeback }
+        PoolResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Number of resident pages.
@@ -164,7 +181,10 @@ mod tests {
             pool.access(PageId(i), Access::Read);
         }
         for i in 0..8 {
-            assert!(pool.access(PageId(i), Access::Read).hit, "page {i} evicted prematurely");
+            assert!(
+                pool.access(PageId(i), Access::Read).hit,
+                "page {i} evicted prematurely"
+            );
         }
         assert_eq!(pool.stats().evictions, 0);
     }
@@ -202,8 +222,14 @@ mod tests {
         // unreferenced page 2 instead.
         assert!(pool.access(PageId(3), Access::Read).hit);
         pool.access(PageId(5), Access::Read);
-        assert!(pool.access(PageId(3), Access::Read).hit, "referenced page lost its second chance");
-        assert!(!pool.access(PageId(2), Access::Read).hit, "unreferenced page should be the victim");
+        assert!(
+            pool.access(PageId(3), Access::Read).hit,
+            "referenced page lost its second chance"
+        );
+        assert!(
+            !pool.access(PageId(2), Access::Read).hit,
+            "unreferenced page should be the victim"
+        );
     }
 
     #[test]
@@ -215,14 +241,20 @@ mod tests {
             }
             let _ = round;
         }
-        assert!(small.stats().hit_rate() < 0.1, "thrashing pool should mostly miss");
+        assert!(
+            small.stats().hit_rate() < 0.1,
+            "thrashing pool should mostly miss"
+        );
         let mut big = BufferPool::new(200);
         for _ in 0..3 {
             for i in 0..100 {
                 big.access(PageId(i), Access::Read);
             }
         }
-        assert!(big.stats().hit_rate() > 0.6, "resident working set should mostly hit");
+        assert!(
+            big.stats().hit_rate() > 0.6,
+            "resident working set should mostly hit"
+        );
     }
 
     #[test]

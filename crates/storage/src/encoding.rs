@@ -74,7 +74,11 @@ pub fn hbase_format() -> StorageFormat {
 pub fn voldemort_format() -> StorageFormat {
     let logical = RAW_RECORD_SIZE as u64 + KEY_SIZE as u64 + 50 + 30;
     let fill_factor_inflated = logical * 10 / 7 + 293; // + JE cleaner slack
-    StorageFormat { name: "voldemort", bytes_per_record: fill_factor_inflated, includes_log: false }
+    StorageFormat {
+        name: "voldemort",
+        bytes_per_record: fill_factor_inflated,
+        includes_log: false,
+    }
 }
 
 /// MySQL/InnoDB layout: clustered index record (header 5 + transaction
@@ -86,7 +90,11 @@ pub fn mysql_format() -> StorageFormat {
     let row = 5 + 6 + 7 + RAW_RECORD_SIZE as u64;
     let page_slack = row * 6 / 10;
     let data = row + page_slack + 101;
-    StorageFormat { name: "mysql", bytes_per_record: data * 2, includes_log: true }
+    StorageFormat {
+        name: "mysql",
+        bytes_per_record: data * 2,
+        includes_log: true,
+    }
 }
 
 /// MySQL without the binary log (the §5.7 aside).
@@ -101,12 +109,22 @@ pub fn mysql_format_no_binlog() -> StorageFormat {
 
 /// The raw data baseline plotted in Figure 17.
 pub fn raw_format() -> StorageFormat {
-    StorageFormat { name: "raw", bytes_per_record: RAW_RECORD_SIZE as u64, includes_log: false }
+    StorageFormat {
+        name: "raw",
+        bytes_per_record: RAW_RECORD_SIZE as u64,
+        includes_log: false,
+    }
 }
 
 /// All disk-resident formats in Figure 17's legend order.
 pub fn figure17_formats() -> Vec<StorageFormat> {
-    vec![cassandra_format(), hbase_format(), voldemort_format(), mysql_format(), raw_format()]
+    vec![
+        cassandra_format(),
+        hbase_format(),
+        voldemort_format(),
+        mysql_format(),
+        raw_format(),
+    ]
 }
 
 #[cfg(test)]
@@ -129,7 +147,10 @@ mod tests {
         let gb = gb_per_10m(&mysql_format());
         assert!((gb - 5.0).abs() < 0.5, "mysql: {gb} GB, paper: 5 GB");
         let without = gb_per_10m(&mysql_format_no_binlog());
-        assert!((without - 2.5).abs() < 0.3, "mysql sans binlog: {without} GB, paper: ~half");
+        assert!(
+            (without - 2.5).abs() < 0.3,
+            "mysql sans binlog: {without} GB, paper: ~half"
+        );
     }
 
     #[test]
@@ -158,7 +179,10 @@ mod tests {
     #[test]
     fn hbase_expansion_is_about_10x() {
         let e = hbase_format().expansion();
-        assert!((9.0..11.5).contains(&e), "hbase expansion {e}, paper says 10x");
+        assert!(
+            (9.0..11.5).contains(&e),
+            "hbase expansion {e}, paper says 10x"
+        );
     }
 
     #[test]

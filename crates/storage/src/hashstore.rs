@@ -28,7 +28,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "out of memory: need {} bytes, budget {}", self.needed, self.budget)
+        write!(
+            f,
+            "out of memory: need {} bytes, budget {}",
+            self.needed, self.budget
+        )
     }
 }
 
@@ -47,7 +51,12 @@ pub struct HashStore {
 impl HashStore {
     /// Creates a store with an optional memory budget in bytes.
     pub fn new(max_memory: Option<u64>) -> HashStore {
-        HashStore { map: HashMap::new(), index: BTreeSet::new(), mem_bytes: 0, max_memory }
+        HashStore {
+            map: HashMap::new(),
+            index: BTreeSet::new(),
+            mem_bytes: 0,
+            max_memory,
+        }
     }
 
     /// Bytes a single record costs in memory.
@@ -56,7 +65,11 @@ impl HashStore {
     }
 
     /// Inserts a record (no eviction — Redis `noeviction` semantics).
-    pub fn insert(&mut self, key: MetricKey, value: FieldValues) -> Result<CostReceipt, OutOfMemory> {
+    pub fn insert(
+        &mut self,
+        key: MetricKey,
+        value: FieldValues,
+    ) -> Result<CostReceipt, OutOfMemory> {
         let mut receipt = CostReceipt::new();
         receipt.touch(RAW_RECORD_SIZE as u64);
         if let Some(existing) = self.map.get_mut(&key) {
@@ -90,7 +103,11 @@ impl HashStore {
     }
 
     /// Range scan over the sorted-set index.
-    pub fn scan(&self, start: &MetricKey, len: usize) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
+    pub fn scan(
+        &self,
+        start: &MetricKey,
+        len: usize,
+    ) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
         let mut receipt = CostReceipt::new();
         // ZRANGEBYLEX walk + one HGETALL per hit.
         let out: Vec<(MetricKey, FieldValues)> = self
@@ -200,7 +217,10 @@ mod tests {
         let (result, receipt) = store.scan(&keys[100], 50);
         let got: Vec<MetricKey> = result.iter().map(|(k, _)| *k).collect();
         assert_eq!(got, keys[100..150].to_vec());
-        assert_eq!(receipt.probes, 51, "one index walk + one hash probe per record");
+        assert_eq!(
+            receipt.probes, 51,
+            "one index walk + one hash probe per record"
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl LsmTree {
 
     /// Inserts a record. Returns the operation receipt and, if the
     /// memtable crossed its threshold, the flush job to schedule.
-    pub fn insert(&mut self, key: MetricKey, value: FieldValues) -> (CostReceipt, Option<BackgroundJob>) {
+    pub fn insert(
+        &mut self,
+        key: MetricKey,
+        value: FieldValues,
+    ) -> (CostReceipt, Option<BackgroundJob>) {
         self.stats.inserts += 1;
         let mut receipt = CostReceipt::new();
         receipt.probe(1).touch(RAW_RECORD_SIZE as u64);
@@ -285,8 +289,11 @@ impl LsmTree {
             .compacting_inputs
             .remove(&job_id)
             .unwrap_or_else(|| panic!("unknown compaction job {job_id}"));
-        let input_tables: Vec<&SsTable> =
-            self.tables.iter().filter(|t| inputs.contains(&t.id)).collect();
+        let input_tables: Vec<&SsTable> = self
+            .tables
+            .iter()
+            .filter(|t| inputs.contains(&t.id))
+            .collect();
         debug_assert_eq!(input_tables.len(), inputs.len());
         let merged = SsTable::merge(
             self.next_table_id,
@@ -330,7 +337,11 @@ impl LsmTree {
     }
 
     /// Range scan merging the memtable and every run.
-    pub fn scan(&mut self, start: &MetricKey, len: usize) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
+    pub fn scan(
+        &mut self,
+        start: &MetricKey,
+        len: usize,
+    ) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
         self.stats.scans += 1;
         let mut receipt = CostReceipt::new();
         // (priority, key, value): higher priority = newer version wins.
@@ -349,7 +360,10 @@ impl LsmTree {
         candidates.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
         candidates.dedup_by(|next, first| next.1 == first.1);
         candidates.truncate(len);
-        (candidates.into_iter().map(|(_, k, v)| (k, v)).collect(), receipt)
+        (
+            candidates.into_iter().map(|(_, k, v)| (k, v)).collect(),
+            receipt,
+        )
     }
 
     /// Number of immutable runs.
@@ -384,7 +398,10 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
 
     fn small_config() -> LsmConfig {
-        LsmConfig { memtable_flush_bytes: 75 * 100, ..LsmConfig::default() }
+        LsmConfig {
+            memtable_flush_bytes: 75 * 100,
+            ..LsmConfig::default()
+        }
     }
 
     /// Drives all announced jobs to completion immediately.
@@ -442,12 +459,24 @@ mod tests {
         load(&mut tree, 0..2_000);
         // 20 flushes happened; compactions must have merged most runs.
         assert!(tree.stats().compactions >= 1, "no compaction triggered");
-        assert!(tree.table_count() < 10, "too many runs left: {}", tree.table_count());
+        assert!(
+            tree.table_count() < 10,
+            "too many runs left: {}",
+            tree.table_count()
+        );
         for seq in (0..2_000).step_by(101) {
             let r = record_for_seq(seq);
-            assert_eq!(tree.get(&r.key).0, Some(r.fields), "seq {seq} lost in compaction");
+            assert_eq!(
+                tree.get(&r.key).0,
+                Some(r.fields),
+                "seq {seq} lost in compaction"
+            );
         }
-        assert_eq!(tree.record_count(), 2_000, "compaction must not duplicate or drop");
+        assert_eq!(
+            tree.record_count(),
+            2_000,
+            "compaction must not duplicate or drop"
+        );
     }
 
     #[test]
@@ -541,7 +570,10 @@ mod tests {
         let job = tree.force_flush().expect("non-empty memtable");
         settle(&mut tree, Some(job));
         assert_eq!(tree.table_count(), 1);
-        assert!(tree.force_flush().is_none(), "second force flush has nothing to do");
+        assert!(
+            tree.force_flush().is_none(),
+            "second force flush has nothing to do"
+        );
     }
 
     #[test]
@@ -563,7 +595,10 @@ mod tests {
     #[test]
     fn leveled_strategy_keeps_few_runs_at_higher_write_cost() {
         let tiered_cfg = small_config();
-        let leveled_cfg = LsmConfig { strategy: CompactionStrategy::Leveled, ..small_config() };
+        let leveled_cfg = LsmConfig {
+            strategy: CompactionStrategy::Leveled,
+            ..small_config()
+        };
         let mut tiered = LsmTree::new(tiered_cfg);
         let mut leveled = LsmTree::new(leveled_cfg);
         load(&mut tiered, 0..5_000);
@@ -574,7 +609,11 @@ mod tests {
             leveled.table_count(),
             tiered.table_count()
         );
-        assert!(leveled.table_count() <= 4, "leveled run count: {}", leveled.table_count());
+        assert!(
+            leveled.table_count() <= 4,
+            "leveled run count: {}",
+            leveled.table_count()
+        );
         let t_amp = tiered.stats().bytes_compacted;
         let l_amp = leveled.stats().bytes_compacted;
         assert!(
@@ -584,7 +623,11 @@ mod tests {
         // Both keep the data intact.
         for seq in (0..5_000).step_by(397) {
             let r = record_for_seq(seq);
-            assert_eq!(leveled.get(&r.key).0, Some(r.fields), "leveled lost seq {seq}");
+            assert_eq!(
+                leveled.get(&r.key).0,
+                Some(r.fields),
+                "leveled lost seq {seq}"
+            );
         }
     }
 

@@ -43,7 +43,9 @@ impl Memtable {
         start: &MetricKey,
         len: usize,
     ) -> impl Iterator<Item = (&'a MetricKey, &'a FieldValues)> + 'a {
-        self.entries.range((Bound::Included(*start), Bound::Unbounded)).take(len)
+        self.entries
+            .range((Bound::Included(*start), Bound::Unbounded))
+            .take(len)
     }
 
     /// Number of buffered records.

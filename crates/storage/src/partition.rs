@@ -36,7 +36,9 @@ impl PartitionTable {
     /// Inserts or replaces a row.
     pub fn insert(&mut self, key: MetricKey, value: FieldValues) -> CostReceipt {
         let mut receipt = CostReceipt::new();
-        receipt.probe(self.index_probes()).touch(RAW_RECORD_SIZE as u64);
+        receipt
+            .probe(self.index_probes())
+            .touch(RAW_RECORD_SIZE as u64);
         self.rows.insert(key, value);
         receipt
     }
@@ -53,7 +55,11 @@ impl PartitionTable {
     }
 
     /// Range scan within this partition.
-    pub fn scan(&self, start: &MetricKey, len: usize) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
+    pub fn scan(
+        &self,
+        start: &MetricKey,
+        len: usize,
+    ) -> (Vec<(MetricKey, FieldValues)>, CostReceipt) {
         let mut receipt = CostReceipt::new();
         let out: Vec<(MetricKey, FieldValues)> = self
             .rows
@@ -100,7 +106,10 @@ mod tests {
         let mut keys: Vec<MetricKey> = (0..300).map(|s| record_for_seq(s).key).collect();
         keys.sort();
         let (result, _) = p.scan(&keys[10], 20);
-        assert_eq!(result.iter().map(|(k, _)| *k).collect::<Vec<_>>(), keys[10..30].to_vec());
+        assert_eq!(
+            result.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            keys[10..30].to_vec()
+        );
     }
 
     #[test]

@@ -50,22 +50,38 @@ pub struct DiskIo {
 impl DiskIo {
     /// A cacheable random read.
     pub fn random_read(bytes: u64) -> DiskIo {
-        DiskIo { bytes, class: IoClass::RandomRead, cacheable: true }
+        DiskIo {
+            bytes,
+            class: IoClass::RandomRead,
+            cacheable: true,
+        }
     }
 
     /// A cacheable sequential read.
     pub fn seq_read(bytes: u64) -> DiskIo {
-        DiskIo { bytes, class: IoClass::SeqRead, cacheable: true }
+        DiskIo {
+            bytes,
+            class: IoClass::SeqRead,
+            cacheable: true,
+        }
     }
 
     /// An uncacheable sequential write (log append, flush).
     pub fn seq_write(bytes: u64) -> DiskIo {
-        DiskIo { bytes, class: IoClass::SeqWrite, cacheable: false }
+        DiskIo {
+            bytes,
+            class: IoClass::SeqWrite,
+            cacheable: false,
+        }
     }
 
     /// An uncacheable random write (page write-back).
     pub fn random_write(bytes: u64) -> DiskIo {
-        DiskIo { bytes, class: IoClass::RandomWrite, cacheable: false }
+        DiskIo {
+            bytes,
+            class: IoClass::RandomWrite,
+            cacheable: false,
+        }
     }
 }
 

@@ -34,24 +34,41 @@ impl SsTable {
     ///
     /// # Panics
     /// Panics (debug) if `entries` are not strictly sorted by key.
-    pub fn from_sorted(id: u64, entries: Vec<(MetricKey, FieldValues)>, block_bytes: u64, bloom_bits_per_key: usize) -> SsTable {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be strictly sorted");
+    pub fn from_sorted(
+        id: u64,
+        entries: Vec<(MetricKey, FieldValues)>,
+        block_bytes: u64,
+        bloom_bits_per_key: usize,
+    ) -> SsTable {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted"
+        );
         let mut bloom = Bloom::with_capacity(entries.len(), bloom_bits_per_key);
         for (key, _) in &entries {
             bloom.insert(key);
         }
-        SsTable { id, entries, bloom, block_bytes }
+        SsTable {
+            id,
+            entries,
+            bloom,
+            block_bytes,
+        }
     }
 
     /// Merges several tables (newest first) into one. Newer values win on
     /// key collisions. Returns the merged table.
-    pub fn merge(id: u64, inputs: &[&SsTable], block_bytes: u64, bloom_bits_per_key: usize) -> SsTable {
+    pub fn merge(
+        id: u64,
+        inputs: &[&SsTable],
+        block_bytes: u64,
+        bloom_bits_per_key: usize,
+    ) -> SsTable {
         // K-way merge via collect-then-dedup: inputs are sorted, but a
         // simple concatenation + stable sort keeps the code obvious and is
         // O(n log n) on real data the benchmark sizes reach.
-        let mut all: Vec<(u64, MetricKey, FieldValues)> = Vec::with_capacity(
-            inputs.iter().map(|t| t.entries.len()).sum(),
-        );
+        let mut all: Vec<(u64, MetricKey, FieldValues)> =
+            Vec::with_capacity(inputs.iter().map(|t| t.entries.len()).sum());
         for table in inputs {
             for (k, v) in &table.entries {
                 all.push((table.id, *k, *v));
@@ -61,7 +78,8 @@ impl SsTable {
         // of a key comes first and survives the dedup.
         all.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
         all.dedup_by(|next, first| next.1 == first.1);
-        let entries: Vec<(MetricKey, FieldValues)> = all.into_iter().map(|(_, k, v)| (k, v)).collect();
+        let entries: Vec<(MetricKey, FieldValues)> =
+            all.into_iter().map(|(_, k, v)| (k, v)).collect();
         SsTable::from_sorted(id, entries, block_bytes, bloom_bits_per_key)
     }
 
@@ -142,8 +160,12 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
 
     fn build(id: u64, seqs: impl Iterator<Item = u64>) -> SsTable {
-        let mut entries: Vec<(MetricKey, FieldValues)> =
-            seqs.map(|s| { let r = record_for_seq(s); (r.key, r.fields) }).collect();
+        let mut entries: Vec<(MetricKey, FieldValues)> = seqs
+            .map(|s| {
+                let r = record_for_seq(s);
+                (r.key, r.fields)
+            })
+            .collect();
         entries.sort_by_key(|(k, _)| *k);
         SsTable::from_sorted(id, entries, 65_536, 10)
     }
@@ -171,7 +193,10 @@ mod tests {
                 negatives += 1;
             }
         }
-        assert!(negatives > 950, "bloom should exclude most absent keys: {negatives}");
+        assert!(
+            negatives > 950,
+            "bloom should exclude most absent keys: {negatives}"
+        );
         assert!(receipt.read_ios() < 50, "false positives should be rare");
     }
 
@@ -186,7 +211,10 @@ mod tests {
         assert_eq!(out.len(), 50);
         assert_eq!(out[0].0, keys[100]);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
-        assert!(receipt.io_bytes() >= 50 * 75, "scan must account transferred bytes");
+        assert!(
+            receipt.io_bytes() >= 50 * 75,
+            "scan must account transferred bytes"
+        );
     }
 
     #[test]

@@ -58,7 +58,13 @@ pub struct CommitLog {
 impl CommitLog {
     /// Creates a log with the given sync policy and per-entry overhead.
     pub fn new(policy: SyncPolicy, entry_overhead: u64) -> CommitLog {
-        CommitLog { policy, entry_overhead, appended_bytes: 0, appends: 0, unflushed: 0 }
+        CommitLog {
+            policy,
+            entry_overhead,
+            appended_bytes: 0,
+            appends: 0,
+            unflushed: 0,
+        }
     }
 
     /// The configured policy.
@@ -72,17 +78,26 @@ impl CommitLog {
         self.appended_bytes += entry;
         self.appends += 1;
         match self.policy {
-            SyncPolicy::PerWrite => WalReceipt { io: Some(DiskIo::seq_write(entry)), align: None },
+            SyncPolicy::PerWrite => WalReceipt {
+                io: Some(DiskIo::seq_write(entry)),
+                align: None,
+            },
             SyncPolicy::GroupCommit { window } => {
                 // The group's sync writes all accumulated entries at the
                 // boundary; each writer is charged its own bytes (the sum
                 // over the group equals the real sync size) and waits for
                 // the boundary.
-                WalReceipt { io: Some(DiskIo::seq_write(entry)), align: Some(window) }
+                WalReceipt {
+                    io: Some(DiskIo::seq_write(entry)),
+                    align: Some(window),
+                }
             }
             SyncPolicy::Deferred => {
                 self.unflushed += entry;
-                WalReceipt { io: None, align: None }
+                WalReceipt {
+                    io: None,
+                    align: None,
+                }
             }
         }
     }

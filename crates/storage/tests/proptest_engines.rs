@@ -1,14 +1,21 @@
-//! Property-based tests: every storage engine behaves like a reference
+//! Randomized-model tests: every storage engine behaves like a reference
 //! model (a sorted map) under arbitrary operation sequences.
+//!
+//! Formerly proptest-based; the workspace now builds offline, so the same
+//! invariants run as seeded `SplitRng` case loops. The one historical
+//! proptest regression (a shrunk Insert/Get/Scan sequence that diverged
+//! the LSM from its model) is preserved verbatim in
+//! `lsm_regression_sequence_matches_model`.
 
-use apm_core::keyspace::record_for_seq;
+use apm_core::keyspace::{record_for_seq, SplitRng};
 use apm_core::record::{FieldValues, MetricKey};
 use apm_storage::btree::{BTree, BTreeConfig};
 use apm_storage::hashstore::HashStore;
 use apm_storage::lsm::{JobKind, LsmConfig, LsmTree};
 use apm_storage::memtable::Memtable;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+const CASES: u64 = 64;
 
 /// An operation against a keyed store.
 #[derive(Clone, Debug)]
@@ -18,12 +25,18 @@ enum Op {
     Scan(u64, usize),
 }
 
-fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..key_space).prop_map(Op::Insert),
-        2 => (0..key_space).prop_map(Op::Get),
-        1 => ((0..key_space), (1usize..60)).prop_map(|(k, l)| Op::Scan(k, l)),
-    ]
+/// Mirrors the old proptest strategy: 3:2:1 insert/get/scan mix.
+fn random_op(rng: &mut SplitRng, key_space: u64) -> Op {
+    match rng.next_below(6) {
+        0..=2 => Op::Insert(rng.next_below(key_space)),
+        3..=4 => Op::Get(rng.next_below(key_space)),
+        _ => Op::Scan(rng.next_below(key_space), 1 + rng.next_below(59) as usize),
+    }
+}
+
+fn random_ops(rng: &mut SplitRng, key_space: u64, max_len: u64) -> Vec<Op> {
+    let len = 1 + rng.next_below(max_len - 1) as usize;
+    (0..len).map(|_| random_op(rng, key_space)).collect()
 }
 
 fn key(seq: u64) -> MetricKey {
@@ -45,43 +58,358 @@ fn settle(tree: &mut LsmTree, job: Option<apm_storage::lsm::BackgroundJob>) {
     }
 }
 
-fn model_scan(model: &BTreeMap<MetricKey, FieldValues>, start: &MetricKey, len: usize) -> Vec<MetricKey> {
+fn model_scan(
+    model: &BTreeMap<MetricKey, FieldValues>,
+    start: &MetricKey,
+    len: usize,
+) -> Vec<MetricKey> {
     model.range(start..).take(len).map(|(k, _)| *k).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn lsm_matches_sorted_map_model(ops in prop::collection::vec(op_strategy(500), 1..400)) {
-        let mut tree = LsmTree::new(LsmConfig { memtable_flush_bytes: 75 * 40, ..LsmConfig::default() });
-        let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
-        for op in ops {
-            match op {
-                Op::Insert(seq) => {
-                    let (_, job) = tree.insert(key(seq), value(seq));
-                    settle(&mut tree, job);
-                    model.insert(key(seq), value(seq));
-                }
-                Op::Get(seq) => {
-                    let (got, _) = tree.get(&key(seq));
-                    prop_assert_eq!(got.as_ref(), model.get(&key(seq)), "get({}) diverged", seq);
-                }
-                Op::Scan(seq, len) => {
-                    let (rows, _) = tree.scan(&key(seq), len);
-                    let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
-                    prop_assert_eq!(got, model_scan(&model, &key(seq), len), "scan({}, {}) diverged", seq, len);
-                }
+fn check_lsm_against_model(ops: &[Op], label: &str) {
+    let mut tree = LsmTree::new(LsmConfig {
+        memtable_flush_bytes: 75 * 40,
+        ..LsmConfig::default()
+    });
+    let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(seq) => {
+                let (_, job) = tree.insert(key(seq), value(seq));
+                settle(&mut tree, job);
+                model.insert(key(seq), value(seq));
+            }
+            Op::Get(seq) => {
+                let (got, _) = tree.get(&key(seq));
+                assert_eq!(
+                    got.as_ref(),
+                    model.get(&key(seq)),
+                    "{label}: get({seq}) diverged"
+                );
+            }
+            Op::Scan(seq, len) => {
+                let (rows, _) = tree.scan(&key(seq), len);
+                let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
+                assert_eq!(
+                    got,
+                    model_scan(&model, &key(seq), len),
+                    "{label}: scan({seq}, {len}) diverged"
+                );
             }
         }
-        // Re-inserted keys keep an extra version per unmerged run, so the
-        // physical count may exceed the logical count until compaction.
-        prop_assert!(tree.record_count() >= model.len() as u64, "records lost");
     }
+    // Re-inserted keys keep an extra version per unmerged run, so the
+    // physical count may exceed the logical count until compaction.
+    assert!(
+        tree.record_count() >= model.len() as u64,
+        "{label}: records lost"
+    );
+}
 
-    #[test]
-    fn btree_matches_sorted_map_model(ops in prop::collection::vec(op_strategy(500), 1..400)) {
-        let mut tree = BTree::new(BTreeConfig { leaf_capacity: 6, internal_capacity: 5, page_bytes: 512 });
+#[test]
+fn lsm_matches_sorted_map_model() {
+    let mut root = SplitRng::new(0x6C73_6D74);
+    for case in 0..CASES {
+        let mut rng = root.split(case);
+        let ops = random_ops(&mut rng, 500, 400);
+        check_lsm_against_model(&ops, &format!("case {case}"));
+    }
+}
+
+/// The shrunk sequence proptest saved in
+/// `proptest_engines.proptest-regressions`: ~70 unique inserts force
+/// memtable flushes at 40 records, then interleaved Get/Scan traffic
+/// checks reads across memtable + multiple on-disk runs.
+#[test]
+fn lsm_regression_sequence_matches_model() {
+    let ops = vec![
+        Op::Insert(245),
+        Op::Insert(71),
+        Op::Insert(342),
+        Op::Insert(13),
+        Op::Insert(54),
+        Op::Insert(433),
+        Op::Insert(499),
+        Op::Insert(118),
+        Op::Insert(418),
+        Op::Insert(218),
+        Op::Insert(352),
+        Op::Insert(388),
+        Op::Insert(480),
+        Op::Insert(143),
+        Op::Insert(266),
+        Op::Insert(369),
+        Op::Insert(286),
+        Op::Insert(440),
+        Op::Insert(453),
+        Op::Insert(434),
+        Op::Insert(49),
+        Op::Insert(209),
+        Op::Insert(403),
+        Op::Insert(424),
+        Op::Insert(462),
+        Op::Insert(247),
+        Op::Insert(67),
+        Op::Insert(250),
+        Op::Insert(95),
+        Op::Insert(91),
+        Op::Insert(170),
+        Op::Insert(243),
+        Op::Insert(269),
+        Op::Insert(408),
+        Op::Insert(496),
+        Op::Insert(18),
+        Op::Insert(241),
+        Op::Insert(356),
+        Op::Insert(141),
+        Op::Insert(335),
+        Op::Insert(342),
+        Op::Insert(161),
+        Op::Insert(136),
+        Op::Insert(148),
+        Op::Insert(132),
+        Op::Insert(277),
+        Op::Insert(257),
+        Op::Insert(117),
+        Op::Insert(6),
+        Op::Insert(301),
+        Op::Insert(490),
+        Op::Insert(265),
+        Op::Insert(32),
+        Op::Insert(498),
+        Op::Insert(298),
+        Op::Insert(437),
+        Op::Insert(479),
+        Op::Insert(346),
+        Op::Insert(153),
+        Op::Insert(232),
+        Op::Insert(146),
+        Op::Insert(121),
+        Op::Insert(465),
+        Op::Insert(317),
+        Op::Insert(19),
+        Op::Insert(407),
+        Op::Insert(112),
+        Op::Insert(54),
+        Op::Insert(158),
+        Op::Insert(111),
+        Op::Insert(202),
+        Op::Insert(172),
+        Op::Insert(187),
+        Op::Insert(37),
+        Op::Get(406),
+        Op::Get(479),
+        Op::Scan(334, 48),
+        Op::Get(270),
+        Op::Insert(446),
+        Op::Get(309),
+        Op::Get(303),
+        Op::Insert(220),
+        Op::Get(403),
+        Op::Insert(80),
+        Op::Insert(160),
+        Op::Insert(376),
+        Op::Insert(392),
+        Op::Get(440),
+        Op::Get(45),
+        Op::Insert(400),
+        Op::Insert(475),
+        Op::Insert(79),
+        Op::Insert(473),
+        Op::Insert(388),
+        Op::Scan(317, 33),
+        Op::Get(448),
+        Op::Scan(144, 54),
+        Op::Insert(359),
+        Op::Insert(81),
+        Op::Scan(254, 45),
+        Op::Get(385),
+        Op::Get(391),
+        Op::Scan(416, 36),
+        Op::Get(71),
+        Op::Insert(255),
+        Op::Insert(245),
+        Op::Get(415),
+        Op::Insert(46),
+        Op::Scan(345, 53),
+        Op::Insert(121),
+        Op::Insert(73),
+        Op::Scan(447, 35),
+        Op::Insert(5),
+        Op::Insert(201),
+        Op::Insert(489),
+        Op::Insert(272),
+        Op::Get(476),
+        Op::Scan(380, 33),
+        Op::Insert(362),
+        Op::Get(374),
+        Op::Insert(451),
+        Op::Get(190),
+        Op::Get(498),
+        Op::Get(443),
+        Op::Insert(135),
+        Op::Insert(241),
+        Op::Insert(109),
+        Op::Scan(244, 35),
+        Op::Get(489),
+        Op::Insert(320),
+        Op::Insert(458),
+        Op::Scan(148, 3),
+        Op::Get(263),
+        Op::Get(19),
+        Op::Get(179),
+        Op::Get(469),
+        Op::Get(70),
+        Op::Insert(283),
+        Op::Scan(152, 7),
+        Op::Insert(421),
+        Op::Insert(389),
+        Op::Scan(26, 24),
+        Op::Get(69),
+        Op::Insert(416),
+        Op::Insert(276),
+        Op::Scan(263, 43),
+        Op::Get(353),
+        Op::Get(258),
+        Op::Insert(253),
+        Op::Scan(268, 40),
+        Op::Get(8),
+        Op::Insert(390),
+        Op::Insert(26),
+        Op::Get(126),
+        Op::Get(295),
+        Op::Get(382),
+        Op::Get(116),
+        Op::Insert(268),
+        Op::Insert(479),
+        Op::Insert(332),
+        Op::Scan(323, 25),
+        Op::Insert(201),
+        Op::Get(416),
+        Op::Insert(194),
+        Op::Get(277),
+        Op::Get(459),
+        Op::Insert(234),
+        Op::Scan(415, 55),
+        Op::Scan(16, 55),
+        Op::Get(441),
+        Op::Get(22),
+        Op::Insert(37),
+        Op::Scan(440, 2),
+        Op::Scan(273, 10),
+        Op::Get(12),
+        Op::Get(30),
+        Op::Insert(100),
+        Op::Get(374),
+        Op::Get(55),
+        Op::Scan(78, 15),
+        Op::Insert(119),
+        Op::Get(40),
+        Op::Insert(214),
+        Op::Get(309),
+        Op::Insert(240),
+        Op::Get(426),
+        Op::Insert(82),
+        Op::Insert(189),
+        Op::Insert(210),
+        Op::Insert(31),
+        Op::Insert(373),
+        Op::Insert(442),
+        Op::Get(153),
+        Op::Scan(23, 23),
+        Op::Insert(246),
+        Op::Scan(112, 24),
+        Op::Get(393),
+        Op::Get(175),
+        Op::Scan(464, 36),
+        Op::Get(60),
+        Op::Get(313),
+        Op::Get(388),
+        Op::Scan(183, 49),
+        Op::Insert(160),
+        Op::Scan(490, 5),
+        Op::Insert(142),
+        Op::Scan(274, 12),
+        Op::Insert(171),
+        Op::Insert(386),
+        Op::Insert(425),
+        Op::Get(64),
+        Op::Get(476),
+        Op::Insert(295),
+        Op::Get(0),
+        Op::Insert(5),
+        Op::Insert(278),
+        Op::Insert(231),
+        Op::Insert(311),
+        Op::Get(62),
+        Op::Get(177),
+        Op::Scan(294, 3),
+        Op::Insert(194),
+        Op::Insert(35),
+        Op::Insert(424),
+        Op::Insert(115),
+        Op::Insert(130),
+        Op::Scan(298, 34),
+        Op::Scan(4, 33),
+        Op::Insert(433),
+        Op::Insert(114),
+        Op::Scan(369, 53),
+        Op::Insert(236),
+        Op::Insert(9),
+        Op::Insert(175),
+        Op::Get(345),
+        Op::Get(186),
+        Op::Scan(458, 2),
+        Op::Insert(402),
+        Op::Get(160),
+        Op::Insert(475),
+        Op::Insert(28),
+        Op::Insert(70),
+        Op::Scan(55, 33),
+        Op::Insert(106),
+        Op::Get(28),
+        Op::Get(295),
+        Op::Insert(341),
+        Op::Get(189),
+        Op::Insert(4),
+        Op::Insert(309),
+        Op::Scan(302, 25),
+        Op::Insert(317),
+        Op::Get(434),
+        Op::Insert(219),
+        Op::Insert(239),
+        Op::Scan(498, 49),
+        Op::Scan(124, 57),
+        Op::Get(368),
+        Op::Get(54),
+        Op::Insert(288),
+        Op::Insert(106),
+        Op::Insert(361),
+        Op::Insert(383),
+        Op::Get(291),
+        Op::Get(316),
+        Op::Insert(178),
+        Op::Get(156),
+        Op::Insert(167),
+        Op::Insert(57),
+        Op::Get(204),
+        Op::Get(281),
+        Op::Get(473),
+    ];
+    check_lsm_against_model(&ops, "regression");
+}
+
+#[test]
+fn btree_matches_sorted_map_model() {
+    let mut root = SplitRng::new(0x6274_7265);
+    for case in 0..CASES {
+        let mut rng = root.split(case);
+        let ops = random_ops(&mut rng, 500, 400);
+        let mut tree = BTree::new(BTreeConfig {
+            leaf_capacity: 6,
+            internal_capacity: 5,
+            page_bytes: 512,
+        });
         let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
         for op in ops {
             match op {
@@ -91,21 +419,30 @@ proptest! {
                 }
                 Op::Get(seq) => {
                     let (got, trace) = tree.get(&key(seq));
-                    prop_assert_eq!(got.as_ref(), model.get(&key(seq)));
-                    prop_assert_eq!(trace.read.len(), tree.depth() as usize, "descent must visit depth pages");
+                    assert_eq!(got.as_ref(), model.get(&key(seq)), "case {case}");
+                    assert_eq!(
+                        trace.read.len(),
+                        tree.depth() as usize,
+                        "case {case}: descent must visit depth pages"
+                    );
                 }
                 Op::Scan(seq, len) => {
                     let (rows, _) = tree.scan(&key(seq), len);
                     let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
-                    prop_assert_eq!(got, model_scan(&model, &key(seq), len));
+                    assert_eq!(got, model_scan(&model, &key(seq), len), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(tree.len(), model.len() as u64);
+        assert_eq!(tree.len(), model.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn hashstore_matches_model_and_memory_is_exact(ops in prop::collection::vec(op_strategy(300), 1..300)) {
+#[test]
+fn hashstore_matches_model_and_memory_is_exact() {
+    let mut root = SplitRng::new(0x6861_7368);
+    for case in 0..CASES {
+        let mut rng = root.split(case);
+        let ops = random_ops(&mut rng, 300, 300);
         let mut store = HashStore::new(None);
         let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
         for op in ops {
@@ -116,59 +453,85 @@ proptest! {
                 }
                 Op::Get(seq) => {
                     let (got, _) = store.get(&key(seq));
-                    prop_assert_eq!(got.as_ref(), model.get(&key(seq)));
+                    assert_eq!(got.as_ref(), model.get(&key(seq)), "case {case}");
                 }
                 Op::Scan(seq, len) => {
                     let (rows, _) = store.scan(&key(seq), len);
                     let got: Vec<MetricKey> = rows.iter().map(|(k, _)| *k).collect();
-                    prop_assert_eq!(got, model_scan(&model, &key(seq), len));
+                    assert_eq!(got, model_scan(&model, &key(seq), len), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(store.len(), model.len());
-        prop_assert_eq!(store.mem_bytes(), model.len() as u64 * HashStore::bytes_per_record());
+        assert_eq!(store.len(), model.len(), "case {case}");
+        assert_eq!(
+            store.mem_bytes(),
+            model.len() as u64 * HashStore::bytes_per_record(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn memtable_drain_returns_exactly_the_live_set(seqs in prop::collection::vec(0u64..200, 1..300)) {
+#[test]
+fn memtable_drain_returns_exactly_the_live_set() {
+    let mut root = SplitRng::new(0x6D65_6D74);
+    for case in 0..CASES {
+        let mut rng = root.split(case);
+        let len = 1 + rng.next_below(299) as usize;
+        let seqs: Vec<u64> = (0..len).map(|_| rng.next_below(200)).collect();
         let mut memtable = Memtable::new();
         let mut model: BTreeMap<MetricKey, FieldValues> = BTreeMap::new();
         for seq in seqs {
             memtable.insert(key(seq), value(seq));
             model.insert(key(seq), value(seq));
         }
-        prop_assert_eq!(memtable.bytes(), model.len() as u64 * 75);
+        assert_eq!(memtable.bytes(), model.len() as u64 * 75, "case {case}");
         let drained = memtable.drain_sorted();
         let expect: Vec<(MetricKey, FieldValues)> = model.into_iter().collect();
-        prop_assert_eq!(drained, expect);
+        assert_eq!(drained, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn lsm_scans_never_return_duplicates_or_unsorted_keys(
-        inserts in prop::collection::vec(0u64..2_000, 50..500),
-        start in 0u64..2_000,
-    ) {
-        let mut tree = LsmTree::new(LsmConfig { memtable_flush_bytes: 75 * 25, ..LsmConfig::default() });
+#[test]
+fn lsm_scans_never_return_duplicates_or_unsorted_keys() {
+    let mut root = SplitRng::new(0x7363_616E);
+    for case in 0..CASES {
+        let mut rng = root.split(case);
+        let len = 50 + rng.next_below(450) as usize;
+        let inserts: Vec<u64> = (0..len).map(|_| rng.next_below(2_000)).collect();
+        let start = rng.next_below(2_000);
+        let mut tree = LsmTree::new(LsmConfig {
+            memtable_flush_bytes: 75 * 25,
+            ..LsmConfig::default()
+        });
         for seq in inserts {
             let (_, job) = tree.insert(key(seq), value(seq));
             settle(&mut tree, job);
         }
         let (rows, _) = tree.scan(&key(start), 50);
         for w in rows.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "scan output not strictly sorted");
+            assert!(
+                w[0].0 < w[1].0,
+                "case {case}: scan output not strictly sorted"
+            );
         }
-        prop_assert!(rows.len() <= 50);
-        prop_assert!(rows.iter().all(|(k, _)| *k >= key(start)));
+        assert!(rows.len() <= 50, "case {case}");
+        assert!(rows.iter().all(|(k, _)| *k >= key(start)), "case {case}");
     }
+}
 
-    #[test]
-    fn bloom_has_no_false_negatives(seqs in prop::collection::vec(0u64..100_000, 1..500)) {
+#[test]
+fn bloom_has_no_false_negatives() {
+    let mut root = SplitRng::new(0x626C_6F6F);
+    for case in 0..CASES {
+        let mut rng = root.split(case);
+        let len = 1 + rng.next_below(499) as usize;
+        let seqs: Vec<u64> = (0..len).map(|_| rng.next_below(100_000)).collect();
         let mut bloom = apm_storage::bloom::Bloom::with_capacity(seqs.len(), 10);
         for &seq in &seqs {
             bloom.insert(&key(seq));
         }
         for &seq in &seqs {
-            prop_assert!(bloom.may_contain(&key(seq)));
+            assert!(bloom.may_contain(&key(seq)), "case {case}");
         }
     }
 }

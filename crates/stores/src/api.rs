@@ -5,21 +5,81 @@ use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
 use apm_sim::cluster::NodeResources;
 use apm_sim::kernel::Token;
-use apm_sim::{ClusterSpec, Engine, Plan, SimDuration, Step};
+use apm_sim::{ClusterSpec, Engine, FailMode, FaultEvent, FaultKind, Plan, SimDuration, Step};
 use apm_storage::receipt::{CostReceipt, DiskIo};
 
 /// Bit marking a token as a background job rather than a client op.
 pub const BACKGROUND_BIT: u64 = 1 << 63;
 
+/// Bit marking a token as a fault-schedule sentinel (the benchmark
+/// runner's timers for node crash/restart/slowdown transitions).
+pub const FAULT_BIT: u64 = 1 << 62;
+
 /// Builds the token for background job `job_id`.
 pub fn background_token(job_id: u64) -> Token {
-    debug_assert!(job_id & BACKGROUND_BIT == 0);
+    debug_assert!(job_id & (BACKGROUND_BIT | FAULT_BIT) == 0);
     Token(BACKGROUND_BIT | job_id)
+}
+
+/// Builds the sentinel token for fault-schedule event `index`.
+pub fn fault_token(index: u64) -> Token {
+    debug_assert!(index & (BACKGROUND_BIT | FAULT_BIT) == 0);
+    Token(FAULT_BIT | index)
 }
 
 /// Splits a completed token into `(is_background, id)`.
 pub fn split_token(token: Token) -> (bool, u64) {
     (token.0 & BACKGROUND_BIT != 0, token.0 & !BACKGROUND_BIT)
+}
+
+/// Splits a completed token into `(is_fault_sentinel, index)`.
+pub fn split_fault_token(token: Token) -> (bool, u64) {
+    (token.0 & FAULT_BIT != 0, token.0 & !FAULT_BIT)
+}
+
+/// Applies a fault transition to the kernel resources of the affected
+/// node: the engine-level half of failure injection, common to every
+/// store. Stores layer their recovery logic (replica failover, hinted
+/// handoff, region reassignment, data loss) on top in
+/// [`DistributedStore::on_fault`].
+pub fn apply_node_fault(ctx: &StoreCtx, engine: &mut Engine, event: &FaultEvent) {
+    if event.node >= ctx.servers.len() {
+        return; // schedule refers to a node this run doesn't have
+    }
+    let node = &ctx.servers[event.node];
+    let reject = FailMode::Reject {
+        latency: apm_sim::fault::CRASH_ERROR_LATENCY,
+    };
+    match event.kind {
+        FaultKind::Crash => {
+            engine.fail_resource(node.cpu, reject);
+            engine.fail_resource(node.disk, reject);
+            engine.fail_resource(node.nic, reject);
+        }
+        FaultKind::Restart => {
+            engine.restore_resource(node.cpu);
+            engine.restore_resource(node.disk);
+            engine.restore_resource(node.nic);
+            engine.set_resource_slowdown(node.cpu, 1);
+            engine.set_resource_slowdown(node.disk, 1);
+            engine.set_resource_slowdown(node.nic, 1);
+        }
+        FaultKind::DiskSlow { factor } => engine.set_resource_slowdown(node.disk, factor.max(1)),
+        FaultKind::DiskRestore => engine.set_resource_slowdown(node.disk, 1),
+        FaultKind::PartitionStart => engine.fail_resource(node.nic, FailMode::Stall),
+        FaultKind::PartitionEnd => engine.restore_resource(node.nic),
+        FaultKind::FailSlow { factor } => {
+            let factor = factor.max(1);
+            engine.set_resource_slowdown(node.cpu, factor);
+            engine.set_resource_slowdown(node.disk, factor);
+            engine.set_resource_slowdown(node.nic, factor);
+        }
+        FaultKind::FailSlowEnd => {
+            engine.set_resource_slowdown(node.cpu, 1);
+            engine.set_resource_slowdown(node.disk, 1);
+            engine.set_resource_slowdown(node.nic, 1);
+        }
+    }
 }
 
 /// Everything a store needs about its simulated environment.
@@ -63,7 +123,13 @@ impl StoreCtx {
                 nic: engine.add_resource(format!("client{i}.nic"), 1),
             })
             .collect();
-        StoreCtx { cluster, servers, clients, scale, seed }
+        StoreCtx {
+            cluster,
+            servers,
+            clients,
+            scale,
+            seed,
+        }
     }
 
     /// The paper's standard client fleet size for `servers` server nodes.
@@ -119,7 +185,10 @@ pub fn server_steps(
 ) -> Vec<Step> {
     let mut steps = Vec::with_capacity(1 + ios.len());
     if cpu != SimDuration::ZERO {
-        steps.push(Step::Acquire { resource: node.cpu, service: cpu });
+        steps.push(Step::Acquire {
+            resource: node.cpu,
+            service: cpu,
+        });
     }
     for io in ios {
         let pattern = if io.class.is_random() {
@@ -152,15 +221,30 @@ pub fn round_trip_plan(
     let net = &ctx.cluster.net;
     let mut steps = Vec::with_capacity(server_plan.len() + 7);
     if client_cpu != SimDuration::ZERO {
-        steps.push(Step::Acquire { resource: client.cpu, service: client_cpu });
+        steps.push(Step::Acquire {
+            resource: client.cpu,
+            service: client_cpu,
+        });
     }
-    steps.push(Step::Acquire { resource: client.nic, service: net.transfer(request_bytes) });
+    steps.push(Step::Acquire {
+        resource: client.nic,
+        service: net.transfer(request_bytes),
+    });
     steps.push(Step::Delay(net.one_way_latency));
-    steps.push(Step::Acquire { resource: server.nic, service: net.transfer(request_bytes) });
+    steps.push(Step::Acquire {
+        resource: server.nic,
+        service: net.transfer(request_bytes),
+    });
     steps.extend(server_plan);
-    steps.push(Step::Acquire { resource: server.nic, service: net.transfer(response_bytes) });
+    steps.push(Step::Acquire {
+        resource: server.nic,
+        service: net.transfer(response_bytes),
+    });
     steps.push(Step::Delay(net.one_way_latency));
-    steps.push(Step::Acquire { resource: client.nic, service: net.transfer(response_bytes) });
+    steps.push(Step::Acquire {
+        resource: client.nic,
+        service: net.transfer(response_bytes),
+    });
     Plan(steps)
 }
 
@@ -168,13 +252,20 @@ pub fn round_trip_plan(
 /// without contacting a server, e.g. Voldemort scans).
 pub fn client_only_plan(ctx: &StoreCtx, client_id: u32, cpu: SimDuration) -> Plan {
     let client = ctx.client_machine(client_id);
-    Plan(vec![Step::Acquire { resource: client.cpu, service: cpu }])
+    Plan(vec![Step::Acquire {
+        resource: client.cpu,
+        service: cpu,
+    }])
 }
 
 /// The interface every benchmarked store implements.
 pub trait DistributedStore {
     /// Store name as used in the paper's figures.
     fn name(&self) -> &'static str;
+
+    /// The store's simulated environment (used by the default fault
+    /// handling to locate the affected node's resources).
+    fn ctx(&self) -> &StoreCtx;
 
     /// Load-phase insert: updates real state, settling any background
     /// work immediately (load time is not measured, §3 reloads per run).
@@ -186,7 +277,8 @@ pub trait DistributedStore {
     /// Executes `op` against real state and returns the outcome plus the
     /// physical plan for the simulator. May submit background plans on
     /// `engine` (tagged with [`background_token`]).
-    fn plan_op(&mut self, client_id: u32, op: &Operation, engine: &mut Engine) -> (OpOutcome, Plan);
+    fn plan_op(&mut self, client_id: u32, op: &Operation, engine: &mut Engine)
+        -> (OpOutcome, Plan);
 
     /// Called when a background job's plan completes.
     fn on_background(&mut self, job_id: u64, engine: &mut Engine) {
@@ -197,6 +289,15 @@ pub trait DistributedStore {
     /// topology-change experiments (e.g. Cassandra node bootstrap).
     fn on_timed_event(&mut self, engine: &mut Engine) {
         let _ = engine;
+    }
+
+    /// Called when a scheduled [`FaultEvent`] fires. The default applies
+    /// the engine-level resource transition only (requests to the node
+    /// fail or stall); stores with richer failure semantics override this
+    /// to add failover, hinted handoff, WAL replay, or data loss, and
+    /// must still call [`apply_node_fault`] for the kernel half.
+    fn on_fault(&mut self, event: &FaultEvent, engine: &mut Engine) {
+        apply_node_fault(self.ctx(), engine, event);
     }
 
     /// Whether the store's YCSB client supports scans (§5.4: Voldemort's
@@ -230,6 +331,96 @@ mod tests {
     }
 
     #[test]
+    fn background_token_roundtrips_across_the_id_space() {
+        for id in [0u64, 1, 2, 1 << 20, (1 << 62) - 1] {
+            let (bg, back) = split_token(background_token(id));
+            assert!(bg, "id {id} lost the background bit");
+            assert_eq!(back, id, "id {id} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn fault_token_roundtrips_and_is_disjoint_from_background() {
+        for idx in [0u64, 1, 5, 1 << 10] {
+            let t = fault_token(idx);
+            let (is_fault, back) = split_fault_token(t);
+            assert!(is_fault);
+            assert_eq!(back, idx);
+            let (is_bg, _) = split_token(t);
+            assert!(!is_bg, "fault tokens must not read as background");
+        }
+        let (is_fault, _) = split_fault_token(background_token(3));
+        assert!(!is_fault, "background tokens must not read as fault");
+        let (is_fault, idx) = split_fault_token(Token(9));
+        assert_eq!((is_fault, idx), (false, 9));
+    }
+
+    #[test]
+    fn apply_node_fault_drives_kernel_resource_state() {
+        use apm_sim::SimTime;
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 2, 1, 0.1, 1);
+        let node = ctx.servers[1];
+        let at = SimTime::ZERO;
+        apply_node_fault(
+            &ctx,
+            &mut engine,
+            &FaultEvent {
+                at,
+                node: 1,
+                kind: FaultKind::Crash,
+            },
+        );
+        assert!(engine.resource_is_down(node.cpu));
+        assert!(engine.resource_is_down(node.disk));
+        assert!(engine.resource_is_down(node.nic));
+        assert!(
+            !engine.resource_is_down(ctx.servers[0].cpu),
+            "other nodes unaffected"
+        );
+        apply_node_fault(
+            &ctx,
+            &mut engine,
+            &FaultEvent {
+                at,
+                node: 1,
+                kind: FaultKind::Restart,
+            },
+        );
+        assert!(!engine.resource_is_down(node.cpu));
+        apply_node_fault(
+            &ctx,
+            &mut engine,
+            &FaultEvent {
+                at,
+                node: 1,
+                kind: FaultKind::DiskSlow { factor: 6 },
+            },
+        );
+        assert_eq!(engine.resource_slowdown(node.disk), 6);
+        apply_node_fault(
+            &ctx,
+            &mut engine,
+            &FaultEvent {
+                at,
+                node: 1,
+                kind: FaultKind::DiskRestore,
+            },
+        );
+        assert_eq!(engine.resource_slowdown(node.disk), 1);
+        // Out-of-range node indices are ignored, not a panic.
+        apply_node_fault(
+            &ctx,
+            &mut engine,
+            &FaultEvent {
+                at,
+                node: 99,
+                kind: FaultKind::Crash,
+            },
+        );
+    }
+
+    #[test]
     fn ctx_instantiates_servers_and_clients() {
         let mut engine = Engine::new();
         let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 4, 2, 0.02, 1);
@@ -245,7 +436,11 @@ mod tests {
         assert_eq!(StoreCtx::standard_client_machines(1), 1);
         assert_eq!(StoreCtx::standard_client_machines(4), 2);
         assert_eq!(StoreCtx::standard_client_machines(12), 5);
-        assert_eq!(StoreCtx::standard_client_machines(16), 5, "fleet caps at 5 (§3)");
+        assert_eq!(
+            StoreCtx::standard_client_machines(16),
+            5,
+            "fleet caps at 5 (§3)"
+        );
     }
 
     #[test]
@@ -255,7 +450,11 @@ mod tests {
         let machines = StoreCtx::standard_client_machines(12);
         let connections = 128 * 12u32;
         let per_machine = connections.div_ceil(machines);
-        assert_eq!(per_machine, 308 - 1 + 1, "1536 / 5 rounds to 308; the paper's 307 is the floor");
+        assert_eq!(
+            per_machine,
+            308 - 1 + 1,
+            "1536 / 5 rounds to 308; the paper's 307 is the floor"
+        );
         assert!(connections / machines <= 307);
     }
 
@@ -268,7 +467,11 @@ mod tests {
 
     #[test]
     fn cost_model_is_linear() {
-        let model = CostModel { base_ns: 1_000, per_probe_ns: 100, per_byte_ns: 2 };
+        let model = CostModel {
+            base_ns: 1_000,
+            per_probe_ns: 100,
+            per_byte_ns: 2,
+        };
         let mut r = CostReceipt::new();
         r.probe(3).touch(75);
         assert_eq!(model.cpu(&r), SimDuration::from_nanos(1_000 + 300 + 150));
@@ -286,7 +489,10 @@ mod tests {
             SimDuration::from_micros(10),
             100,
             200,
-            vec![Step::Acquire { resource: server.cpu, service: SimDuration::from_micros(50) }],
+            vec![Step::Acquire {
+                resource: server.cpu,
+                service: SimDuration::from_micros(50),
+            }],
         );
         // Minimum duration: client cpu + 2 latencies + transfers + server work.
         let expected_floor = SimDuration::from_micros(10 + 80 + 80 + 50);

@@ -25,7 +25,10 @@ pub struct PageCache {
 impl PageCache {
     /// Creates a cache with `capacity_bytes` available for data pages.
     pub fn new(capacity_bytes: u64, seed: u64) -> PageCache {
-        PageCache { capacity_bytes, rng: SplitRng::new(seed) }
+        PageCache {
+            capacity_bytes,
+            rng: SplitRng::new(seed),
+        }
     }
 
     /// Cache capacity in bytes.
@@ -77,7 +80,10 @@ mod tests {
         let mut cache = PageCache::new(1 << 30, 1);
         let data = 4u64 << 30; // 4x the cache → 25% hits
         let hits = (0..10_000).filter(|_| cache.sample_hit(data)).count();
-        assert!((2_000..3_000).contains(&hits), "expected ~2500 hits, got {hits}");
+        assert!(
+            (2_000..3_000).contains(&hits),
+            "expected ~2500 hits, got {hits}"
+        );
     }
 
     #[test]

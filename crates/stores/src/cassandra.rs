@@ -30,14 +30,26 @@ use apm_storage::wal::{CommitLog, SyncPolicy};
 use std::collections::HashMap;
 
 /// Read path CPU model (thrift parse, row resolution, merge).
-const READ_COST: CostModel = CostModel { base_ns: 275_000, per_probe_ns: 8_000, per_byte_ns: 30 };
+const READ_COST: CostModel = CostModel {
+    base_ns: 275_000,
+    per_probe_ns: 8_000,
+    per_byte_ns: 30,
+};
 /// Write path CPU model (mutation, memtable, commit-log buffer).
-const WRITE_COST: CostModel = CostModel { base_ns: 285_000, per_probe_ns: 8_000, per_byte_ns: 30 };
+const WRITE_COST: CostModel = CostModel {
+    base_ns: 285_000,
+    per_probe_ns: 8_000,
+    per_byte_ns: 30,
+};
 /// Scan path CPU model — a `get_range_slices` call costs several times a
 /// point read in service (§5.4: "scans are 4 times slower than reads"),
 /// which under 128-connection saturation lands the absolute scan latency
 /// in the paper's 20–25 ms band (Fig 13).
-const SCAN_COST: CostModel = CostModel { base_ns: 2_400_000, per_probe_ns: 8_000, per_byte_ns: 30 };
+const SCAN_COST: CostModel = CostModel {
+    base_ns: 2_400_000,
+    per_probe_ns: 8_000,
+    per_byte_ns: 30,
+};
 /// Client-side cost per operation (Hector/thrift serialisation).
 const CLIENT_CPU: SimDuration = SimDuration::from_micros(20);
 /// Commit log group-commit window. Calibrated to Cassandra's effective
@@ -115,6 +127,11 @@ pub struct CassandraStore {
     cache_bytes: u64,
     strategy: CompactionStrategy,
     nodes: Vec<Node>,
+    /// Per-node crash flag: a down node takes no reads, writes, or hints.
+    down: Vec<bool>,
+    /// Hinted handoff queues: writes a down replica missed, replayed to
+    /// it when it rejoins the ring (Cassandra's hinted handoff).
+    hints: Vec<Vec<Record>>,
     /// Global background job id → (node index, engine-local job).
     jobs: HashMap<u64, (usize, BackgroundJob)>,
     /// Background jobs that are bootstrap streams, not LSM jobs.
@@ -142,7 +159,12 @@ impl CassandraStore {
                     strategy: config.strategy,
                     ..LsmConfig::default()
                 }),
-                log: CommitLog::new(SyncPolicy::GroupCommit { window: COMMIT_WINDOW }, 30),
+                log: CommitLog::new(
+                    SyncPolicy::GroupCommit {
+                        window: COMMIT_WINDOW,
+                    },
+                    30,
+                ),
                 cache: PageCache::new(cache_bytes, ctx.seed ^ (i as u64) << 8),
             })
             .collect();
@@ -157,6 +179,8 @@ impl CassandraStore {
             strategy: config.strategy,
             ctx,
             nodes,
+            down: vec![false; n],
+            hints: vec![Vec::new(); n],
             jobs: HashMap::new(),
             stream_jobs: std::collections::HashSet::new(),
             streamed_bytes: 0,
@@ -187,9 +211,16 @@ impl CassandraStore {
                 strategy: self.strategy,
                 ..LsmConfig::default()
             }),
-            log: CommitLog::new(SyncPolicy::GroupCommit { window: COMMIT_WINDOW }, 30),
+            log: CommitLog::new(
+                SyncPolicy::GroupCommit {
+                    window: COMMIT_WINDOW,
+                },
+                30,
+            ),
             cache: PageCache::new(self.cache_bytes, self.ctx.seed ^ ((new_idx as u64) << 8)),
         });
+        self.down.push(false);
+        self.hints.push(Vec::new());
         // Stream: every victim record the extended ring now routes to the
         // newcomer. Real data moves between real LSM trees.
         let total = self.nodes[victim].lsm.record_count() as usize;
@@ -222,14 +253,26 @@ impl CassandraStore {
             Plan(vec![
                 Step::Acquire {
                     resource: self.ctx.servers[victim].disk,
-                    service: cluster.node.disk.service(bytes, apm_sim::IoPattern::Sequential),
+                    service: cluster
+                        .node
+                        .disk
+                        .service(bytes, apm_sim::IoPattern::Sequential),
                 },
-                Step::Acquire { resource: self.ctx.servers[victim].nic, service: net.transfer(bytes) },
+                Step::Acquire {
+                    resource: self.ctx.servers[victim].nic,
+                    service: net.transfer(bytes),
+                },
                 Step::Delay(net.one_way_latency),
-                Step::Acquire { resource: self.ctx.servers[new_idx].nic, service: net.transfer(bytes) },
+                Step::Acquire {
+                    resource: self.ctx.servers[new_idx].nic,
+                    service: net.transfer(bytes),
+                },
                 Step::Acquire {
                     resource: self.ctx.servers[new_idx].disk,
-                    service: cluster.node.disk.service(bytes, apm_sim::IoPattern::Sequential),
+                    service: cluster
+                        .node
+                        .disk
+                        .service(bytes, apm_sim::IoPattern::Sequential),
                 },
             ]),
             crate::api::background_token(id),
@@ -276,6 +319,51 @@ impl CassandraStore {
         } else {
             SimDuration::ZERO
         }
+    }
+
+    /// Replays the hint queue to a node that just rejoined the ring:
+    /// the missed mutations land in its LSM tree and the transfer is
+    /// charged as a background stream (NIC in, sequential disk write)
+    /// that competes with recovering foreground traffic.
+    fn replay_hints(&mut self, node: usize, engine: &mut Engine) {
+        let hints = std::mem::take(&mut self.hints[node]);
+        if hints.is_empty() {
+            return;
+        }
+        let raw = (hints.len() * apm_core::record::RAW_RECORD_SIZE) as u64;
+        for record in &hints {
+            let (_, job) = self.nodes[node].lsm.insert(record.key, record.fields);
+            let mut next = job;
+            while let Some(j) = next {
+                next = match j.kind {
+                    JobKind::Flush => self.nodes[node].lsm.complete_flush(j.id),
+                    JobKind::Compaction => self.nodes[node].lsm.complete_compaction(j.id),
+                };
+            }
+        }
+        let bytes = self.expand(raw);
+        let id = self.next_job;
+        self.next_job += 1;
+        self.stream_jobs.insert(id);
+        let res = self.ctx.servers[node];
+        engine.submit(
+            Plan(vec![
+                Step::Acquire {
+                    resource: res.nic,
+                    service: self.ctx.cluster.net.transfer(bytes),
+                },
+                Step::Acquire {
+                    resource: res.disk,
+                    service: self
+                        .ctx
+                        .cluster
+                        .node
+                        .disk
+                        .service(bytes, apm_sim::IoPattern::Sequential),
+                },
+            ]),
+            background_token(id),
+        );
     }
 
     /// Submits the plan of an announced LSM background job.
@@ -328,46 +416,105 @@ impl CassandraStore {
             }
             Operation::Scan { start, len } => {
                 let (rows, receipt) = node_state.lsm.scan(start, *len);
-                (OpOutcome::Scanned(rows.len()), receipt, SCAN_COST, RESP_READ_BYTES * (*len as u64) / 2)
+                (
+                    OpOutcome::Scanned(rows.len()),
+                    receipt,
+                    SCAN_COST,
+                    RESP_READ_BYTES * (*len as u64) / 2,
+                )
             }
             _ => unreachable!("write ops handled in write_plan"),
         };
         let ios: Vec<DiskIo> = node_state.cache.filter_ios(&receipt.io, data_bytes);
         let cpu = cost.cpu(&receipt) + self.compression_cpu(receipt.read_ios());
         let steps = server_steps(&self.ctx.servers[node], &self.ctx.cluster, cpu, &ios);
-        let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[node], CLIENT_CPU, REQ_BYTES, resp, steps);
+        let plan = round_trip_plan(
+            &self.ctx,
+            client,
+            &self.ctx.servers[node],
+            CLIENT_CPU,
+            REQ_BYTES,
+            resp,
+            steps,
+        );
         (outcome, plan)
     }
 
-    fn write_plan(&mut self, client: u32, record: &Record, engine: &mut Engine) -> (OpOutcome, Plan) {
+    fn write_plan(
+        &mut self,
+        client: u32,
+        record: &Record,
+        engine: &mut Engine,
+    ) -> (OpOutcome, Plan) {
         let replicas = self.ring.replicas(&record.key, self.replication);
+        if replicas.iter().all(|&n| self.down[n]) {
+            // Every replica is down: nothing applies, nothing is hinted —
+            // the request dies against the crashed coordinator.
+            let primary = self.ctx.servers[replicas[0]];
+            let plan = round_trip_plan(
+                &self.ctx,
+                client,
+                &primary,
+                CLIENT_CPU,
+                REQ_BYTES,
+                RESP_WRITE_BYTES,
+                vec![Step::Acquire {
+                    resource: primary.cpu,
+                    service: SimDuration::from_nanos(WRITE_COST.base_ns),
+                }],
+            );
+            return (OpOutcome::Done, plan);
+        }
         let mut branches: Vec<Plan> = Vec::with_capacity(replicas.len());
         for &node in &replicas {
+            if self.down[node] {
+                // Hinted handoff: the live coordinator stores the mutation
+                // and replays it when the replica rejoins.
+                self.hints[node].push(*record);
+                continue;
+            }
             let (receipt, flush) = self.nodes[node].lsm.insert(record.key, record.fields);
-            let wal = self.nodes[node].log.append(record.fields.len() as u64 + record.key.len() as u64);
+            let wal = self.nodes[node]
+                .log
+                .append(record.fields.len() as u64 + record.key.len() as u64);
             let res = self.ctx.servers[node];
-            let mut steps = vec![Step::Acquire { resource: res.cpu, service: WRITE_COST.cpu(&receipt) }];
+            let mut steps = vec![Step::Acquire {
+                resource: res.cpu,
+                service: WRITE_COST.cpu(&receipt),
+            }];
             if let Some(io) = wal.io {
                 steps.push(Step::Acquire {
                     resource: res.disk,
-                    service: self.ctx.cluster.node.disk.service(io.bytes, apm_sim::IoPattern::Sequential),
+                    service: self
+                        .ctx
+                        .cluster
+                        .node
+                        .disk
+                        .service(io.bytes, apm_sim::IoPattern::Sequential),
                 });
             }
             if let Some(window) = wal.align {
                 // Periodic commit log: the write acknowledges at the next
                 // group sync — Cassandra's signature high, stable write
                 // latency (Fig 5).
-                steps.push(Step::AlignTo { period: window, extra: SimDuration::ZERO });
+                steps.push(Step::AlignTo {
+                    period: window,
+                    extra: SimDuration::ZERO,
+                });
             }
             branches.push(Plan(steps));
             if let Some(job) = flush {
                 self.schedule_job(node, job, engine);
             }
         }
-        // Coordinator = first replica; consistency ONE on rf=1 means the
-        // single branch; with rf>1 the client waits for one ack while the
-        // remaining replicas apply in the background.
-        let primary = replicas[0];
+        // Coordinator = first live replica; consistency ONE on rf=1 means
+        // the single branch; with rf>1 the client waits for one ack while
+        // the remaining replicas apply in the background.
+        let primary = replicas
+            .iter()
+            .copied()
+            .find(|&n| !self.down[n])
+            .expect("at least one live replica");
         let server_plan = if branches.len() == 1 {
             branches.pop().expect("one branch").0
         } else {
@@ -389,6 +536,10 @@ impl CassandraStore {
 impl DistributedStore for CassandraStore {
     fn name(&self) -> &'static str {
         "cassandra"
+    }
+
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
     }
 
     fn load(&mut self, record: &Record) {
@@ -419,7 +570,15 @@ impl DistributedStore for CassandraStore {
     fn plan_op(&mut self, client: u32, op: &Operation, engine: &mut Engine) -> (OpOutcome, Plan) {
         match op {
             Operation::Read { key } | Operation::Scan { start: key, .. } => {
-                let node = self.ring.route(key);
+                // Coordinator-side failover: read from the first replica
+                // that is still up. With rf=1 there is nowhere to go and
+                // the request fails against the crashed node.
+                let replicas = self.ring.replicas(key, self.replication);
+                let node = replicas
+                    .iter()
+                    .copied()
+                    .find(|&n| !self.down[n])
+                    .unwrap_or(replicas[0]);
                 self.read_plan(client, node, op)
             }
             Operation::Insert { record } | Operation::Update { record } => {
@@ -431,6 +590,26 @@ impl DistributedStore for CassandraStore {
     fn on_timed_event(&mut self, engine: &mut Engine) {
         if self.bootstrap_on_event {
             self.add_node(engine);
+        }
+    }
+
+    fn on_fault(&mut self, event: &apm_sim::FaultEvent, engine: &mut Engine) {
+        crate::api::apply_node_fault(&self.ctx, engine, event);
+        if event.node >= self.nodes.len() {
+            return;
+        }
+        match event.kind {
+            apm_sim::FaultKind::Crash => {
+                self.down[event.node] = true;
+                // The process is gone: the OS page cache restarts cold.
+                self.nodes[event.node].cache =
+                    PageCache::new(self.cache_bytes, self.ctx.seed ^ ((event.node as u64) << 8));
+            }
+            apm_sim::FaultKind::Restart => {
+                self.down[event.node] = false;
+                self.replay_hints(event.node, engine);
+            }
+            _ => {}
         }
     }
 
@@ -457,15 +636,22 @@ impl DistributedStore for CassandraStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::{run_benchmark, RunConfig};
+    use apm_core::driver::ClientConfig;
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
-    use crate::runner::{run_benchmark, RunConfig};
-    use apm_core::driver::ClientConfig;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn store(engine: &mut Engine, nodes: u32) -> CassandraStore {
-        let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), nodes, StoreCtx::standard_client_machines(nodes), 0.01, 11);
+        let ctx = StoreCtx::new(
+            engine,
+            ClusterSpec::cluster_m(),
+            nodes,
+            StoreCtx::standard_client_machines(nodes),
+            0.01,
+            11,
+        );
         CassandraStore::new(ctx, CassandraConfig::default())
     }
 
@@ -479,6 +665,8 @@ mod tests {
             nodes,
             seed: 5,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -515,8 +703,13 @@ mod tests {
         // Fig 5: Cassandra's write latency is high (≥ several ms) and
         // higher than its own read latency's queueing share would imply.
         let result = quick_run(1, Workload::r());
-        let w = result.mean_latency_ms(OpKind::Insert).expect("writes measured");
-        assert!(w >= 4.0, "write latency must include the 10 ms group window: {w} ms");
+        let w = result
+            .mean_latency_ms(OpKind::Insert)
+            .expect("writes measured");
+        assert!(
+            w >= 4.0,
+            "write latency must include the 10 ms group window: {w} ms"
+        );
     }
 
     #[test]
@@ -538,8 +731,14 @@ mod tests {
         let result = quick_run(2, Workload::rs());
         let read = result.mean_latency_ms(OpKind::Read).expect("reads");
         let scan = result.mean_latency_ms(OpKind::Scan).expect("scans");
-        assert!(scan > read, "scans must be slower than reads: {scan:.2} vs {read:.2}");
-        assert!((8.0..45.0).contains(&scan), "scan latency out of band: {scan:.2} ms");
+        assert!(
+            scan > read,
+            "scans must be slower than reads: {scan:.2} vs {read:.2}"
+        );
+        assert!(
+            (8.0..45.0).contains(&scan),
+            "scan latency out of band: {scan:.2} ms"
+        );
     }
 
     #[test]
@@ -553,7 +752,10 @@ mod tests {
         let per_node = s.disk_bytes_per_node().unwrap();
         let expected = cassandra_format().disk_usage(5_000);
         let rel = (per_node as f64 - expected as f64).abs() / expected as f64;
-        assert!(rel < 0.15, "per-node usage {per_node} vs expected {expected}");
+        assert!(
+            rel < 0.15,
+            "per-node usage {per_node} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -562,7 +764,10 @@ mod tests {
         let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 1, 1, 0.01, 3);
         let mut s = CassandraStore::new(
             ctx,
-            CassandraConfig { memtable_flush_bytes: Some(75 * 500), ..CassandraConfig::default() },
+            CassandraConfig {
+                memtable_flush_bytes: Some(75 * 500),
+                ..CassandraConfig::default()
+            },
         );
         // Insert enough through plan_op to trip a flush.
         for seq in 0..1_000 {
@@ -601,17 +806,120 @@ mod tests {
             let r = record_for_seq(seq);
             let node = s.ring.route(&r.key);
             let (found, _) = s.nodes[node].lsm.get(&r.key);
-            assert_eq!(found, Some(r.fields), "seq {seq} unreadable after bootstrap");
+            assert_eq!(
+                found,
+                Some(r.fields),
+                "seq {seq} unreadable after bootstrap"
+            );
         }
         engine.run_to_idle();
         assert!(s.streamed_bytes() >= bytes);
     }
 
     #[test]
+    fn crashed_replica_catches_up_through_hinted_handoff() {
+        use apm_sim::{FaultEvent, FaultKind, SimTime};
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 3, 1, 0.01, 3);
+        let mut s = CassandraStore::new(
+            ctx,
+            CassandraConfig {
+                replication: 2,
+                ..Default::default()
+            },
+        );
+        for seq in 0..200 {
+            s.load(&record_for_seq(seq));
+        }
+        s.finish_load();
+        // Crash node 1, write fresh records while it is down.
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 1,
+                kind: FaultKind::Crash,
+            },
+            &mut engine,
+        );
+        let before = s.nodes[1].lsm.record_count();
+        for seq in 200..400 {
+            let record = record_for_seq(seq);
+            let (outcome, _) = s.plan_op(0, &Operation::Insert { record }, &mut engine);
+            assert_eq!(outcome, OpOutcome::Done);
+        }
+        assert_eq!(
+            s.nodes[1].lsm.record_count(),
+            before,
+            "down node must take no writes"
+        );
+        let hinted: usize = s.hints[1].len();
+        // Restart: hints replay and the node converges to both copies.
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 1,
+                kind: FaultKind::Restart,
+            },
+            &mut engine,
+        );
+        assert!(s.hints[1].is_empty(), "hints must drain on rejoin");
+        assert_eq!(s.nodes[1].lsm.record_count(), before + hinted as u64);
+        let total: u64 = s.nodes.iter().map(|n| n.lsm.record_count()).sum();
+        assert_eq!(
+            total, 800,
+            "rf=2 must converge to two copies of all 400 records"
+        );
+        engine.run_to_idle();
+    }
+
+    #[test]
+    fn reads_fail_over_to_a_live_replica() {
+        use apm_sim::{FaultEvent, FaultKind, SimTime};
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 3, 1, 0.01, 3);
+        let mut s = CassandraStore::new(
+            ctx,
+            CassandraConfig {
+                replication: 2,
+                ..Default::default()
+            },
+        );
+        for seq in 0..200 {
+            s.load(&record_for_seq(seq));
+        }
+        s.finish_load();
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 0,
+                kind: FaultKind::Crash,
+            },
+            &mut engine,
+        );
+        // Every key primarily owned by node 0 must still be Found via its
+        // second replica.
+        for seq in 0..200 {
+            let r = record_for_seq(seq);
+            let (outcome, _) = s.plan_op(0, &Operation::Read { key: r.key }, &mut engine);
+            assert_eq!(
+                outcome,
+                OpOutcome::Found(r),
+                "seq {seq} lost during single-node crash"
+            );
+        }
+    }
+
+    #[test]
     fn replication_writes_to_multiple_nodes() {
         let mut engine = Engine::new();
         let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 3, 1, 0.01, 3);
-        let mut s = CassandraStore::new(ctx, CassandraConfig { replication: 2, ..Default::default() });
+        let mut s = CassandraStore::new(
+            ctx,
+            CassandraConfig {
+                replication: 2,
+                ..Default::default()
+            },
+        );
         for seq in 0..300 {
             s.load(&record_for_seq(seq));
         }

@@ -17,9 +17,7 @@
 //! * flushes and compactions are pipeline writes with 3× replication,
 //!   which is also why HBase is the least disk-efficient store (Fig 17).
 
-use crate::api::{
-    background_token, round_trip_plan, CostModel, DistributedStore, StoreCtx,
-};
+use crate::api::{background_token, round_trip_plan, CostModel, DistributedStore, StoreCtx};
 use crate::cache::PageCache;
 use crate::hdfs::{Hdfs, HdfsConfig};
 use crate::routing::RegionMap;
@@ -33,13 +31,25 @@ use std::collections::HashMap;
 
 /// Read path CPU (RPC, memstore + block lookup) — cheap; the latency is
 /// in HDFS.
-const READ_COST: CostModel = CostModel { base_ns: 260_000, per_probe_ns: 10_000, per_byte_ns: 30 };
+const READ_COST: CostModel = CostModel {
+    base_ns: 260_000,
+    per_probe_ns: 10_000,
+    per_byte_ns: 30,
+};
 /// Write path CPU: building KeyValues (one per field!), CSLM insert, WAL
 /// edit. HBase 0.90's write path was heavyweight — calibrated to ≈10 K
 /// inserts/s on one 8-core node (Fig 9).
-const WRITE_COST: CostModel = CostModel { base_ns: 700_000, per_probe_ns: 10_000, per_byte_ns: 40 };
+const WRITE_COST: CostModel = CostModel {
+    base_ns: 700_000,
+    per_probe_ns: 10_000,
+    per_byte_ns: 40,
+};
 /// Scan fragment cost (sequential next() calls on the region scanner).
-const SCAN_COST: CostModel = CostModel { base_ns: 900_000, per_probe_ns: 10_000, per_byte_ns: 30 };
+const SCAN_COST: CostModel = CostModel {
+    base_ns: 900_000,
+    per_probe_ns: 10_000,
+    per_byte_ns: 30,
+};
 /// Client (HTable) cost per op.
 const CLIENT_CPU: SimDuration = SimDuration::from_micros(25);
 /// Page-cache share of RAM on the DataNodes (rest is the two JVMs).
@@ -50,6 +60,14 @@ const REGIONS_PER_SERVER: usize = 4;
 const REQ_BYTES: u64 = 150;
 const RESP_READ_BYTES: u64 = 260;
 const RESP_WRITE_BYTES: u64 = 40;
+/// Master failure-detection delay before a dead server's regions are
+/// reassigned (ZooKeeper session timeout + master processing, scaled
+/// down from the production 30–180 s defaults to stay observable in
+/// short simulated windows).
+const DETECTION_DELAY: SimDuration = SimDuration::from_millis(1_000);
+/// Floor on WAL-replay bytes (region-open overhead + meta edits) so a
+/// crash is never free even with an empty deferred-WAL backlog.
+const MIN_REPLAY_BYTES: u64 = 1 << 20;
 
 struct Server {
     lsm: LsmTree,
@@ -68,6 +86,18 @@ pub struct HbaseStore {
     next_job: u64,
     /// Pending deferred-WAL bytes per server (flushed with memstores).
     wal_backlog: Vec<u64>,
+    /// Block-cache budget per server (kept to rebuild a cold cache after
+    /// a crash).
+    cache_bytes: u64,
+    /// Crashed region servers (no requests served until reassignment).
+    down: Vec<bool>,
+    /// Regions of a dead server re-opened on a substitute: dead → host.
+    /// The data lives in HDFS, so the substitute serves it with its own
+    /// CPU/disk/NIC once WAL replay finishes.
+    reassigned: HashMap<usize, usize>,
+    /// In-flight master-recovery jobs (detection + WAL replay): job id →
+    /// dead server.
+    recovery_jobs: HashMap<u64, usize>,
 }
 
 impl HbaseStore {
@@ -78,7 +108,10 @@ impl HbaseStore {
         let n = ctx.node_count();
         let servers_state = (0..n)
             .map(|i| Server {
-                lsm: LsmTree::new(LsmConfig { memtable_flush_bytes: flush_bytes, ..LsmConfig::default() }),
+                lsm: LsmTree::new(LsmConfig {
+                    memtable_flush_bytes: flush_bytes,
+                    ..LsmConfig::default()
+                }),
                 wal: CommitLog::new(SyncPolicy::Deferred, 40),
                 cache: PageCache::new(cache_bytes, ctx.seed ^ ((i as u64) << 16)),
             })
@@ -92,35 +125,76 @@ impl HbaseStore {
             jobs: HashMap::new(),
             next_job: 1,
             wal_backlog: vec![0; n],
+            cache_bytes,
+            down: vec![false; n],
+            reassigned: HashMap::new(),
+            recovery_jobs: HashMap::new(),
             ctx,
         }
+    }
+
+    /// Which live server hosts `server`'s regions right now: itself when
+    /// up, its substitute after reassignment, nobody while the master is
+    /// still detecting the crash or replaying the WAL.
+    fn host_for(&self, server: usize) -> Option<usize> {
+        if !self.down[server] {
+            return Some(server);
+        }
+        self.reassigned
+            .get(&server)
+            .copied()
+            .filter(|&h| !self.down[h])
     }
 
     fn expand(&self, bytes: u64) -> u64 {
         (bytes as f64 * self.format.expansion()).round() as u64
     }
 
+    /// A request to a region whose server is dead and not yet reassigned:
+    /// it dies against the crashed node's resources (connection refused),
+    /// with no store-state side effects.
+    fn dead_region_plan(&self, client: u32, server: usize) -> Plan {
+        let res = self.ctx.servers[server];
+        round_trip_plan(
+            &self.ctx,
+            client,
+            &res,
+            CLIENT_CPU,
+            REQ_BYTES,
+            RESP_WRITE_BYTES,
+            vec![Step::Acquire {
+                resource: res.cpu,
+                service: SimDuration::from_nanos(READ_COST.base_ns),
+            }],
+        )
+    }
+
     fn schedule_job(&mut self, server: usize, job: BackgroundJob, engine: &mut Engine) {
         let id = self.next_job;
         self.next_job += 1;
+        // Background work for a dead server's regions runs on whichever
+        // node re-opened them (the job stays keyed by the region owner).
+        let host = self.host_for(server).unwrap_or(server);
         let mut plan_steps: Vec<Step> = Vec::new();
         // Compaction first streams its inputs back in from HDFS.
         if job.read_bytes > 0 {
             plan_steps.extend(self.hdfs.read_steps(
                 &self.ctx,
-                server,
+                host,
                 self.expand(job.read_bytes),
                 true, // compaction inputs are usually warm
             ));
         }
         plan_steps.push(Step::Acquire {
-            resource: self.ctx.servers[server].cpu,
+            resource: self.ctx.servers[host].cpu,
             service: SimDuration::from_nanos(self.expand(job.write_bytes) * 10),
         });
         // Flush/compaction output is pipeline-written with replication;
         // piggy-back the deferred WAL backlog on the same sync.
         let wal_bytes = std::mem::take(&mut self.wal_backlog[server]);
-        let write = self.hdfs.write_plan(&self.ctx, server, self.expand(job.write_bytes) + wal_bytes);
+        let write = self
+            .hdfs
+            .write_plan(&self.ctx, host, self.expand(job.write_bytes) + wal_bytes);
         plan_steps.extend(write.0);
         self.jobs.insert(id, (server, job));
         engine.submit(Plan(plan_steps), background_token(id));
@@ -132,9 +206,15 @@ impl DistributedStore for HbaseStore {
         "hbase"
     }
 
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
+    }
+
     fn load(&mut self, record: &Record) {
         let server = self.regions.route(&record.key);
-        let (_, job) = self.servers_state[server].lsm.insert(record.key, record.fields);
+        let (_, job) = self.servers_state[server]
+            .lsm
+            .insert(record.key, record.fields);
         let mut next = job;
         while let Some(j) = next {
             next = match j.kind {
@@ -160,6 +240,9 @@ impl DistributedStore for HbaseStore {
         match op {
             Operation::Read { key } => {
                 let server = self.regions.route(key);
+                let Some(host) = self.host_for(server) else {
+                    return (OpOutcome::Missing, self.dead_region_plan(client, server));
+                };
                 let state = &mut self.servers_state[server];
                 let (found, receipt) = state.lsm.get(key);
                 let data_bytes = self.format.disk_usage(state.lsm.record_count());
@@ -169,27 +252,48 @@ impl DistributedStore for HbaseStore {
                 };
                 // Every HFile block consulted goes through the DataNode.
                 let mut steps = vec![Step::Acquire {
-                    resource: self.ctx.servers[server].cpu,
+                    resource: self.ctx.servers[host].cpu,
                     service: READ_COST.cpu(&receipt),
                 }];
                 for io in &receipt.io {
-                    let cached = state.cache.sample_hit(data_bytes);
-                    steps.extend(self.hdfs.read_steps(&self.ctx, server, io.bytes, cached));
+                    let cached = self.servers_state[host].cache.sample_hit(data_bytes);
+                    steps.extend(self.hdfs.read_steps(&self.ctx, host, io.bytes, cached));
                 }
-                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[server], CLIENT_CPU, REQ_BYTES, RESP_READ_BYTES, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    &self.ctx.servers[host],
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    RESP_READ_BYTES,
+                    steps,
+                );
                 (outcome, plan)
             }
             Operation::Insert { record } | Operation::Update { record } => {
                 let server = self.regions.route(&record.key);
-                let (receipt, flush) = self.servers_state[server].lsm.insert(record.key, record.fields);
+                let Some(host) = self.host_for(server) else {
+                    return (OpOutcome::Done, self.dead_region_plan(client, server));
+                };
+                let (receipt, flush) = self.servers_state[server]
+                    .lsm
+                    .insert(record.key, record.fields);
                 let wal = self.servers_state[server].wal.append(75 * 5); // one WALEdit per KeyValue
                 debug_assert!(wal.io.is_none(), "deferred WAL");
                 self.wal_backlog[server] += self.servers_state[server].wal.take_unflushed();
                 let steps = vec![Step::Acquire {
-                    resource: self.ctx.servers[server].cpu,
+                    resource: self.ctx.servers[host].cpu,
                     service: WRITE_COST.cpu(&receipt),
                 }];
-                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[server], CLIENT_CPU, REQ_BYTES, RESP_WRITE_BYTES, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    &self.ctx.servers[host],
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    RESP_WRITE_BYTES,
+                    steps,
+                );
                 if let Some(job) = flush {
                     self.schedule_job(server, job, engine);
                 }
@@ -201,25 +305,89 @@ impl DistributedStore for HbaseStore {
                     .scan_route(start, *len)
                     .first()
                     .expect("scan has a home region");
+                let Some(host) = self.host_for(server) else {
+                    return (OpOutcome::Scanned(0), self.dead_region_plan(client, server));
+                };
                 let state = &mut self.servers_state[server];
                 let (rows, receipt) = state.lsm.scan(start, *len);
                 let data_bytes = self.format.disk_usage(state.lsm.record_count());
                 let mut steps = vec![Step::Acquire {
-                    resource: self.ctx.servers[server].cpu,
+                    resource: self.ctx.servers[host].cpu,
                     service: SCAN_COST.cpu(&receipt),
                 }];
                 for io in &receipt.io {
-                    let cached = state.cache.sample_hit(data_bytes);
-                    steps.extend(self.hdfs.read_steps(&self.ctx, server, io.bytes, cached));
+                    let cached = self.servers_state[host].cache.sample_hit(data_bytes);
+                    steps.extend(self.hdfs.read_steps(&self.ctx, host, io.bytes, cached));
                 }
                 let resp = RESP_READ_BYTES * rows.len().max(1) as u64 / 2;
-                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[server], CLIENT_CPU, REQ_BYTES, resp, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    &self.ctx.servers[host],
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    resp,
+                    steps,
+                );
                 (OpOutcome::Scanned(rows.len()), plan)
             }
         }
     }
 
+    fn on_fault(&mut self, event: &apm_sim::FaultEvent, engine: &mut Engine) {
+        crate::api::apply_node_fault(&self.ctx, engine, event);
+        if event.node >= self.servers_state.len() {
+            return;
+        }
+        match event.kind {
+            apm_sim::FaultKind::Crash => {
+                let dead = event.node;
+                self.down[dead] = true;
+                // The process is gone: block cache restarts cold.
+                self.servers_state[dead].cache =
+                    PageCache::new(self.cache_bytes, self.ctx.seed ^ ((dead as u64) << 16));
+                let sub = (dead + 1) % self.servers_state.len();
+                if sub != dead && !self.down[sub] {
+                    // Master recovery: wait out failure detection, then
+                    // the substitute splits and replays the dead server's
+                    // WAL from HDFS before re-opening its regions. Until
+                    // this job completes, the regions serve nothing.
+                    let backlog = std::mem::take(&mut self.wal_backlog[dead]);
+                    let replay = self.expand(backlog) + MIN_REPLAY_BYTES;
+                    let id = self.next_job;
+                    self.next_job += 1;
+                    let mut steps = vec![Step::Delay(DETECTION_DELAY)];
+                    steps.extend(self.hdfs.read_steps(&self.ctx, sub, replay, false));
+                    steps.push(Step::Acquire {
+                        resource: self.ctx.servers[sub].cpu,
+                        service: SimDuration::from_nanos(replay * 10),
+                    });
+                    self.recovery_jobs.insert(id, dead);
+                    engine.submit(Plan(steps), background_token(id));
+                }
+            }
+            apm_sim::FaultKind::Restart => {
+                // The server rejoins and the master moves its regions
+                // back (a cheap reopen — the data never left HDFS).
+                self.down[event.node] = false;
+                self.reassigned.remove(&event.node);
+            }
+            _ => {}
+        }
+    }
+
     fn on_background(&mut self, job_id: u64, engine: &mut Engine) {
+        if let Some(dead) = self.recovery_jobs.remove(&job_id) {
+            // WAL replay finished: the substitute re-opens the regions —
+            // unless the dead server already restarted in the meantime.
+            if self.down[dead] {
+                let sub = (dead + 1) % self.servers_state.len();
+                if !self.down[sub] {
+                    self.reassigned.insert(dead, sub);
+                }
+            }
+            return;
+        }
         let (server, job) = self.jobs.remove(&job_id).expect("known background job");
         let follow = match job.kind {
             JobKind::Flush => self.servers_state[server].lsm.complete_flush(job.id),
@@ -231,7 +399,11 @@ impl DistributedStore for HbaseStore {
     }
 
     fn disk_bytes_per_node(&self) -> Option<u64> {
-        let records: u64 = self.servers_state.iter().map(|s| s.lsm.record_count()).sum();
+        let records: u64 = self
+            .servers_state
+            .iter()
+            .map(|s| s.lsm.record_count())
+            .sum();
         Some(self.format.disk_usage(records) / self.servers_state.len() as u64)
     }
 }
@@ -244,10 +416,17 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn make(engine: &mut Engine, nodes: u32, scale: f64) -> HbaseStore {
-        let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), nodes, StoreCtx::standard_client_machines(nodes), scale, 37);
+        let ctx = StoreCtx::new(
+            engine,
+            ClusterSpec::cluster_m(),
+            nodes,
+            StoreCtx::standard_client_machines(nodes),
+            scale,
+            37,
+        );
         HbaseStore::new(ctx, engine)
     }
 
@@ -261,6 +440,8 @@ mod tests {
             nodes,
             seed: 41,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -297,7 +478,10 @@ mod tests {
         let r = result.mean_latency_ms(OpKind::Read).unwrap();
         let w = result.mean_latency_ms(OpKind::Insert).unwrap();
         assert!(r > 20.0, "hbase read latency too low: {r} ms");
-        assert!(w < 0.3 * r, "hbase writes must be far cheaper than reads: {w} vs {r}");
+        assert!(
+            w < 0.3 * r,
+            "hbase writes must be far cheaper than reads: {w} vs {r}"
+        );
     }
 
     #[test]
@@ -354,7 +538,67 @@ mod tests {
             .iter()
             .filter(|n| engine.served(n.disk) > 0)
             .count();
-        assert!(disks_used >= 2, "replication pipeline must hit ≥2 nodes: {disks_used}");
+        assert!(
+            disks_used >= 2,
+            "replication pipeline must hit ≥2 nodes: {disks_used}"
+        );
+    }
+
+    #[test]
+    fn crashed_server_regions_reassign_after_wal_replay() {
+        use apm_sim::{FaultEvent, FaultKind, SimTime};
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 3, 0.01);
+        for seq in 0..3_000 {
+            s.load(&record_for_seq(seq));
+        }
+        s.finish_load();
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 1,
+                kind: FaultKind::Crash,
+            },
+            &mut engine,
+        );
+        // Detection + WAL replay pending: the regions serve nothing.
+        assert_eq!(s.host_for(1), None);
+        assert!(
+            !s.recovery_jobs.is_empty(),
+            "crash must start a recovery job"
+        );
+        // Drain the recovery job.
+        while let Some(c) = engine.next_completion() {
+            let (bg, id) = crate::api::split_token(c.token);
+            if bg {
+                s.on_background(id, &mut engine);
+            }
+        }
+        assert_eq!(
+            s.host_for(1),
+            Some(2),
+            "regions must re-open on the substitute"
+        );
+        assert!(
+            engine.now() >= SimTime(DETECTION_DELAY.as_nanos()),
+            "reassignment cannot precede failure detection"
+        );
+        // Every record is still readable (served through node 2).
+        for seq in (0..3_000).step_by(173) {
+            let r = record_for_seq(seq);
+            let (outcome, _) = s.plan_op(0, &Operation::Read { key: r.key }, &mut engine);
+            assert_eq!(outcome, OpOutcome::Found(r), "seq {seq} lost in failover");
+        }
+        // Restart: the regions move home.
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 1,
+                kind: FaultKind::Restart,
+            },
+            &mut engine,
+        );
+        assert_eq!(s.host_for(1), Some(1));
     }
 
     #[test]

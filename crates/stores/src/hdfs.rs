@@ -151,9 +151,20 @@ mod tests {
         }
         let completions = engine.run_to_idle();
         assert_eq!(completions.len(), 8);
-        let max_latency = completions.iter().map(|c| c.latency().as_nanos()).max().unwrap();
-        let min_latency = completions.iter().map(|c| c.latency().as_nanos()).min().unwrap();
-        assert!(max_latency >= 2 * min_latency, "queueing must double tail latency");
+        let max_latency = completions
+            .iter()
+            .map(|c| c.latency().as_nanos())
+            .max()
+            .unwrap();
+        let min_latency = completions
+            .iter()
+            .map(|c| c.latency().as_nanos())
+            .min()
+            .unwrap();
+        assert!(
+            max_latency >= 2 * min_latency,
+            "queueing must double tail latency"
+        );
     }
 
     #[test]

@@ -40,5 +40,11 @@ pub use api::{DistributedStore, StoreCtx};
 pub use runner::{run_benchmark, RunConfig, RunResult};
 
 /// The store names in the paper's legend order.
-pub const STORE_NAMES: [&str; 6] =
-    ["cassandra", "hbase", "voldemort", "voltdb", "redis", "mysql"];
+pub const STORE_NAMES: [&str; 6] = [
+    "cassandra",
+    "hbase",
+    "voldemort",
+    "voltdb",
+    "redis",
+    "mysql",
+];

@@ -35,24 +35,44 @@ use apm_storage::encoding::StorageFormat;
 use apm_storage::receipt::{CostReceipt, DiskIo};
 
 /// Read cost: BSON decode + `_id` index walk.
-const READ_COST: CostModel = CostModel { base_ns: 190_000, per_probe_ns: 6_000, per_byte_ns: 40 };
+const READ_COST: CostModel = CostModel {
+    base_ns: 190_000,
+    per_probe_ns: 6_000,
+    per_byte_ns: 40,
+};
 /// Write cost while holding the global write lock: BSON encode, index
 /// insert, mmap page dirtying.
-const WRITE_LOCK_COST: CostModel = CostModel { base_ns: 90_000, per_probe_ns: 4_000, per_byte_ns: 30 };
+const WRITE_LOCK_COST: CostModel = CostModel {
+    base_ns: 90_000,
+    per_probe_ns: 4_000,
+    per_byte_ns: 30,
+};
 /// Write-path CPU outside the lock (message parse, validation).
 const WRITE_CPU: SimDuration = SimDuration::from_micros(120);
 /// Range scan fragment (getmore batches over a chunk).
-const SCAN_COST: CostModel = CostModel { base_ns: 420_000, per_probe_ns: 6_000, per_byte_ns: 20 };
+const SCAN_COST: CostModel = CostModel {
+    base_ns: 420_000,
+    per_probe_ns: 6_000,
+    per_byte_ns: 20,
+};
 /// Client (driver + mongos hop folded in) cost per op.
 const CLIENT_CPU: SimDuration = SimDuration::from_micros(25);
 /// mmapv1 page cache: essentially all of RAM.
 const CACHE_FRACTION: f64 = 0.9;
 /// BSON document layout: ~390 B per 75-B record (see module docs).
 fn mongo_format() -> StorageFormat {
-    StorageFormat { name: "mongodb", bytes_per_record: 390, includes_log: false }
+    StorageFormat {
+        name: "mongodb",
+        bytes_per_record: 390,
+        includes_log: false,
+    }
 }
 /// 16 KB extent pages hold ~40 BSON documents.
-const MONGO_PAGE: BTreeConfig = BTreeConfig { leaf_capacity: 40, internal_capacity: 200, page_bytes: 16 << 10 };
+const MONGO_PAGE: BTreeConfig = BTreeConfig {
+    leaf_capacity: 40,
+    internal_capacity: 200,
+    page_bytes: 16 << 10,
+};
 /// Chunks per shard (pre-split, like the HBase region map).
 const CHUNKS_PER_SHARD: usize = 8;
 /// Wire sizes.
@@ -72,7 +92,11 @@ impl Shard {
         let mut ios = Vec::new();
         let page_bytes = self.tree.page_bytes();
         for page in trace.read.iter().chain(&trace.written) {
-            let access = if trace.written.contains(page) { Access::Write } else { Access::Read };
+            let access = if trace.written.contains(page) {
+                Access::Write
+            } else {
+                Access::Read
+            };
             let r = self.pool.access(*page, access);
             if !r.hit {
                 ios.push(DiskIo::random_read(page_bytes));
@@ -101,8 +125,8 @@ pub struct MongoStore {
 impl MongoStore {
     /// Creates the store: one `mongod` per node, range-sharded chunks.
     pub fn new(ctx: StoreCtx, engine: &mut Engine) -> MongoStore {
-        let pool_pages =
-            ((ctx.scaled_ram() as f64 * CACHE_FRACTION) as u64 / MONGO_PAGE.page_bytes).max(16) as usize;
+        let pool_pages = ((ctx.scaled_ram() as f64 * CACHE_FRACTION) as u64 / MONGO_PAGE.page_bytes)
+            .max(16) as usize;
         let shards = (0..ctx.node_count())
             .map(|i| Shard {
                 tree: BTree::new(MONGO_PAGE),
@@ -110,13 +134,21 @@ impl MongoStore {
                 write_lock: engine.add_resource(format!("mongod{i}.writelock"), 1),
             })
             .collect();
-        MongoStore { chunks: RegionMap::new(ctx.node_count(), CHUNKS_PER_SHARD), ctx, shards }
+        MongoStore {
+            chunks: RegionMap::new(ctx.node_count(), CHUNKS_PER_SHARD),
+            ctx,
+            shards,
+        }
     }
 }
 
 impl DistributedStore for MongoStore {
     fn name(&self) -> &'static str {
         "mongodb"
+    }
+
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
     }
 
     fn load(&mut self, record: &Record) {
@@ -144,7 +176,15 @@ impl DistributedStore for MongoStore {
                     READ_COST.cpu(&receipt),
                     &ios,
                 );
-                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[shard_idx], CLIENT_CPU, REQ_BYTES, RESP_READ_BYTES, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    &self.ctx.servers[shard_idx],
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    RESP_READ_BYTES,
+                    steps,
+                );
                 (outcome, plan)
             }
             Operation::Insert { record } | Operation::Update { record } => {
@@ -153,13 +193,21 @@ impl DistributedStore for MongoStore {
                 let (_, trace) = shard.tree.insert(record.key, record.fields);
                 let ios = shard.replay(&trace);
                 let mut receipt = CostReceipt::new();
-                receipt.probe((trace.read.len() + trace.written.len()) as u64).touch(390);
+                receipt
+                    .probe((trace.read.len() + trace.written.len()) as u64)
+                    .touch(390);
                 let server = &self.ctx.servers[shard_idx];
                 let mut steps = vec![
-                    Step::Acquire { resource: server.cpu, service: WRITE_CPU },
+                    Step::Acquire {
+                        resource: server.cpu,
+                        service: WRITE_CPU,
+                    },
                     // The global write lock: serialises all writers on
                     // this mongod.
-                    Step::Acquire { resource: shard.write_lock, service: WRITE_LOCK_COST.cpu(&receipt) },
+                    Step::Acquire {
+                        resource: shard.write_lock,
+                        service: WRITE_LOCK_COST.cpu(&receipt),
+                    },
                 ];
                 for io in &ios {
                     let pattern = if io.class.is_random() {
@@ -172,7 +220,15 @@ impl DistributedStore for MongoStore {
                         service: self.ctx.cluster.node.disk.service(io.bytes, pattern),
                     });
                 }
-                let plan = round_trip_plan(&self.ctx, client, server, CLIENT_CPU, REQ_BYTES, RESP_WRITE_BYTES, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    server,
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    RESP_WRITE_BYTES,
+                    steps,
+                );
                 (OpOutcome::Done, plan)
             }
             Operation::Scan { start, len } => {
@@ -187,7 +243,9 @@ impl DistributedStore for MongoStore {
                 let (rows, trace) = shard.tree.scan(start, *len);
                 let ios = shard.replay(&trace);
                 let mut receipt = CostReceipt::new();
-                receipt.probe(trace.read.len() as u64).touch(390 * rows.len() as u64);
+                receipt
+                    .probe(trace.read.len() as u64)
+                    .touch(390 * rows.len() as u64);
                 let steps = server_steps(
                     &self.ctx.servers[shard_idx],
                     &self.ctx.cluster,
@@ -195,7 +253,15 @@ impl DistributedStore for MongoStore {
                     &ios,
                 );
                 let resp = RESP_ROW_BYTES * rows.len().max(1) as u64;
-                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[shard_idx], CLIENT_CPU, REQ_BYTES, resp, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    &self.ctx.servers[shard_idx],
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    resp,
+                    steps,
+                );
                 (OpOutcome::Scanned(rows.len()), plan)
             }
         }
@@ -215,10 +281,17 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn make(engine: &mut Engine, nodes: u32) -> MongoStore {
-        let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), nodes, StoreCtx::standard_client_machines(nodes), 0.01, 43);
+        let ctx = StoreCtx::new(
+            engine,
+            ClusterSpec::cluster_m(),
+            nodes,
+            StoreCtx::standard_client_machines(nodes),
+            0.01,
+            43,
+        );
         MongoStore::new(ctx, engine)
     }
 
@@ -232,6 +305,8 @@ mod tests {
             nodes,
             seed: 47,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -270,7 +345,10 @@ mod tests {
         // but each node stays single-writer: per-node W is flat.
         let per_node_1 = w1;
         let per_node_4 = w4 / 4.0;
-        assert!((per_node_4 / per_node_1 - 1.0).abs() < 0.3, "per-node W must stay lock-bound: {per_node_1} vs {per_node_4}");
+        assert!(
+            (per_node_4 / per_node_1 - 1.0).abs() < 0.3,
+            "per-node W must stay lock-bound: {per_node_1} vs {per_node_4}"
+        );
     }
 
     #[test]
@@ -279,7 +357,10 @@ mod tests {
         let w = result.mean_latency_ms(OpKind::Insert).unwrap();
         let r = quick_run(1, Workload::r());
         let read = r.mean_latency_ms(OpKind::Read).unwrap();
-        assert!(w > read, "lock queueing must show in write latency: {w} vs {read}");
+        assert!(
+            w > read,
+            "lock queueing must show in write latency: {w} vs {read}"
+        );
     }
 
     #[test]
@@ -291,12 +372,19 @@ mod tests {
         }
         let (outcome, plan) = s.plan_op(
             0,
-            &Operation::Scan { start: record_for_seq(10).key, len: 50 },
+            &Operation::Scan {
+                start: record_for_seq(10).key,
+                len: 50,
+            },
             &mut engine,
         );
         assert!(matches!(outcome, OpOutcome::Scanned(n) if n > 0));
         // Single-shard scan: far fewer steps than an n-way fan-out.
-        assert!(plan.total_steps() < 15, "scan should not fan out: {}", plan.total_steps());
+        assert!(
+            plan.total_steps() < 15,
+            "scan should not fan out: {}",
+            plan.total_steps()
+        );
     }
 
     #[test]

@@ -37,11 +37,23 @@ use apm_storage::wal::{CommitLog, SyncPolicy};
 /// Point query cost (parse, optimize, index dive, row copy) — calibrated
 /// to §5.1: "no significant differences between the throughput of
 /// Cassandra and MySQL" (~25 K ops/s on one node).
-const POINT_COST: CostModel = CostModel { base_ns: 270_000, per_probe_ns: 6_000, per_byte_ns: 30 };
+const POINT_COST: CostModel = CostModel {
+    base_ns: 270_000,
+    per_probe_ns: 6_000,
+    per_byte_ns: 30,
+};
 /// Insert cost (row build, index insert, redo record, binlog event).
-const WRITE_COST: CostModel = CostModel { base_ns: 290_000, per_probe_ns: 6_000, per_byte_ns: 30 };
+const WRITE_COST: CostModel = CostModel {
+    base_ns: 290_000,
+    per_probe_ns: 6_000,
+    per_byte_ns: 30,
+};
 /// Healthy indexed range scan fragment per shard.
-const SCAN_COST: CostModel = CostModel { base_ns: 380_000, per_probe_ns: 6_000, per_byte_ns: 15 };
+const SCAN_COST: CostModel = CostModel {
+    base_ns: 380_000,
+    per_probe_ns: 6_000,
+    per_byte_ns: 15,
+};
 /// CPU per row of a degraded full table scan.
 const FULL_SCAN_NS_PER_ROW: u64 = 2_500;
 /// Client JDBC cost per statement.
@@ -60,7 +72,11 @@ const STATS_CHURN_ON: f64 = 2_000.0;
 
 /// InnoDB page layout: ~250 B effective per record (Fig 17's data file
 /// half of the 500 B total) → 16 KB page holds ≈64 records.
-const INNODB_PAGE: BTreeConfig = BTreeConfig { leaf_capacity: 64, internal_capacity: 300, page_bytes: 16 << 10 };
+const INNODB_PAGE: BTreeConfig = BTreeConfig {
+    leaf_capacity: 64,
+    internal_capacity: 300,
+    page_bytes: 16 << 10,
+};
 /// Wire sizes (MySQL protocol).
 const REQ_BYTES: u64 = 130;
 const RESP_READ_BYTES: u64 = 190;
@@ -83,7 +99,11 @@ impl Shard {
         let mut ios = Vec::new();
         let page_bytes = self.tree.page_bytes();
         for page in trace.read.iter().chain(&trace.written) {
-            let access = if trace.written.contains(page) { Access::Write } else { Access::Read };
+            let access = if trace.written.contains(page) {
+                Access::Write
+            } else {
+                Access::Read
+            };
             let r = self.pool.access(*page, access);
             if !r.hit {
                 ios.push(DiskIo::random_read(page_bytes));
@@ -140,26 +160,45 @@ impl MysqlStore {
             .map(|_| Shard {
                 tree: BTree::new(INNODB_PAGE),
                 pool: BufferPool::new(pool_pages),
-                log: CommitLog::new(SyncPolicy::GroupCommit { window: COMMIT_WINDOW }, 60),
+                log: CommitLog::new(
+                    SyncPolicy::GroupCommit {
+                        window: COMMIT_WINDOW,
+                    },
+                    60,
+                ),
                 rate_window_start: SimTime::ZERO,
                 rate_window_count: 0,
                 insert_rate: 0.0,
                 churning: false,
             })
             .collect();
-        MysqlStore { shards_map: RdbmsShards::new(ctx.node_count()), format: mysql_format(), ctx, shards }
+        MysqlStore {
+            shards_map: RdbmsShards::new(ctx.node_count()),
+            format: mysql_format(),
+            ctx,
+            shards,
+        }
     }
 
     /// Diagnostic view of each shard's (insert-rate, churning) state.
     pub fn churn_debug(&self) -> Vec<(f64, bool)> {
-        self.shards.iter().map(|s| (s.insert_rate, s.stats_churning())).collect()
+        self.shards
+            .iter()
+            .map(|s| (s.insert_rate, s.stats_churning()))
+            .collect()
     }
 
-    fn scan_plan(&mut self, client: u32, start: &apm_core::record::MetricKey, len: usize) -> (OpOutcome, Plan) {
+    fn scan_plan(
+        &mut self,
+        client: u32,
+        start: &apm_core::record::MetricKey,
+        len: usize,
+    ) -> (OpOutcome, Plan) {
         let net = self.ctx.cluster.net;
         let n = self.shards.len();
         let mut branches = Vec::with_capacity(n);
-        let mut merged: Vec<(apm_core::record::MetricKey, apm_core::record::FieldValues)> = Vec::new();
+        let mut merged: Vec<(apm_core::record::MetricKey, apm_core::record::FieldValues)> =
+            Vec::new();
         for shard_idx in 0..n {
             let churning = self.shards[shard_idx].stats_churning();
             let rows_in_shard = self.shards[shard_idx].tree.len();
@@ -168,7 +207,9 @@ impl MysqlStore {
             merged.extend(rows);
             let ios = self.shards[shard_idx].replay(&trace);
             let mut receipt = CostReceipt::new();
-            receipt.probe(trace.read.len() as u64).touch((returned * 75) as u64);
+            receipt
+                .probe(trace.read.len() as u64)
+                .touch((returned * 75) as u64);
             let (cpu, resp_bytes) = if churning {
                 // Degraded plan: full table scan, and the driver streams
                 // the *unbounded* result set ("all records with a key
@@ -180,16 +221,28 @@ impl MysqlStore {
                     RESP_ROW_BYTES * (rows_in_shard / 2).max(returned as u64),
                 )
             } else {
-                (SCAN_COST.cpu(&receipt), RESP_ROW_BYTES * returned.max(1) as u64)
+                (
+                    SCAN_COST.cpu(&receipt),
+                    RESP_ROW_BYTES * returned.max(1) as u64,
+                )
             };
             let server = &self.ctx.servers[shard_idx];
             let mut steps = vec![
-                Step::Acquire { resource: self.ctx.client_machine(client).nic, service: net.transfer(REQ_BYTES) },
+                Step::Acquire {
+                    resource: self.ctx.client_machine(client).nic,
+                    service: net.transfer(REQ_BYTES),
+                },
                 Step::Delay(net.one_way_latency),
-                Step::Acquire { resource: server.nic, service: net.transfer(REQ_BYTES) },
+                Step::Acquire {
+                    resource: server.nic,
+                    service: net.transfer(REQ_BYTES),
+                },
             ];
             steps.extend(server_steps(server, &self.ctx.cluster, cpu, &ios));
-            steps.push(Step::Acquire { resource: server.nic, service: net.transfer(resp_bytes) });
+            steps.push(Step::Acquire {
+                resource: server.nic,
+                service: net.transfer(resp_bytes),
+            });
             steps.push(Step::Delay(net.one_way_latency));
             steps.push(Step::Acquire {
                 resource: self.ctx.client_machine(client).nic,
@@ -201,7 +254,10 @@ impl MysqlStore {
         merged.truncate(len);
         let client_res = self.ctx.client_machine(client);
         let plan = Plan(vec![
-            Step::Acquire { resource: client_res.cpu, service: CLIENT_CPU },
+            Step::Acquire {
+                resource: client_res.cpu,
+                service: CLIENT_CPU,
+            },
             Step::Join { branches, need: n },
             Step::Acquire {
                 resource: client_res.cpu,
@@ -215,6 +271,10 @@ impl MysqlStore {
 impl DistributedStore for MysqlStore {
     fn name(&self) -> &'static str {
         "mysql"
+    }
+
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
     }
 
     fn load(&mut self, record: &Record) {
@@ -243,7 +303,15 @@ impl DistributedStore for MysqlStore {
                     POINT_COST.cpu(&receipt),
                     &ios,
                 );
-                let plan = round_trip_plan(&self.ctx, client, &self.ctx.servers[shard_idx], CLIENT_CPU, REQ_BYTES, RESP_READ_BYTES, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    &self.ctx.servers[shard_idx],
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    RESP_READ_BYTES,
+                    steps,
+                );
                 (outcome, plan)
             }
             Operation::Insert { record } | Operation::Update { record } => {
@@ -259,21 +327,47 @@ impl DistributedStore for MysqlStore {
                     .probe((trace.read.len() + trace.written.len()) as u64)
                     .touch(75);
                 let server = &self.ctx.servers[shard_idx];
-                let mut steps = vec![Step::Acquire { resource: server.cpu, service: WRITE_COST.cpu(&receipt) }];
+                let mut steps = vec![Step::Acquire {
+                    resource: server.cpu,
+                    service: WRITE_COST.cpu(&receipt),
+                }];
                 for io in ios.drain(..) {
-                    let pattern = if io.class.is_random() { apm_sim::IoPattern::Random } else { apm_sim::IoPattern::Sequential };
-                    steps.push(Step::Acquire { resource: server.disk, service: self.ctx.cluster.node.disk.service(io.bytes, pattern) });
+                    let pattern = if io.class.is_random() {
+                        apm_sim::IoPattern::Random
+                    } else {
+                        apm_sim::IoPattern::Sequential
+                    };
+                    steps.push(Step::Acquire {
+                        resource: server.disk,
+                        service: self.ctx.cluster.node.disk.service(io.bytes, pattern),
+                    });
                 }
                 if let Some(io) = wal.io {
                     steps.push(Step::Acquire {
                         resource: server.disk,
-                        service: self.ctx.cluster.node.disk.service(io.bytes, apm_sim::IoPattern::Sequential),
+                        service: self
+                            .ctx
+                            .cluster
+                            .node
+                            .disk
+                            .service(io.bytes, apm_sim::IoPattern::Sequential),
                     });
                 }
                 if let Some(window) = wal.align {
-                    steps.push(Step::AlignTo { period: window, extra: SimDuration::ZERO });
+                    steps.push(Step::AlignTo {
+                        period: window,
+                        extra: SimDuration::ZERO,
+                    });
                 }
-                let plan = round_trip_plan(&self.ctx, client, server, CLIENT_CPU, REQ_BYTES, RESP_WRITE_BYTES, steps);
+                let plan = round_trip_plan(
+                    &self.ctx,
+                    client,
+                    server,
+                    CLIENT_CPU,
+                    REQ_BYTES,
+                    RESP_WRITE_BYTES,
+                    steps,
+                );
                 (OpOutcome::Done, plan)
             }
             Operation::Scan { start, len } => {
@@ -298,10 +392,17 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn make(engine: &mut Engine, nodes: u32, scale: f64) -> MysqlStore {
-        let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), nodes, StoreCtx::standard_client_machines(nodes), scale, 29);
+        let ctx = StoreCtx::new(
+            engine,
+            ClusterSpec::cluster_m(),
+            nodes,
+            StoreCtx::standard_client_machines(nodes),
+            scale,
+            29,
+        );
         MysqlStore::new(ctx, engine)
     }
 
@@ -315,6 +416,8 @@ mod tests {
             nodes,
             seed: 31,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -346,7 +449,10 @@ mod tests {
         let result = quick_run(1, Workload::rw());
         let w = result.mean_latency_ms(OpKind::Insert).unwrap();
         let r = result.mean_latency_ms(OpKind::Read).unwrap();
-        assert!(w > r, "redo/binlog group commit must cost writes extra: {w} vs {r}");
+        assert!(
+            w > r,
+            "redo/binlog group commit must cost writes extra: {w} vs {r}"
+        );
     }
 
     #[test]
@@ -355,7 +461,10 @@ mod tests {
         // does not scale with the number of nodes".
         let one = quick_run(1, Workload::rs()).throughput();
         let four = quick_run(4, Workload::rs()).throughput();
-        assert!(four < one * 2.5, "RS must not scale linearly: {one} → {four}");
+        assert!(
+            four < one * 2.5,
+            "RS must not scale linearly: {one} → {four}"
+        );
         assert!(one > 8_000.0, "1-node RS should be strong: {one}");
     }
 
@@ -385,13 +494,18 @@ mod tests {
                 records_per_node: 20_000,
                 nodes: 2,
                 seed: 31,
-            event_at_secs: None,
-        };
+                event_at_secs: None,
+                faults: FaultSchedule::none(),
+                op_deadline: None,
+            };
             run_benchmark(&mut engine, &mut s, &config)
         };
         let rs = long_run(Workload::rs()).throughput();
         let rsw = long_run(Workload::rsw()).throughput();
-        assert!(rsw < rs / 20.0, "RSW must collapse vs RS: rs={rs} rsw={rsw}");
+        assert!(
+            rsw < rs / 20.0,
+            "RSW must collapse vs RS: rs={rs} rsw={rsw}"
+        );
         assert!(rsw < 2_000.0, "RSW absolute throughput must be tiny: {rsw}");
     }
 
@@ -408,7 +522,10 @@ mod tests {
             let now = SimTime(i * 100_000); // one insert every 100 µs
             s.shards[0].note_insert(now);
         }
-        assert!(s.shards[0].stats_churning(), "10 K inserts/s must trip the estimator");
+        assert!(
+            s.shards[0].stats_churning(),
+            "10 K inserts/s must trip the estimator"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ use apm_storage::hashstore::HashStore;
 
 /// Command execution on the event loop: ~18 µs for GET/SET of a 75-byte
 /// record ⇒ ≈55 K ops/s per instance (Fig 3's >50 K single-node reads).
-const CMD_COST: CostModel = CostModel { base_ns: 15_000, per_probe_ns: 1_200, per_byte_ns: 8 };
+const CMD_COST: CostModel = CostModel {
+    base_ns: 15_000,
+    per_probe_ns: 1_200,
+    per_byte_ns: 8,
+};
 /// Client-side Jedis cost per command.
 const CLIENT_CPU: SimDuration = SimDuration::from_micros(15);
 /// Wire sizes (RESP protocol framing).
@@ -76,6 +80,9 @@ pub struct RedisStore {
     ring: JedisRing,
     hash: JedisHash,
     instances: Vec<Instance>,
+    /// Hard allocation limit per instance (kept to rebuild a wiped
+    /// instance after a crash).
+    hard_limit: u64,
     /// Load-phase inserts refused by a full instance (the §5.1 incident).
     load_rejections: u64,
 }
@@ -105,6 +112,7 @@ impl RedisStore {
             hash,
             ctx,
             instances,
+            hard_limit,
             load_rejections: 0,
         }
     }
@@ -127,13 +135,19 @@ impl RedisStore {
             CLIENT_CPU,
             REQ_BYTES,
             resp_bytes,
-            vec![Step::Acquire { resource: self.instances[shard].event_loop, service }],
+            vec![Step::Acquire {
+                resource: self.instances[shard].event_loop,
+                service,
+            }],
         )
     }
 
     /// Memory fill fraction of the hottest instance (diagnostics).
     pub fn hottest_fill(&self) -> f64 {
-        self.instances.iter().map(|i| i.store.mem_fraction()).fold(0.0, f64::max)
+        self.instances
+            .iter()
+            .map(|i| i.store.mem_fraction())
+            .fold(0.0, f64::max)
     }
 
     /// Load-phase inserts refused because an instance was full.
@@ -165,7 +179,9 @@ impl RedisStore {
 
     /// Number of instances currently past their physical memory (swapping).
     pub fn swapping_instances(&self) -> usize {
-        (0..self.instances.len()).filter(|&i| self.is_swapping(i)).count()
+        (0..self.instances.len())
+            .filter(|&i| self.is_swapping(i))
+            .count()
     }
 }
 
@@ -174,11 +190,19 @@ impl DistributedStore for RedisStore {
         "redis"
     }
 
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
+    }
+
     fn load(&mut self, record: &Record) {
         let shard = self.shard(&record.key);
         // Loads past the hard allocation limit are dropped, exactly like
         // the paper's OOM-ing node (reads of those keys will miss).
-        if self.instances[shard].store.insert(record.key, record.fields).is_err() {
+        if self.instances[shard]
+            .store
+            .insert(record.key, record.fields)
+            .is_err()
+        {
             self.load_rejections += 1;
         }
     }
@@ -193,14 +217,23 @@ impl DistributedStore for RedisStore {
                     None => OpOutcome::Missing,
                 };
                 let service = self.service(shard, CMD_COST.cpu(&receipt));
-                (outcome, self.command_plan(client, shard, service, RESP_READ_BYTES))
+                (
+                    outcome,
+                    self.command_plan(client, shard, service, RESP_READ_BYTES),
+                )
             }
             Operation::Insert { record } | Operation::Update { record } => {
                 let shard = self.shard(&record.key);
-                match self.instances[shard].store.insert(record.key, record.fields) {
+                match self.instances[shard]
+                    .store
+                    .insert(record.key, record.fields)
+                {
                     Ok(receipt) => {
                         let service = self.service(shard, CMD_COST.cpu(&receipt));
-                        (OpOutcome::Done, self.command_plan(client, shard, service, RESP_WRITE_BYTES))
+                        (
+                            OpOutcome::Done,
+                            self.command_plan(client, shard, service, RESP_WRITE_BYTES),
+                        )
                     }
                     Err(_) => {
                         // `-OOM command not allowed`: the server still
@@ -226,22 +259,40 @@ impl DistributedStore for RedisStore {
                     let net = &self.ctx.cluster.net;
                     let resp = RESP_READ_BYTES * rows.len().max(1) as u64;
                     branches.push(Plan(vec![
-                        Step::Acquire { resource: self.ctx.client_machine(client).nic, service: net.transfer(REQ_BYTES) },
+                        Step::Acquire {
+                            resource: self.ctx.client_machine(client).nic,
+                            service: net.transfer(REQ_BYTES),
+                        },
                         Step::Delay(net.one_way_latency),
-                        Step::Acquire { resource: self.ctx.servers[shard].nic, service: net.transfer(REQ_BYTES) },
+                        Step::Acquire {
+                            resource: self.ctx.servers[shard].nic,
+                            service: net.transfer(REQ_BYTES),
+                        },
                         Step::Acquire {
                             resource: self.instances[shard].event_loop,
                             service: self.service(shard, CMD_COST.cpu(&receipt)),
                         },
-                        Step::Acquire { resource: self.ctx.servers[shard].nic, service: net.transfer(resp) },
+                        Step::Acquire {
+                            resource: self.ctx.servers[shard].nic,
+                            service: net.transfer(resp),
+                        },
                         Step::Delay(net.one_way_latency),
-                        Step::Acquire { resource: self.ctx.client_machine(client).nic, service: net.transfer(resp) },
+                        Step::Acquire {
+                            resource: self.ctx.client_machine(client).nic,
+                            service: net.transfer(resp),
+                        },
                     ]));
                 }
                 let client_res = self.ctx.client_machine(client);
                 let plan = Plan(vec![
-                    Step::Acquire { resource: client_res.cpu, service: CLIENT_CPU },
-                    Step::Join { branches, need: self.instances.len() },
+                    Step::Acquire {
+                        resource: client_res.cpu,
+                        service: CLIENT_CPU,
+                    },
+                    Step::Join {
+                        branches,
+                        need: self.instances.len(),
+                    },
                     // Client-side merge of n × len candidates.
                     Step::Acquire {
                         resource: client_res.cpu,
@@ -250,6 +301,42 @@ impl DistributedStore for RedisStore {
                 ]);
                 (OpOutcome::Scanned(total.min(*len)), plan)
             }
+        }
+    }
+
+    fn on_fault(&mut self, event: &apm_sim::FaultEvent, engine: &mut Engine) {
+        use apm_sim::{FailMode, FaultKind};
+        crate::api::apply_node_fault(&self.ctx, engine, event);
+        if event.node >= self.instances.len() {
+            return;
+        }
+        // The event loop is a store-private resource, so the generic
+        // node-fault handler does not know about it.
+        let event_loop = self.instances[event.node].event_loop;
+        match event.kind {
+            FaultKind::Crash => {
+                engine.fail_resource(
+                    event_loop,
+                    FailMode::Reject {
+                        latency: apm_sim::fault::CRASH_ERROR_LATENCY,
+                    },
+                );
+                // No persistence in the paper's deployment: the shard's
+                // dataset dies with the process. Reads of these keys miss
+                // forever after — real data loss, not just downtime.
+                self.instances[event.node].store = HashStore::new(Some(self.hard_limit));
+            }
+            FaultKind::Restart => {
+                engine.restore_resource(event_loop);
+                engine.set_resource_slowdown(event_loop, 1);
+            }
+            FaultKind::FailSlow { factor } => {
+                engine.set_resource_slowdown(event_loop, factor.max(1));
+            }
+            FaultKind::FailSlowEnd => {
+                engine.set_resource_slowdown(event_loop, 1);
+            }
+            _ => {}
         }
     }
 
@@ -272,7 +359,7 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn make(engine: &mut Engine, nodes: u32, scale: f64) -> RedisStore {
         let ctx = StoreCtx::new(
@@ -296,6 +383,8 @@ mod tests {
             nodes,
             seed: 7,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -340,14 +429,29 @@ mod tests {
             for seq in 0..per_node * u64::from(nodes) {
                 s.load(&record_for_seq(seq));
             }
-            (s.swapping_instances(), s.load_rejections(), s.hottest_fill())
+            (
+                s.swapping_instances(),
+                s.load_rejections(),
+                s.hottest_fill(),
+            )
         };
         let (swap2, rej2, fill2) = swap_state(2);
         let (swap4, rej4, fill4) = swap_state(4);
         let (swap12, _rej12, fill12) = swap_state(12);
-        assert_eq!((swap2, rej2), (0, 0), "2-node hottest shard must fit (fill {fill2:.3})");
-        assert_eq!((swap4, rej4), (0, 0), "4-node hottest shard must fit (fill {fill4:.3})");
-        assert!(swap12 >= 1, "12-node hottest shard must swap (fill {fill12:.3})");
+        assert_eq!(
+            (swap2, rej2),
+            (0, 0),
+            "2-node hottest shard must fit (fill {fill2:.3})"
+        );
+        assert_eq!(
+            (swap4, rej4),
+            (0, 0),
+            "4-node hottest shard must fit (fill {fill4:.3})"
+        );
+        assert!(
+            swap12 >= 1,
+            "12-node hottest shard must swap (fill {fill12:.3})"
+        );
     }
 
     #[test]
@@ -363,13 +467,21 @@ mod tests {
             nodes: 12,
             seed: 7,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
-        assert!(s.swapping_instances() >= 1, "setup must include a swapping shard");
+        assert!(
+            s.swapping_instances() >= 1,
+            "setup must include a swapping shard"
+        );
         let per_node = result.throughput() / 12.0;
         // A healthy instance sustains ~55 K; the convoy must pull the
         // per-node average far below that.
-        assert!(per_node < 30_000.0, "swap convoy missing: {per_node:.0} ops/s/node");
+        assert!(
+            per_node < 30_000.0,
+            "swap convoy missing: {per_node:.0} ops/s/node"
+        );
     }
 
     #[test]
@@ -385,6 +497,8 @@ mod tests {
             nodes: 12,
             seed: 7,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(s.load_rejections() > 0, "overfilled load must reject");
@@ -402,12 +516,62 @@ mod tests {
         keys.sort();
         let (outcome, plan) = s.plan_op(
             0,
-            &Operation::Scan { start: keys[100], len: 50 },
+            &Operation::Scan {
+                start: keys[100],
+                len: 50,
+            },
             &mut engine,
         );
         assert_eq!(outcome, OpOutcome::Scanned(50));
         // The fan-out must reference every shard's event loop.
         assert!(plan.total_steps() > 4 * 5, "expected a 4-way fan-out");
+    }
+
+    #[test]
+    fn crash_wipes_the_shard_and_restart_does_not_bring_data_back() {
+        use apm_sim::{FaultEvent, FaultKind, SimTime};
+        let mut engine = Engine::new();
+        let mut s = make(&mut engine, 4, 0.01);
+        for seq in 0..2_000 {
+            s.load(&record_for_seq(seq));
+        }
+        let victim = 1usize;
+        let lost = s.instances[victim].store.len();
+        assert!(lost > 0, "victim shard must own data");
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: victim,
+                kind: FaultKind::Crash,
+            },
+            &mut engine,
+        );
+        assert!(engine.resource_is_down(s.instances[victim].event_loop));
+        assert_eq!(
+            s.instances[victim].store.len(),
+            0,
+            "no persistence: data dies"
+        );
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: victim,
+                kind: FaultKind::Restart,
+            },
+            &mut engine,
+        );
+        assert!(!engine.resource_is_down(s.instances[victim].event_loop));
+        // The process is back but its keyspace is gone: reads miss.
+        let mut misses = 0usize;
+        for seq in 0..2_000 {
+            let r = record_for_seq(seq);
+            if s.shard(&r.key) == victim {
+                let (outcome, _) = s.plan_op(0, &Operation::Read { key: r.key }, &mut engine);
+                assert_eq!(outcome, OpOutcome::Missing, "seq {seq} should be lost");
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, lost);
     }
 
     #[test]
@@ -417,7 +581,11 @@ mod tests {
         assert_eq!(s1.connection_cap(), Some(64));
         let mut engine = Engine::new();
         let s12 = make(&mut engine, 12, 0.01);
-        assert_eq!(s12.connection_cap(), Some(152), "§6: thread budget barely grows");
+        assert_eq!(
+            s12.connection_cap(),
+            Some(152),
+            "§6: thread budget barely grows"
+        );
         assert_eq!(s12.disk_bytes_per_node(), None);
     }
 }

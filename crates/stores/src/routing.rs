@@ -21,7 +21,11 @@ pub struct BalanceReport {
 }
 
 /// Computes a balance report for any routing function.
-pub fn balance_of(nodes: usize, sample: u64, mut route: impl FnMut(&MetricKey) -> usize) -> BalanceReport {
+pub fn balance_of(
+    nodes: usize,
+    sample: u64,
+    mut route: impl FnMut(&MetricKey) -> usize,
+) -> BalanceReport {
     let mut counts = vec![0u64; nodes];
     for seq in 0..sample {
         let key = apm_core::keyspace::key_for_seq(seq);
@@ -30,7 +34,10 @@ pub fn balance_of(nodes: usize, sample: u64, mut route: impl FnMut(&MetricKey) -
     let mean = sample as f64 / nodes as f64;
     let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / sample as f64).collect();
     let max_over_mean = counts.iter().copied().max().unwrap_or(0) as f64 / mean;
-    BalanceReport { shares, max_over_mean }
+    BalanceReport {
+        shares,
+        max_over_mean,
+    }
 }
 
 /// How Cassandra tokens are assigned (§6).
@@ -68,7 +75,8 @@ impl TokenRing {
                 .collect(),
             TokenAssignment::Random { seed } => (0..nodes)
                 .map(|i| {
-                    let h = md5_u128(format!("token-seed-{seed}-node-{i}").as_bytes()) % TOKEN_SPACE;
+                    let h =
+                        md5_u128(format!("token-seed-{seed}-node-{i}").as_bytes()) % TOKEN_SPACE;
                     (h, i)
                 })
                 .collect(),
@@ -271,7 +279,10 @@ impl PartitionMap {
     /// Builds the map with the paper's two partitions per node.
     pub fn new(nodes: usize) -> PartitionMap {
         assert!(nodes > 0);
-        PartitionMap { partitions_per_node: 2, nodes }
+        PartitionMap {
+            partitions_per_node: 2,
+            nodes,
+        }
     }
 
     /// Total partition count.
@@ -315,7 +326,10 @@ impl RegionMap {
                 MetricKey::from_id(id)
             })
             .collect();
-        RegionMap { boundaries, servers }
+        RegionMap {
+            boundaries,
+            servers,
+        }
     }
 
     /// Region index holding `key`.
@@ -387,7 +401,10 @@ impl SiteMap {
     /// Creates the map with the paper's 6 sites per host.
     pub fn new(nodes: usize) -> SiteMap {
         assert!(nodes > 0);
-        SiteMap { sites_per_host: 6, nodes }
+        SiteMap {
+            sites_per_host: 6,
+            nodes,
+        }
     }
 
     /// Total sites in the cluster.
@@ -415,7 +432,11 @@ mod tests {
     fn optimal_tokens_balance_well() {
         let ring = TokenRing::new(12, TokenAssignment::Optimal);
         let report = balance_of(12, 24_000, |k| ring.route(k));
-        assert!(report.max_over_mean < 1.1, "optimal tokens unbalanced: {}", report.max_over_mean);
+        assert!(
+            report.max_over_mean < 1.1,
+            "optimal tokens unbalanced: {}",
+            report.max_over_mean
+        );
     }
 
     #[test]
@@ -426,7 +447,12 @@ mod tests {
         let random = TokenRing::new(12, TokenAssignment::Random { seed: 1 });
         let ob = balance_of(12, 24_000, |k| optimal.route(k));
         let rb = balance_of(12, 24_000, |k| random.route(k));
-        assert!(rb.max_over_mean > ob.max_over_mean + 0.15, "random {} vs optimal {}", rb.max_over_mean, ob.max_over_mean);
+        assert!(
+            rb.max_over_mean > ob.max_over_mean + 0.15,
+            "random {} vs optimal {}",
+            rb.max_over_mean,
+            ob.max_over_mean
+        );
     }
 
     #[test]
@@ -462,10 +488,20 @@ mod tests {
         let after = balance_of(5, 40_000, |k| ring.route(k));
         // The newcomer and the victim each hold ≈ half the old share.
         let new_share = after.shares[4];
-        assert!((new_share - 0.125).abs() < 0.02, "new node share {new_share}");
-        assert!((after.shares[victim] - 0.125).abs() < 0.02, "victim share {}", after.shares[victim]);
+        assert!(
+            (new_share - 0.125).abs() < 0.02,
+            "new node share {new_share}"
+        );
+        assert!(
+            (after.shares[victim] - 0.125).abs() < 0.02,
+            "victim share {}",
+            after.shares[victim]
+        );
         // Untouched nodes keep their share.
-        let untouched: f64 = (0..4).filter(|&i| i != victim).map(|i| after.shares[i]).sum();
+        let untouched: f64 = (0..4)
+            .filter(|&i| i != victim)
+            .map(|i| after.shares[i])
+            .sum();
         assert!((untouched - 0.75).abs() < 0.03);
         let _ = before;
     }
@@ -478,9 +514,22 @@ mod tests {
         let rdbms = RdbmsShards::new(12);
         let jb = balance_of(12, 48_000, |k| jedis.route(k));
         let rb = balance_of(12, 48_000, |k| rdbms.route(k));
-        assert!(jb.max_over_mean > rb.max_over_mean, "jedis {} vs rdbms {}", jb.max_over_mean, rb.max_over_mean);
-        assert!(jb.max_over_mean > 1.1, "jedis should show visible imbalance: {}", jb.max_over_mean);
-        assert!(rb.max_over_mean < 1.12, "rdbms sharding should be near-uniform: {}", rb.max_over_mean);
+        assert!(
+            jb.max_over_mean > rb.max_over_mean,
+            "jedis {} vs rdbms {}",
+            jb.max_over_mean,
+            rb.max_over_mean
+        );
+        assert!(
+            jb.max_over_mean > 1.1,
+            "jedis should show visible imbalance: {}",
+            jb.max_over_mean
+        );
+        assert!(
+            rb.max_over_mean < 1.12,
+            "rdbms sharding should be near-uniform: {}",
+            rb.max_over_mean
+        );
     }
 
     #[test]
@@ -488,7 +537,11 @@ mod tests {
         // Footnote 7: both hashing algorithms gave "the same result".
         let ring = JedisRing::new(12, JedisHash::Md5);
         let report = balance_of(12, 48_000, |k| ring.route_with(JedisHash::Md5, k));
-        assert!(report.max_over_mean > 1.1, "md5 ring too balanced: {}", report.max_over_mean);
+        assert!(
+            report.max_over_mean > 1.1,
+            "md5 ring too balanced: {}",
+            report.max_over_mean
+        );
     }
 
     #[test]
@@ -496,7 +549,11 @@ mod tests {
         let map = PartitionMap::new(6);
         assert_eq!(map.partitions(), 12);
         let report = balance_of(6, 24_000, |k| map.route(k));
-        assert!(report.max_over_mean < 1.1, "hash partitioning should balance: {}", report.max_over_mean);
+        assert!(
+            report.max_over_mean < 1.1,
+            "hash partitioning should balance: {}",
+            report.max_over_mean
+        );
     }
 
     #[test]
@@ -504,7 +561,11 @@ mod tests {
         let map = RegionMap::new(4, 4);
         assert_eq!(map.regions(), 16);
         let report = balance_of(4, 24_000, |k| map.route(k));
-        assert!(report.max_over_mean < 1.1, "uniform keys over equal ranges: {}", report.max_over_mean);
+        assert!(
+            report.max_over_mean < 1.1,
+            "uniform keys over equal ranges: {}",
+            report.max_over_mean
+        );
         // Scan routing: contiguous keys stay on one or two servers.
         for seq in 0..100 {
             let servers = map.scan_route(&key_for_seq(seq), 50);
@@ -518,7 +579,10 @@ mod tests {
         let mut keys: Vec<MetricKey> = (0..1000).map(key_for_seq).collect();
         keys.sort();
         let regions: Vec<usize> = keys.iter().map(|k| map.region(k)).collect();
-        assert!(regions.windows(2).all(|w| w[0] <= w[1]), "regions must be ordered by key");
+        assert!(
+            regions.windows(2).all(|w| w[0] <= w[1]),
+            "regions must be ordered by key"
+        );
     }
 
     #[test]

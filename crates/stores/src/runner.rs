@@ -7,14 +7,14 @@
 //! them working as intensively as possible"); bounded mode (§5.6) spaces
 //! issues to hit a target aggregate rate.
 
-use crate::api::{split_token, DistributedStore};
+use crate::api::{fault_token, split_fault_token, split_token, DistributedStore};
 use apm_core::driver::ClientConfig;
 use apm_core::keyspace::record_for_seq;
 use apm_core::ops::{OpKind, OpOutcome};
 use apm_core::stats::BenchStats;
 use apm_core::workload::{Workload, WorkloadGenerator};
 use apm_sim::kernel::Token;
-use apm_sim::{Engine, SimDuration, SimTime};
+use apm_sim::{Engine, FaultSchedule, Plan, SimDuration, SimTime};
 
 /// Configuration of one benchmark run.
 #[derive(Clone, Debug)]
@@ -32,6 +32,13 @@ pub struct RunConfig {
     /// Fire [`DistributedStore::on_timed_event`] once, this many seconds
     /// after the measurement window starts (elasticity experiment).
     pub event_at_secs: Option<f64>,
+    /// Node faults to inject; event times are offsets from the start of
+    /// the measurement window (the failure-recovery experiments).
+    pub faults: FaultSchedule,
+    /// Client-side operation deadline. Operations not finished within it
+    /// complete as timed out and count as errors — required to observe
+    /// network partitions (stalled requests never finish on their own).
+    pub op_deadline: Option<SimDuration>,
 }
 
 /// Result of one benchmark run.
@@ -60,6 +67,9 @@ impl RunResult {
 struct ClientSlot {
     kind: OpKind,
     ok: bool,
+    /// The read missed — with fault injection this means the store lost
+    /// the record (e.g. a crashed cache node), counted as an error.
+    missing: bool,
     /// Next scheduled issue time under throttling.
     next_issue: SimTime,
 }
@@ -87,33 +97,61 @@ pub fn run_benchmark(
         None => config.client.connections,
     };
     assert!(connections > 0, "no client connections");
-    let warmup_end =
-        engine.now() + SimDuration::from_secs_f64(config.client.warmup_secs);
-    let measure_end =
-        warmup_end + SimDuration::from_secs_f64(config.client.measure_secs);
+    let warmup_end = engine.now() + SimDuration::from_secs_f64(config.client.warmup_secs);
+    let measure_end = warmup_end + SimDuration::from_secs_f64(config.client.measure_secs);
     let issue_interval = config
         .client
         .issue_interval_secs()
         .map(SimDuration::from_secs_f64);
 
     let mut slots: Vec<ClientSlot> = (0..connections)
-        .map(|_| ClientSlot { kind: OpKind::Read, ok: true, next_issue: engine.now() })
+        .map(|_| ClientSlot {
+            kind: OpKind::Read,
+            ok: true,
+            missing: false,
+            next_issue: engine.now(),
+        })
         .collect();
     let mut stats = BenchStats::new();
     let mut issued: u64 = 0;
     let start = engine.now();
+
+    // Arm the fault schedule: one zero-cost sentinel plan per event, so
+    // transitions fire at exact simulated times inside the event loop.
+    for (index, event) in config.faults.events().iter().enumerate() {
+        let at = warmup_end + SimDuration::from_nanos(event.at.as_nanos());
+        if at < measure_end {
+            engine.submit_at(
+                at.max(engine.now()),
+                Plan::empty(),
+                fault_token(index as u64),
+            );
+        }
+    }
 
     // Prime every connection. Under throttling, stagger the first issues
     // across one interval so the target rate is smooth.
     for client in 0..connections {
         let at = match issue_interval {
             Some(interval) => {
-                start + SimDuration::from_nanos(interval.as_nanos() * u64::from(client) / u64::from(connections))
+                start
+                    + SimDuration::from_nanos(
+                        interval.as_nanos() * u64::from(client) / u64::from(connections),
+                    )
             }
             None => start,
         };
         slots[client as usize].next_issue = at;
-        issue_op(engine, store, &mut generator, &mut slots, client, at, &mut issued);
+        issue_op(
+            engine,
+            store,
+            &mut generator,
+            &mut slots,
+            client,
+            at,
+            config.op_deadline,
+            &mut issued,
+        );
     }
 
     let mut event_at = config
@@ -132,6 +170,12 @@ pub fn run_benchmark(
                 store.on_timed_event(engine);
             }
         }
+        let (is_fault, fault_index) = split_fault_token(completion.token);
+        if is_fault {
+            let event = config.faults.events()[fault_index as usize];
+            store.on_fault(&event, engine);
+            continue;
+        }
         let (is_background, id) = split_token(completion.token);
         if is_background {
             store.on_background(id, engine);
@@ -139,15 +183,21 @@ pub fn run_benchmark(
         }
         let client = id as u32;
         let slot = &slots[client as usize];
+        let failed = !completion.outcome.is_ok();
         if now > warmup_end {
-            if slot.ok {
-                stats.record(slot.kind, completion.latency().as_nanos());
+            if failed || slot.missing {
+                // Kernel-level failure (node down, timeout) or lost data.
+                stats.record_error(slot.kind, now.since(warmup_end).as_nanos());
             } else {
-                stats.record_rejection(slot.kind);
+                if slot.ok {
+                    stats.record(slot.kind, completion.latency().as_nanos());
+                } else {
+                    stats.record_rejection(slot.kind);
+                }
+                stats.record_timeline(now.since(warmup_end).as_nanos());
             }
-            stats.record_timeline(now.since(warmup_end).as_nanos());
         }
-        if slot.kind == OpKind::Insert && slot.ok {
+        if slot.kind == OpKind::Insert && slot.ok && !failed {
             generator.ack_insert();
         }
         // Schedule the next op for this connection.
@@ -160,14 +210,28 @@ pub fn run_benchmark(
             None => now,
         };
         if at < measure_end {
-            issue_op(engine, store, &mut generator, &mut slots, client, at, &mut issued);
+            issue_op(
+                engine,
+                store,
+                &mut generator,
+                &mut slots,
+                client,
+                at,
+                config.op_deadline,
+                &mut issued,
+            );
         }
     }
 
     stats.set_window_ns(measure_end.since(warmup_end).as_nanos());
-    RunResult { stats, issued, disk_bytes_per_node: store.disk_bytes_per_node() }
+    RunResult {
+        stats,
+        issued,
+        disk_bytes_per_node: store.disk_bytes_per_node(),
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn issue_op(
     engine: &mut Engine,
     store: &mut dyn DistributedStore,
@@ -175,6 +239,7 @@ fn issue_op(
     slots: &mut [ClientSlot],
     client: u32,
     at: SimTime,
+    deadline: Option<SimDuration>,
     issued: &mut u64,
 ) {
     let op = generator.next_op();
@@ -182,7 +247,13 @@ fn issue_op(
     *issued += 1;
     slots[client as usize].kind = op.kind();
     slots[client as usize].ok = !matches!(outcome, OpOutcome::Rejected(_));
-    engine.submit_at(at.max(engine.now()), plan, Token(u64::from(client)));
+    slots[client as usize].missing = matches!(outcome, OpOutcome::Missing);
+    let start = at.max(engine.now());
+    let token = Token(u64::from(client));
+    match deadline {
+        Some(deadline) => engine.submit_at_with_deadline(start, plan, token, deadline),
+        None => engine.submit_at(start, plan, token),
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +276,11 @@ mod tests {
     impl FixtureStore {
         fn new(engine: &mut Engine, cpu_us: u64) -> FixtureStore {
             let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), 1, 1, 0.1, 3);
-            FixtureStore { ctx, data: HashMap::new(), cpu_us }
+            FixtureStore {
+                ctx,
+                data: HashMap::new(),
+                cpu_us,
+            }
         }
     }
 
@@ -214,11 +289,20 @@ mod tests {
             "fixture"
         }
 
+        fn ctx(&self) -> &StoreCtx {
+            &self.ctx
+        }
+
         fn load(&mut self, record: &Record) {
             self.data.insert(record.key, *record);
         }
 
-        fn plan_op(&mut self, client: u32, op: &Operation, _engine: &mut Engine) -> (OpOutcome, Plan) {
+        fn plan_op(
+            &mut self,
+            client: u32,
+            op: &Operation,
+            _engine: &mut Engine,
+        ) -> (OpOutcome, Plan) {
             let outcome = match op {
                 Operation::Read { key } => match self.data.get(key) {
                     Some(r) => OpOutcome::Found(*r),
@@ -259,6 +343,8 @@ mod tests {
             nodes: 1,
             seed: 42,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         }
     }
 
@@ -270,11 +356,19 @@ mod tests {
         // 8 cores at 100us/op → theoretical 80K ops/s; expect >60% of it.
         let throughput = result.throughput();
         assert!(throughput > 48_000.0, "throughput too low: {throughput}");
-        assert!(throughput < 85_000.0, "throughput above physical limit: {throughput}");
+        assert!(
+            throughput < 85_000.0,
+            "throughput above physical limit: {throughput}"
+        );
         // Closed loop, 128 conns: latency ≈ conns/throughput (Little's law).
         let little = 128.0 / throughput * 1_000.0;
-        let read_ms = result.mean_latency_ms(OpKind::Read).expect("reads measured");
-        assert!((read_ms - little).abs() / little < 0.35, "read {read_ms} ms vs little {little} ms");
+        let read_ms = result
+            .mean_latency_ms(OpKind::Read)
+            .expect("reads measured");
+        assert!(
+            (read_ms - little).abs() / little < 0.35,
+            "read {read_ms} ms vs little {little} ms"
+        );
     }
 
     #[test]
@@ -290,11 +384,17 @@ mod tests {
         let target = max.throughput() * 0.5;
         cfg.client = cfg.client.with_throttle(Throttle::TargetOps(target));
         let half = run_benchmark(&mut engine2, &mut store2, &cfg);
-        assert!((half.throughput() - target).abs() / target < 0.1,
-            "bounded run off target: {} vs {}", half.throughput(), target);
+        assert!(
+            (half.throughput() - target).abs() / target < 0.1,
+            "bounded run off target: {} vs {}",
+            half.throughput(),
+            target
+        );
         let half_lat = half.mean_latency_ms(OpKind::Read).unwrap();
-        assert!(half_lat < max_lat / 2.0,
-            "uncongested latency should collapse: {half_lat} vs {max_lat}");
+        assert!(
+            half_lat < max_lat / 2.0,
+            "uncongested latency should collapse: {half_lat} vs {max_lat}"
+        );
     }
 
     #[test]
@@ -305,7 +405,10 @@ mod tests {
         let reads = result.stats.ops(OpKind::Read) as f64;
         let inserts = result.stats.ops(OpKind::Insert) as f64;
         let ratio = reads / (reads + inserts);
-        assert!((ratio - 0.5).abs() < 0.05, "RW should be half reads: {ratio}");
+        assert!(
+            (ratio - 0.5).abs() < 0.05,
+            "RW should be half reads: {ratio}"
+        );
     }
 
     #[test]
@@ -317,6 +420,63 @@ mod tests {
             (r.stats.total_ops(), r.issued)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_window_shows_up_as_errors_then_recovery() {
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let mut cfg = quick_config(Workload::r());
+        // Crash the only node 0.4 s into the 2 s window, restart at 0.9 s
+        // (failure tails complete within the same one-second bucket).
+        cfg.faults = FaultSchedule::none().crash(0, SimTime(400_000_000), SimTime(900_000_000));
+        let result = run_benchmark(&mut engine, &mut store, &cfg);
+        assert!(result.stats.total_errors() > 0, "crash produced no errors");
+        assert!(result.stats.availability() < 1.0);
+        assert!(
+            result.stats.availability() > 0.2,
+            "errors are cheap; most ops still land"
+        );
+        // The post-restart second throughputs like the pre-fault one.
+        let timeline = result.stats.timeline();
+        assert!(timeline.len() >= 2);
+        let last = *timeline.last().unwrap() as f64;
+        assert!(last > 0.6 * timeline[0] as f64, "no recovery: {timeline:?}");
+        // Errors concentrate in the crash window (second 0 of the
+        // timeline covers 0-1 s, where the whole outage and its 500 us
+        // completion tail sit).
+        let errors = result.stats.error_timeline();
+        assert!(errors[0] > 0, "outage second shows no errors: {errors:?}");
+        assert!(
+            errors.iter().skip(1).all(|&e| e == 0),
+            "errors after restart: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_faults() {
+        let run = || {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::rw());
+            cfg.faults = FaultSchedule::none()
+                .crash(0, SimTime(300_000_000), SimTime(700_000_000))
+                .slow_disk(0, SimTime(1_000_000_000), SimTime(1_500_000_000), 4);
+            cfg.op_deadline = Some(SimDuration::from_millis(250));
+            let r = run_benchmark(&mut engine, &mut store, &cfg);
+            (
+                r.stats.total_ops(),
+                r.stats.total_errors(),
+                r.issued,
+                r.stats.timeline().to_vec(),
+                r.stats.error_timeline().to_vec(),
+            )
+        };
+        // Same seed + same fault schedule ⇒ byte-identical sequences,
+        // asserted twice to catch flaky hidden state.
+        let (a, b, c) = (run(), run(), run());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
     }
 
     #[test]

@@ -39,7 +39,11 @@ use apm_storage::wal::{CommitLog, SyncPolicy};
 use std::collections::HashMap;
 
 /// Server-side request cost (protobuf parse, store lookup dispatch).
-const SERVER_COST: CostModel = CostModel { base_ns: 40_000, per_probe_ns: 5_000, per_byte_ns: 20 };
+const SERVER_COST: CostModel = CostModel {
+    base_ns: 40_000,
+    per_probe_ns: 5_000,
+    per_byte_ns: 20,
+};
 /// Client-side routing/versioning cost per operation — the fat client.
 const CLIENT_CPU: SimDuration = SimDuration::from_micros(200);
 /// Connections per node the throttled client sustains (§6's thread and
@@ -47,7 +51,11 @@ const CLIENT_CPU: SimDuration = SimDuration::from_micros(200);
 const CONNECTIONS_PER_NODE: u32 = 5;
 /// BDB JE pages: sized so a leaf holds ~29 records, matching JE's ~550 B
 /// per-record on-disk footprint (Fig 17) rather than a dense layout.
-const BDB_PAGE: BTreeConfig = BTreeConfig { leaf_capacity: 28, internal_capacity: 120, page_bytes: 16 << 10 };
+const BDB_PAGE: BTreeConfig = BTreeConfig {
+    leaf_capacity: 28,
+    internal_capacity: 120,
+    page_bytes: 16 << 10,
+};
 /// Fraction of RAM effectively caching B-tree pages (BDB cache + OS page
 /// cache over JE log files).
 const CACHE_FRACTION: f64 = 0.8;
@@ -118,7 +126,11 @@ impl Node {
             .map(|p| (p, false))
             .chain(trace.written.iter().map(|p| (p, true)))
         {
-            let access = if dirtying { Access::Write } else { Access::Read };
+            let access = if dirtying {
+                Access::Write
+            } else {
+                Access::Read
+            };
             let r = self.pool.access(*page, access);
             if !r.hit && self.rng.next_f64() < WRITE_MISS_READ_PROB {
                 ios.push(DiskIo::random_read(page_bytes));
@@ -151,8 +163,7 @@ pub struct VoldemortStore {
 impl VoldemortStore {
     /// Creates the store.
     pub fn new(ctx: StoreCtx, _engine: &mut Engine) -> VoldemortStore {
-        let cache_pages = ((ctx.scaled_ram() as f64 * CACHE_FRACTION) as u64
-            / BDB_PAGE.page_bytes)
+        let cache_pages = ((ctx.scaled_ram() as f64 * CACHE_FRACTION) as u64 / BDB_PAGE.page_bytes)
             .max(16) as usize;
         let nodes = (0..ctx.node_count())
             .map(|i| Node {
@@ -187,7 +198,12 @@ impl VoldemortStore {
         engine.submit(
             Plan(vec![apm_sim::Step::Acquire {
                 resource: res.disk,
-                service: self.ctx.cluster.node.disk.service(pending, apm_sim::IoPattern::Sequential),
+                service: self
+                    .ctx
+                    .cluster
+                    .node
+                    .disk
+                    .service(pending, apm_sim::IoPattern::Sequential),
             }]),
             background_token(id),
         );
@@ -197,6 +213,10 @@ impl VoldemortStore {
 impl DistributedStore for VoldemortStore {
     fn name(&self) -> &'static str {
         "voldemort"
+    }
+
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
     }
 
     fn load(&mut self, record: &Record) {
@@ -242,7 +262,9 @@ impl DistributedStore for VoldemortStore {
                 let (_, trace) = node.tree.insert(record.key, record.fields);
                 let mut ios = node.replay_write(&trace);
                 // JE appends the record to its log asynchronously.
-                let wal = node.log.append(record.fields.len() as u64 + record.key.len() as u64);
+                let wal = node
+                    .log
+                    .append(record.fields.len() as u64 + record.key.len() as u64);
                 debug_assert!(wal.io.is_none(), "deferred log must not sync inline");
                 ios.retain(|io| io.bytes > 0);
                 let mut receipt = CostReceipt::new();
@@ -271,7 +293,8 @@ impl DistributedStore for VoldemortStore {
                 // §5.4: "the existing YCSB client for Project Voldemort
                 // ... does not support scans. Therefore, we omitted
                 // Project Voldemort in the following experiments."
-                let plan = crate::api::client_only_plan(&self.ctx, client, SimDuration::from_micros(5));
+                let plan =
+                    crate::api::client_only_plan(&self.ctx, client, SimDuration::from_micros(5));
                 (OpOutcome::Rejected(RejectReason::Unsupported), plan)
             }
         }
@@ -312,10 +335,17 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn make(engine: &mut Engine, cluster: ClusterSpec, nodes: u32, scale: f64) -> VoldemortStore {
-        let ctx = StoreCtx::new(engine, cluster, nodes, StoreCtx::standard_client_machines(nodes), scale, 23);
+        let ctx = StoreCtx::new(
+            engine,
+            cluster,
+            nodes,
+            StoreCtx::standard_client_machines(nodes),
+            scale,
+            23,
+        );
         VoldemortStore::new(ctx, engine)
     }
 
@@ -329,6 +359,8 @@ mod tests {
             nodes,
             seed: 9,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -362,7 +394,10 @@ mod tests {
         let w = result.mean_latency_ms(OpKind::Insert).unwrap();
         assert!(r < 1.0, "read latency too high: {r} ms");
         assert!(w < 1.0, "write latency too high: {w} ms");
-        assert!((r - w).abs() / r.max(w) < 0.5, "latencies should be symmetric: {r} vs {w}");
+        assert!(
+            (r - w).abs() / r.max(w) < 0.5,
+            "latencies should be symmetric: {r} vs {w}"
+        );
     }
 
     #[test]
@@ -379,7 +414,10 @@ mod tests {
         let mut s = make(&mut engine, ClusterSpec::cluster_m(), 1, 0.01);
         let (outcome, _) = s.plan_op(
             0,
-            &Operation::Scan { start: record_for_seq(0).key, len: 50 },
+            &Operation::Scan {
+                start: record_for_seq(0).key,
+                len: 50,
+            },
             &mut engine,
         );
         assert_eq!(outcome, OpOutcome::Rejected(RejectReason::Unsupported));
@@ -404,7 +442,10 @@ mod tests {
             let (_, trace) = s.nodes[node].tree.get(&r.key);
             io_reads += s.nodes[node].replay(&trace).len();
         }
-        assert!(io_reads > 50, "thrashing pool must issue disk reads: {io_reads}");
+        assert!(
+            io_reads > 50,
+            "thrashing pool must issue disk reads: {io_reads}"
+        );
     }
 
     #[test]

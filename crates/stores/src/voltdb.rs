@@ -27,9 +27,17 @@ use apm_storage::partition::PartitionTable;
 /// Stored-procedure execution cost at a site. ~115 µs per invocation
 /// lands single-node throughput at ≈45–50 K ops/s on 6 sites (Fig 3/6:
 /// just below Redis for reads, best for RW).
-const PROC_COST: CostModel = CostModel { base_ns: 105_000, per_probe_ns: 2_000, per_byte_ns: 20 };
+const PROC_COST: CostModel = CostModel {
+    base_ns: 105_000,
+    per_probe_ns: 2_000,
+    per_byte_ns: 20,
+};
 /// Multi-partition fragment cost per site (scan fragment).
-const FRAGMENT_COST: CostModel = CostModel { base_ns: 160_000, per_probe_ns: 2_000, per_byte_ns: 20 };
+const FRAGMENT_COST: CostModel = CostModel {
+    base_ns: 160_000,
+    per_probe_ns: 2_000,
+    per_byte_ns: 20,
+};
 /// Client-side cost per call (VoltDB wire protocol is lean).
 const CLIENT_CPU: SimDuration = SimDuration::from_micros(15);
 /// Per-transaction global ordering cost per cluster node (n > 1). At
@@ -62,7 +70,13 @@ impl VoltDbStore {
             .collect();
         let partitions = (0..map.sites()).map(|_| PartitionTable::new()).collect();
         let initiator = engine.add_resource("voltdb.initiator", 1);
-        VoltDbStore { ctx, map, site_res, partitions, initiator }
+        VoltDbStore {
+            ctx,
+            map,
+            site_res,
+            partitions,
+            initiator,
+        }
     }
 
     fn ordering_steps(&self, multi_partition: bool) -> Vec<Step> {
@@ -104,8 +118,15 @@ impl VoltDbStore {
             }
         };
         let mut server = self.ordering_steps(false);
-        server.push(Step::Acquire { resource: self.site_res[site], service: PROC_COST.cpu(&receipt) });
-        let resp = if write.is_some() { RESP_WRITE_BYTES } else { RESP_READ_BYTES };
+        server.push(Step::Acquire {
+            resource: self.site_res[site],
+            service: PROC_COST.cpu(&receipt),
+        });
+        let resp = if write.is_some() {
+            RESP_WRITE_BYTES
+        } else {
+            RESP_READ_BYTES
+        };
         let plan = round_trip_plan(
             &self.ctx,
             client,
@@ -118,7 +139,12 @@ impl VoltDbStore {
         (outcome, plan)
     }
 
-    fn scan_plan(&mut self, client: u32, start: &apm_core::record::MetricKey, len: usize) -> (OpOutcome, Plan) {
+    fn scan_plan(
+        &mut self,
+        client: u32,
+        start: &apm_core::record::MetricKey,
+        len: usize,
+    ) -> (OpOutcome, Plan) {
         // Multi-partition transaction: a coordinator site distributes the
         // fragment to every site, merges, and responds.
         let coordinator_site = self.map.site(start);
@@ -126,7 +152,8 @@ impl VoltDbStore {
         let net = self.ctx.cluster.net;
         let mut branches = Vec::with_capacity(self.map.sites());
         let mut total = 0usize;
-        let mut merged: Vec<(apm_core::record::MetricKey, apm_core::record::FieldValues)> = Vec::new();
+        let mut merged: Vec<(apm_core::record::MetricKey, apm_core::record::FieldValues)> =
+            Vec::new();
         for site in 0..self.map.sites() {
             let (rows, receipt) = self.partitions[site].scan(start, len);
             let row_count = rows.len();
@@ -137,7 +164,10 @@ impl VoltDbStore {
             if node != coordinator_node {
                 steps.push(Step::Delay(net.one_way_latency));
             }
-            steps.push(Step::Acquire { resource: self.site_res[site], service: FRAGMENT_COST.cpu(&receipt) });
+            steps.push(Step::Acquire {
+                resource: self.site_res[site],
+                service: FRAGMENT_COST.cpu(&receipt),
+            });
             if node != coordinator_node {
                 steps.push(Step::Acquire {
                     resource: self.ctx.servers[node].nic,
@@ -150,7 +180,10 @@ impl VoltDbStore {
         merged.sort_unstable_by_key(|(k, _)| *k);
         merged.truncate(len);
         let mut server = self.ordering_steps(true);
-        server.push(Step::Join { branches, need: self.map.sites() });
+        server.push(Step::Join {
+            branches,
+            need: self.map.sites(),
+        });
         // Coordinator merge.
         server.push(Step::Acquire {
             resource: self.ctx.servers[coordinator_node].cpu,
@@ -172,6 +205,10 @@ impl VoltDbStore {
 impl DistributedStore for VoltDbStore {
     fn name(&self) -> &'static str {
         "voltdb"
+    }
+
+    fn ctx(&self) -> &StoreCtx {
+        &self.ctx
     }
 
     fn load(&mut self, record: &Record) {
@@ -204,7 +241,7 @@ mod tests {
     use apm_core::keyspace::record_for_seq;
     use apm_core::ops::OpKind;
     use apm_core::workload::Workload;
-    use apm_sim::ClusterSpec;
+    use apm_sim::{ClusterSpec, FaultSchedule};
 
     fn quick_run(nodes: u32, workload: Workload) -> crate::runner::RunResult {
         let mut engine = Engine::new();
@@ -224,6 +261,8 @@ mod tests {
             nodes,
             seed: 3,
             event_at_secs: None,
+            faults: FaultSchedule::none(),
+            op_deadline: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -283,7 +322,14 @@ mod tests {
         }
         let mut keys: Vec<_> = (0..3_000).map(|q| record_for_seq(q).key).collect();
         keys.sort();
-        let (outcome, plan) = s.plan_op(0, &Operation::Scan { start: keys[0], len: 50 }, &mut engine);
+        let (outcome, plan) = s.plan_op(
+            0,
+            &Operation::Scan {
+                start: keys[0],
+                len: 50,
+            },
+            &mut engine,
+        );
         assert_eq!(outcome, OpOutcome::Scanned(50));
         assert!(plan.total_steps() >= 18, "multi-partition fan-out expected");
     }
@@ -297,6 +343,10 @@ mod tests {
         let (_, plan) = s.plan_op(0, &Operation::Insert { record: r }, &mut engine);
         // No initiator step on a single node: plan = client cpu + 4 nic
         // hops + 2 delays + site.
-        assert!(plan.total_steps() <= 8, "unexpected ordering steps: {}", plan.total_steps());
+        assert!(
+            plan.total_steps() <= 8,
+            "unexpected ordering steps: {}",
+            plan.total_steps()
+        );
     }
 }

@@ -18,7 +18,7 @@
 use apm_repro::core::driver::ClientConfig;
 use apm_repro::core::metric::{AgentReporter, MonitoredSystem};
 use apm_repro::core::workload::Workload;
-use apm_repro::sim::{ClusterSpec, Engine};
+use apm_repro::sim::{ClusterSpec, Engine, FaultSchedule};
 use apm_repro::stores::api::{DistributedStore, StoreCtx};
 use apm_repro::stores::cassandra::{CassandraConfig, CassandraStore};
 use apm_repro::stores::runner::{run_benchmark, RunConfig};
@@ -26,16 +26,28 @@ use apm_repro::stores::runner::{run_benchmark, RunConfig};
 fn main() {
     // ---- The demand side: the paper's conclusion scenario.
     let system = MonitoredSystem::conclusion_scenario();
-    println!("monitored system: {} hosts × {} metrics @ {} s interval", system.hosts, system.metrics_per_host, system.interval_secs);
-    println!("  demand          : {:>10} inserts/s", system.inserts_per_second());
-    println!("  raw volume      : {:>10.1} GB/day", system.raw_bytes_per_day() as f64 / 1e9);
+    println!(
+        "monitored system: {} hosts × {} metrics @ {} s interval",
+        system.hosts, system.metrics_per_host, system.interval_secs
+    );
+    println!(
+        "  demand          : {:>10} inserts/s",
+        system.inserts_per_second()
+    );
+    println!(
+        "  raw volume      : {:>10.1} GB/day",
+        system.raw_bytes_per_day() as f64 / 1e9
+    );
     println!("  metric series   : {:>10}", system.series_count());
 
     // A taste of the real measurement stream (Figure 2 shape).
     let mut agent = AgentReporter::new(1, 3, system.interval_secs, 1_332_988_833);
     println!("\nsample agent report:");
     for m in agent.next_batch() {
-        println!("  {:<55} value={} min={} max={} ts={} dur={}", m.metric, m.value, m.min, m.max, m.timestamp, m.duration);
+        println!(
+            "  {:<55} value={} min={} max={} ts={} dur={}",
+            m.metric, m.value, m.min, m.max, m.timestamp, m.duration
+        );
     }
 
     // ---- The supply side: what 12 storage nodes sustain on workload W.
@@ -65,15 +77,22 @@ fn main() {
         records_per_node: (10_000_000.0 * scale) as u64,
         nodes,
         seed: 7,
-            event_at_secs: None,
-        };
+        event_at_secs: None,
+        faults: FaultSchedule::none(),
+        op_deadline: None,
+    };
     let result = run_benchmark(&mut engine, &mut store, &config);
     let supply = result.throughput();
 
-    println!("\nmeasured sustainable rate on {nodes} Cluster-M nodes (workload W): {supply:.0} ops/s");
+    println!(
+        "\nmeasured sustainable rate on {nodes} Cluster-M nodes (workload W): {supply:.0} ops/s"
+    );
     let demand = system.inserts_per_second() as f64;
     if supply >= demand {
-        println!("verdict: meets the {demand:.0}/s demand with {:.0}% headroom", 100.0 * (supply / demand - 1.0));
+        println!(
+            "verdict: meets the {demand:.0}/s demand with {:.0}% headroom",
+            100.0 * (supply / demand - 1.0)
+        );
     } else {
         println!(
             "verdict: falls short of the {demand:.0}/s demand by {:.0}% — the paper's §8 \

@@ -13,11 +13,20 @@ use apm_repro::core::metric::MonitoredSystem;
 use apm_repro::core::workload::Workload;
 use apm_repro::harness::experiment::{run_point, ExperimentProfile, StoreKind};
 use apm_repro::sim::ClusterSpec;
-use apm_repro::storage::encoding::{cassandra_format, hbase_format, mysql_format, voldemort_format};
+use apm_repro::storage::encoding::{
+    cassandra_format, hbase_format, mysql_format, voldemort_format,
+};
 
 fn main() {
-    let hosts: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(240);
-    let system = MonitoredSystem { hosts, metrics_per_host: 10_000, interval_secs: 10 };
+    let hosts: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(240);
+    let system = MonitoredSystem {
+        hosts,
+        metrics_per_host: 10_000,
+        interval_secs: 10,
+    };
     let demand = system.inserts_per_second() as f64;
     let retention_days = 30u64;
     println!(
@@ -25,7 +34,13 @@ fn main() {
         system.raw_bytes_per_day() as f64 * retention_days as f64 / 1e12
     );
 
-    let profile = ExperimentProfile { scale: 0.005, data_factor: 1.0, warmup_secs: 1.0, measure_secs: 6.0, seed: 3 };
+    let profile = ExperimentProfile {
+        scale: 0.005,
+        data_factor: 1.0,
+        warmup_secs: 1.0,
+        measure_secs: 6.0,
+        seed: 3,
+    };
     // Per-node throughput measured at a mid-size cluster (4 nodes) so
     // coordination costs are included.
     let base_nodes = 4;
@@ -34,8 +49,19 @@ fn main() {
         "{:<10} {:>14} {:>12} {:>16} {:>14}",
         "store", "W ops/s/node", "nodes(ops)", "disk TB (30d)", "nodes(disk)"
     );
-    for store in [StoreKind::Cassandra, StoreKind::HBase, StoreKind::Voldemort, StoreKind::Mysql] {
-        let point = run_point(store, ClusterSpec::cluster_m(), base_nodes, &Workload::w(), &profile);
+    for store in [
+        StoreKind::Cassandra,
+        StoreKind::HBase,
+        StoreKind::Voldemort,
+        StoreKind::Mysql,
+    ] {
+        let point = run_point(
+            store,
+            ClusterSpec::cluster_m(),
+            base_nodes,
+            &Workload::w(),
+            &profile,
+        );
         let per_node = point.throughput() / base_nodes as f64;
         let nodes_for_ops = (demand / per_node).ceil();
         let format = match store {

@@ -55,21 +55,30 @@ fn main() {
                     };
                 }
                 btree.insert(record.key, record.fields);
-                hash.insert(record.key, record.fields).expect("no memory budget");
+                hash.insert(record.key, record.fields)
+                    .expect("no memory budget");
                 total += 1;
             }
         }
     }
     let now = EPOCH + INTERVALS * 10 - 1;
-    println!("ingested {total} measurements from {HOSTS} hosts ({METRICS_PER_HOST} metrics each)\n");
+    println!(
+        "ingested {total} measurements from {HOSTS} hosts ({METRICS_PER_HOST} metrics each)\n"
+    );
 
     // ---- Query 1 (§2): max connections on host 3, last 10 minutes.
     // Metric index 8 is "OpenConnections" in the agent's catalogue.
-    let q1 = ApmQuery::WindowMax { series: series_id(3, 8), window_secs: 600 };
+    let q1 = ApmQuery::WindowMax {
+        series: series_id(3, 8),
+        window_secs: 600,
+    };
     // ---- Query 2 (§2): average CPU across all web servers, last 15 min.
     // Metric index 5 is "CpuUtilization".
     let cpu_series: Vec<u64> = (0..HOSTS).map(|h| series_id(h, 5)).collect();
-    let q2 = ApmQuery::WindowAvgAcross { series: cpu_series, window_secs: 900 };
+    let q2 = ApmQuery::WindowAvgAcross {
+        series: cpu_series,
+        window_secs: 900,
+    };
 
     type ScanFn = Box<dyn FnMut(MetricKey, usize) -> Vec<(MetricKey, FieldValues)>>;
     let engines: Vec<(&str, ScanFn)> = vec![

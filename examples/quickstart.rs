@@ -11,7 +11,7 @@
 use apm_repro::core::driver::ClientConfig;
 use apm_repro::core::ops::OpKind;
 use apm_repro::core::workload::Workload;
-use apm_repro::sim::{ClusterSpec, Engine};
+use apm_repro::sim::{ClusterSpec, Engine, FaultSchedule};
 use apm_repro::stores::api::StoreCtx;
 use apm_repro::stores::cassandra::{CassandraConfig, CassandraStore};
 use apm_repro::stores::runner::{run_benchmark, RunConfig};
@@ -43,15 +43,21 @@ fn main() {
         records_per_node: (10_000_000.0 * scale) as u64,
         nodes,
         seed: 42,
-            event_at_secs: None,
-        };
+        event_at_secs: None,
+        faults: FaultSchedule::none(),
+        op_deadline: None,
+    };
     let result = run_benchmark(&mut engine, &mut store, &config);
 
     println!("workload W on {nodes} Cluster-M nodes (scale {scale}):");
     println!("  throughput : {:>10.0} ops/s", result.throughput());
     for kind in [OpKind::Read, OpKind::Insert] {
         if let Some(ms) = result.mean_latency_ms(kind) {
-            println!("  {:<6} mean : {ms:>10.3} ms ({} ops)", kind.label(), result.stats.ops(kind));
+            println!(
+                "  {:<6} mean : {ms:>10.3} ms ({} ops)",
+                kind.label(),
+                result.stats.ops(kind)
+            );
         }
     }
     if let Some(bytes) = result.disk_bytes_per_node {

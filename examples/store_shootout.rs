@@ -47,7 +47,10 @@ fn main() {
         })
         .collect();
 
-    table.push_row("throughput", points.iter().map(|p| Some(p.throughput())).collect());
+    table.push_row(
+        "throughput",
+        points.iter().map(|p| Some(p.throughput())).collect(),
+    );
     for kind in [OpKind::Read, OpKind::Scan, OpKind::Insert] {
         let cells: Vec<Option<f64>> = points.iter().map(|p| p.latency_ms(kind)).collect();
         if cells.iter().any(Option::is_some) {

@@ -1,0 +1,16 @@
+set datafile separator ','
+set key outside
+set title "Extension: single-node crash at t=3s, restart at t=6s (Cassandra, workload R, 4 nodes)"
+set xlabel 'rf'
+set ylabel 'ratio | count | ops/sec | s'
+set term pngcairo size 900,540
+set output 'ext-faults-crash.png'
+set style data linespoints
+plot 'ext-faults-crash.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-faults-crash.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-faults-crash.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-faults-crash.csv' using 5:xtic(1) with linespoints title 'pre_ops_per_sec', \
+     'ext-faults-crash.csv' using 6:xtic(1) with linespoints title 'mid_ops_per_sec', \
+     'ext-faults-crash.csv' using 7:xtic(1) with linespoints title 'post_ops_per_sec', \
+     'ext-faults-crash.csv' using 8:xtic(1) with linespoints title 'recovery_ratio', \
+     'ext-faults-crash.csv' using 9:xtic(1) with linespoints title 'recovery_secs'

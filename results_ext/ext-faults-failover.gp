@@ -1,0 +1,16 @@
+set datafile separator ','
+set key outside
+set title "Extension: crash recovery compared, crash t=3s restart t=6s (workload R, 4 nodes)"
+set xlabel 'store'
+set ylabel 'ratio | count | ops/sec | s'
+set term pngcairo size 900,540
+set output 'ext-faults-failover.png'
+set style data linespoints
+plot 'ext-faults-failover.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-faults-failover.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-faults-failover.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-faults-failover.csv' using 5:xtic(1) with linespoints title 'pre_ops_per_sec', \
+     'ext-faults-failover.csv' using 6:xtic(1) with linespoints title 'mid_ops_per_sec', \
+     'ext-faults-failover.csv' using 7:xtic(1) with linespoints title 'post_ops_per_sec', \
+     'ext-faults-failover.csv' using 8:xtic(1) with linespoints title 'recovery_ratio', \
+     'ext-faults-failover.csv' using 9:xtic(1) with linespoints title 'recovery_secs'

@@ -1,0 +1,16 @@
+set datafile separator ','
+set key outside
+set title "Extension: one shard partitioned from t=3s to t=6s (Redis, read-only, 4 nodes)"
+set xlabel 'client'
+set ylabel 'ratio | count | ops/sec | s'
+set term pngcairo size 900,540
+set output 'ext-faults-partition.png'
+set style data linespoints
+plot 'ext-faults-partition.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-faults-partition.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-faults-partition.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-faults-partition.csv' using 5:xtic(1) with linespoints title 'pre_ops_per_sec', \
+     'ext-faults-partition.csv' using 6:xtic(1) with linespoints title 'mid_ops_per_sec', \
+     'ext-faults-partition.csv' using 7:xtic(1) with linespoints title 'post_ops_per_sec', \
+     'ext-faults-partition.csv' using 8:xtic(1) with linespoints title 'recovery_ratio', \
+     'ext-faults-partition.csv' using 9:xtic(1) with linespoints title 'recovery_secs'

@@ -1,0 +1,16 @@
+set datafile separator ','
+set key outside
+set title "Extension: one fail-slow disk from t=3s to t=6s (HBase, workload R, 4 nodes, Cluster D)"
+set xlabel 'slowdown'
+set ylabel 'ratio | count | ops/sec | s'
+set term pngcairo size 900,540
+set output 'ext-faults-slowdisk.png'
+set style data linespoints
+plot 'ext-faults-slowdisk.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-faults-slowdisk.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-faults-slowdisk.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-faults-slowdisk.csv' using 5:xtic(1) with linespoints title 'pre_ops_per_sec', \
+     'ext-faults-slowdisk.csv' using 6:xtic(1) with linespoints title 'mid_ops_per_sec', \
+     'ext-faults-slowdisk.csv' using 7:xtic(1) with linespoints title 'post_ops_per_sec', \
+     'ext-faults-slowdisk.csv' using 8:xtic(1) with linespoints title 'recovery_ratio', \
+     'ext-faults-slowdisk.csv' using 9:xtic(1) with linespoints title 'recovery_secs'

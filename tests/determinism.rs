@@ -10,8 +10,17 @@ use apm_repro::harness::experiment::{run_point, ExperimentProfile, StoreKind};
 use apm_repro::sim::ClusterSpec;
 
 fn fingerprint(store: StoreKind, seed: u64) -> (u64, u64, u64, Option<u64>) {
-    let profile = ExperimentProfile { seed, ..ExperimentProfile::test() };
-    let point = run_point(store, ClusterSpec::cluster_m(), 2, &Workload::rw(), &profile);
+    let profile = ExperimentProfile {
+        seed,
+        ..ExperimentProfile::test()
+    };
+    let point = run_point(
+        store,
+        ClusterSpec::cluster_m(),
+        2,
+        &Workload::rw(),
+        &profile,
+    );
     (
         point.result.stats.total_ops(),
         point.result.issued,
@@ -42,10 +51,22 @@ fn different_seeds_change_the_operation_stream() {
 fn latency_statistics_are_reproducible_to_the_nanosecond() {
     let profile = ExperimentProfile::test();
     let run = || {
-        let p = run_point(StoreKind::Voldemort, ClusterSpec::cluster_m(), 2, &Workload::r(), &profile);
+        let p = run_point(
+            StoreKind::Voldemort,
+            ClusterSpec::cluster_m(),
+            2,
+            &Workload::r(),
+            &profile,
+        );
         (
-            p.result.stats.histogram(OpKind::Read).map(|h| (h.count(), h.min(), h.max())),
-            p.result.stats.histogram(OpKind::Insert).map(|h| (h.count(), h.min(), h.max())),
+            p.result
+                .stats
+                .histogram(OpKind::Read)
+                .map(|h| (h.count(), h.min(), h.max())),
+            p.result
+                .stats
+                .histogram(OpKind::Insert)
+                .map(|h| (h.count(), h.min(), h.max())),
         )
     };
     assert_eq!(run(), run());

@@ -35,13 +35,23 @@ fn figure17_reproduces_disk_usage_and_its_shape_checks_pass() {
     let checks = checks_for("fig17", &table);
     assert!(!checks.is_empty());
     for check in &checks {
-        assert!(check.pass, "fig17 shape check failed: {} — {}", check.claim, check.detail);
+        assert!(
+            check.pass,
+            "fig17 shape check failed: {} — {}",
+            check.claim, check.detail
+        );
     }
     // Fig 17 reference values: within 20 % of the paper's GB numbers.
     for r in for_figure("fig17") {
         let measured = table.get(r.row, r.store).expect("cell exists");
         let rel = (measured - r.value).abs() / r.value;
-        assert!(rel < 0.2, "fig17 {}@{}: paper {} vs measured {measured}", r.store, r.row, r.value);
+        assert!(
+            rel < 0.2,
+            "fig17 {}@{}: paper {} vs measured {measured}",
+            r.store,
+            r.row,
+            r.value
+        );
     }
 }
 
@@ -83,7 +93,16 @@ fn every_reference_point_addresses_a_real_row_and_column() {
         };
         assert!(ok, "reference point with bad row: {p:?}");
         assert!(
-            ["cassandra", "hbase", "voldemort", "voltdb", "redis", "mysql", "raw"].contains(&p.store),
+            [
+                "cassandra",
+                "hbase",
+                "voldemort",
+                "voltdb",
+                "redis",
+                "mysql",
+                "raw"
+            ]
+            .contains(&p.store),
             "unknown store {p:?}"
         );
     }

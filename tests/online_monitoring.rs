@@ -9,7 +9,10 @@ const EPOCH: u64 = 1_332_988_800;
 
 fn ingest(hosts: u32, metrics: u32, intervals: u64) -> (LsmTree, SeriesCodec) {
     let codec = SeriesCodec::new(10, EPOCH);
-    let mut lsm = LsmTree::new(LsmConfig { memtable_flush_bytes: 75 * 2_000, ..LsmConfig::default() });
+    let mut lsm = LsmTree::new(LsmConfig {
+        memtable_flush_bytes: 75 * 2_000,
+        ..LsmConfig::default()
+    });
     for host in 0..hosts {
         let mut agent = AgentReporter::new(host, metrics, 10, EPOCH);
         for _ in 0..intervals {
@@ -36,10 +39,18 @@ fn ten_minute_window_max_scans_exactly_sixty_records() {
     // number of scanned values is 60".
     let (mut lsm, codec) = ingest(2, 4, 80);
     let now = EPOCH + 80 * 10 - 1;
-    let agg = execute(&codec, &ApmQuery::WindowMax { series: 5, window_secs: 600 }, now, |start, len| {
-        assert_eq!(len, 60, "window scan length");
-        lsm.scan(&start, len).0
-    });
+    let agg = execute(
+        &codec,
+        &ApmQuery::WindowMax {
+            series: 5,
+            window_secs: 600,
+        },
+        now,
+        |start, len| {
+            assert_eq!(len, 60, "window scan length");
+            lsm.scan(&start, len).0
+        },
+    );
     assert_eq!(agg.count, 60);
     assert!(agg.max >= agg.min);
 }
@@ -64,10 +75,19 @@ fn window_results_match_a_recomputation_from_the_agent_stream() {
         }
     }
     let now = EPOCH + intervals * 10 - 1;
-    let agg = execute(&codec, &ApmQuery::WindowMax { series, window_secs: 600 }, now, |start, len| {
-        lsm.scan(&start, len).0
-    });
-    assert_eq!(agg.max, expected_max, "store answer must match the source stream");
+    let agg = execute(
+        &codec,
+        &ApmQuery::WindowMax {
+            series,
+            window_secs: 600,
+        },
+        now,
+        |start, len| lsm.scan(&start, len).0,
+    );
+    assert_eq!(
+        agg.max, expected_max,
+        "store answer must match the source stream"
+    );
     assert_eq!(agg.count, window_slots);
 }
 
@@ -77,15 +97,24 @@ fn cross_host_average_covers_every_host_once() {
     let metrics = 3;
     let (mut lsm, codec) = ingest(hosts, metrics, 100);
     let cpu_metric = 0u64;
-    let series: Vec<u64> = (0..hosts).map(|h| u64::from(h) * u64::from(metrics) + cpu_metric).collect();
+    let series: Vec<u64> = (0..hosts)
+        .map(|h| u64::from(h) * u64::from(metrics) + cpu_metric)
+        .collect();
     let now = EPOCH + 100 * 10 - 1;
     let agg = execute(
         &codec,
-        &ApmQuery::WindowAvgAcross { series, window_secs: 900 },
+        &ApmQuery::WindowAvgAcross {
+            series,
+            window_secs: 900,
+        },
         now,
         |start, len| lsm.scan(&start, len).0,
     );
-    assert_eq!(agg.count, u64::from(hosts) * 90, "15 min × 4 hosts at 10 s = 360 samples");
+    assert_eq!(
+        agg.count,
+        u64::from(hosts) * 90,
+        "15 min × 4 hosts at 10 s = 360 samples"
+    );
     let avg = agg.avg().expect("non-empty window");
     assert!(agg.min as f64 <= avg && avg <= agg.max as f64);
 }

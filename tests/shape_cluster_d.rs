@@ -12,7 +12,10 @@ use apm_repro::sim::ClusterSpec;
 fn d_profile() -> ExperimentProfile {
     // Cluster D loads 150 M total = 18.75 M/node — 1.875× the Cluster-M
     // density, applied to the data only (not the memory budgets).
-    ExperimentProfile { data_factor: 1.875, ..ExperimentProfile::test() }
+    ExperimentProfile {
+        data_factor: 1.875,
+        ..ExperimentProfile::test()
+    }
 }
 
 fn point(store: StoreKind, workload: &Workload) -> Point {
@@ -24,13 +27,28 @@ fn write_ratio_gains_match_figure18() {
     // §5.8: R→W gains: Cassandra ×26, HBase ×15, Voldemort only ×3.
     let r = Workload::r();
     let w = Workload::w();
-    let cass_gain = point(StoreKind::Cassandra, &w).throughput() / point(StoreKind::Cassandra, &r).throughput();
-    let hbase_gain = point(StoreKind::HBase, &w).throughput() / point(StoreKind::HBase, &r).throughput();
-    let vold_gain = point(StoreKind::Voldemort, &w).throughput() / point(StoreKind::Voldemort, &r).throughput();
-    assert!(cass_gain > 8.0, "cassandra R→W gain {cass_gain:.1} (paper: 26)");
-    assert!(hbase_gain > 4.0, "hbase R→W gain {hbase_gain:.1} (paper: 15)");
-    assert!((1.2..8.0).contains(&vold_gain), "voldemort R→W gain {vold_gain:.1} (paper: 3)");
-    assert!(vold_gain < cass_gain, "the B-tree store must gain least from writes");
+    let cass_gain =
+        point(StoreKind::Cassandra, &w).throughput() / point(StoreKind::Cassandra, &r).throughput();
+    let hbase_gain =
+        point(StoreKind::HBase, &w).throughput() / point(StoreKind::HBase, &r).throughput();
+    let vold_gain =
+        point(StoreKind::Voldemort, &w).throughput() / point(StoreKind::Voldemort, &r).throughput();
+    assert!(
+        cass_gain > 8.0,
+        "cassandra R→W gain {cass_gain:.1} (paper: 26)"
+    );
+    assert!(
+        hbase_gain > 4.0,
+        "hbase R→W gain {hbase_gain:.1} (paper: 15)"
+    );
+    assert!(
+        (1.2..8.0).contains(&vold_gain),
+        "voldemort R→W gain {vold_gain:.1} (paper: 3)"
+    );
+    assert!(
+        vold_gain < cass_gain,
+        "the B-tree store must gain least from writes"
+    );
 }
 
 #[test]
@@ -38,12 +56,27 @@ fn cluster_d_read_latencies_are_disk_bound() {
     // Fig 19: read latencies in the tens of milliseconds; Voldemort "by
     // far the best" (5-6 ms); HBase the worst.
     let r = Workload::r();
-    let cassandra = point(StoreKind::Cassandra, &r).latency_ms(OpKind::Read).unwrap();
-    let voldemort = point(StoreKind::Voldemort, &r).latency_ms(OpKind::Read).unwrap();
-    let hbase = point(StoreKind::HBase, &r).latency_ms(OpKind::Read).unwrap();
-    assert!(cassandra > 10.0, "cassandra D reads must be disk-bound: {cassandra} ms (paper: 40)");
-    assert!(voldemort < cassandra, "voldemort {voldemort} must beat cassandra {cassandra}");
-    assert!(hbase > cassandra, "hbase {hbase} must be worst (paper: 70+ ms)");
+    let cassandra = point(StoreKind::Cassandra, &r)
+        .latency_ms(OpKind::Read)
+        .unwrap();
+    let voldemort = point(StoreKind::Voldemort, &r)
+        .latency_ms(OpKind::Read)
+        .unwrap();
+    let hbase = point(StoreKind::HBase, &r)
+        .latency_ms(OpKind::Read)
+        .unwrap();
+    assert!(
+        cassandra > 10.0,
+        "cassandra D reads must be disk-bound: {cassandra} ms (paper: 40)"
+    );
+    assert!(
+        voldemort < cassandra,
+        "voldemort {voldemort} must beat cassandra {cassandra}"
+    );
+    assert!(
+        hbase > cassandra,
+        "hbase {hbase} must be worst (paper: 70+ ms)"
+    );
 }
 
 #[test]
@@ -51,9 +84,13 @@ fn hbase_write_latency_stays_low_even_disk_bound() {
     // Fig 20: "As in Cluster M, HBase has a very low latency, well below
     // 1 ms."
     let rw = Workload::rw();
-    let hbase = point(StoreKind::HBase, &rw).latency_ms(OpKind::Insert).unwrap();
+    let hbase = point(StoreKind::HBase, &rw)
+        .latency_ms(OpKind::Insert)
+        .unwrap();
     assert!(hbase < 2.0, "hbase D write latency {hbase} ms");
-    let cassandra = point(StoreKind::Cassandra, &rw).latency_ms(OpKind::Insert).unwrap();
+    let cassandra = point(StoreKind::Cassandra, &rw)
+        .latency_ms(OpKind::Insert)
+        .unwrap();
     assert!(hbase < cassandra, "hbase {hbase} vs cassandra {cassandra}");
 }
 
@@ -66,6 +103,10 @@ fn cluster_d_throughput_is_far_below_cluster_m() {
     for store in [StoreKind::Cassandra, StoreKind::Voldemort] {
         let m = run_point(store, ClusterSpec::cluster_m(), 8, &r, &profile).throughput();
         let d = point(store, &r).throughput();
-        assert!(d < m / 4.0, "{}: D {d} must be far below M {m}", store.name());
+        assert!(
+            d < m / 4.0,
+            "{}: D {d} must be far below M {m}",
+            store.name()
+        );
     }
 }

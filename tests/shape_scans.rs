@@ -6,7 +6,13 @@ use apm_repro::harness::experiment::{run_point, ExperimentProfile, Point, StoreK
 use apm_repro::sim::ClusterSpec;
 
 fn point(store: StoreKind, nodes: u32, workload: &Workload) -> Point {
-    run_point(store, ClusterSpec::cluster_m(), nodes, workload, &ExperimentProfile::test())
+    run_point(
+        store,
+        ClusterSpec::cluster_m(),
+        nodes,
+        workload,
+        &ExperimentProfile::test(),
+    )
 }
 
 #[test]
@@ -18,24 +24,55 @@ fn mysql_rs_does_not_scale_while_cassandra_does() {
     let mysql_4 = point(StoreKind::Mysql, 4, &w).throughput();
     let cassandra_1 = point(StoreKind::Cassandra, 1, &w).throughput();
     let cassandra_4 = point(StoreKind::Cassandra, 4, &w).throughput();
-    assert!(mysql_1 > cassandra_1, "mysql must win at one node: {mysql_1} vs {cassandra_1}");
-    assert!(mysql_4 / mysql_1 < 2.0, "mysql RS must not scale: {mysql_1} → {mysql_4}");
-    assert!(cassandra_4 / cassandra_1 > 2.8, "cassandra RS must scale: {cassandra_1} → {cassandra_4}");
+    assert!(
+        mysql_1 > cassandra_1,
+        "mysql must win at one node: {mysql_1} vs {cassandra_1}"
+    );
+    assert!(
+        mysql_4 / mysql_1 < 2.0,
+        "mysql RS must not scale: {mysql_1} → {mysql_4}"
+    );
+    assert!(
+        cassandra_4 / cassandra_1 > 2.8,
+        "cassandra RS must scale: {cassandra_1} → {cassandra_4}"
+    );
 }
 
 #[test]
 fn scan_latency_ordering_matches_figure13() {
     // Fig 13 at 4 nodes: redis < cassandra < hbase; mysql grows with n.
     let w = Workload::rs();
-    let redis = point(StoreKind::Redis, 4, &w).latency_ms(OpKind::Scan).unwrap();
-    let cassandra = point(StoreKind::Cassandra, 4, &w).latency_ms(OpKind::Scan).unwrap();
-    let hbase = point(StoreKind::HBase, 4, &w).latency_ms(OpKind::Scan).unwrap();
-    assert!(redis < cassandra, "redis scan {redis} vs cassandra {cassandra}");
-    assert!(cassandra < hbase, "cassandra scan {cassandra} vs hbase {hbase}");
-    assert!((5.0..60.0).contains(&cassandra), "cassandra scans {cassandra} ms (paper: 20-25)");
-    let mysql_2 = point(StoreKind::Mysql, 2, &w).latency_ms(OpKind::Scan).unwrap();
-    let mysql_8 = point(StoreKind::Mysql, 8, &w).latency_ms(OpKind::Scan).unwrap();
-    assert!(mysql_8 > mysql_2 * 2.0, "mysql scan latency must climb: {mysql_2} → {mysql_8}");
+    let redis = point(StoreKind::Redis, 4, &w)
+        .latency_ms(OpKind::Scan)
+        .unwrap();
+    let cassandra = point(StoreKind::Cassandra, 4, &w)
+        .latency_ms(OpKind::Scan)
+        .unwrap();
+    let hbase = point(StoreKind::HBase, 4, &w)
+        .latency_ms(OpKind::Scan)
+        .unwrap();
+    assert!(
+        redis < cassandra,
+        "redis scan {redis} vs cassandra {cassandra}"
+    );
+    assert!(
+        cassandra < hbase,
+        "cassandra scan {cassandra} vs hbase {hbase}"
+    );
+    assert!(
+        (5.0..60.0).contains(&cassandra),
+        "cassandra scans {cassandra} ms (paper: 20-25)"
+    );
+    let mysql_2 = point(StoreKind::Mysql, 2, &w)
+        .latency_ms(OpKind::Scan)
+        .unwrap();
+    let mysql_8 = point(StoreKind::Mysql, 8, &w)
+        .latency_ms(OpKind::Scan)
+        .unwrap();
+    assert!(
+        mysql_8 > mysql_2 * 2.0,
+        "mysql scan latency must climb: {mysql_2} → {mysql_8}"
+    );
 }
 
 #[test]
@@ -43,7 +80,10 @@ fn voldemort_rejects_scan_workloads() {
     // §5.4: the Voldemort client does not support scans; the harness
     // therefore excludes it, and direct use reports rejections.
     let p = point(StoreKind::Voldemort, 1, &Workload::rs());
-    assert!(p.result.stats.total_rejected() > 0, "scans must be rejected");
+    assert!(
+        p.result.stats.total_rejected() > 0,
+        "scans must be rejected"
+    );
     assert!(!StoreKind::Voldemort.supports_scans());
 }
 
@@ -53,7 +93,10 @@ fn mysql_rsw_collapses_under_insert_churn() {
     // while VoltDB has the best single-node RSW throughput.
     // Longer window: the collapse is a convoy that converges over a few
     // simulated seconds (the paper's 600 s steady state is far past it).
-    let profile = ExperimentProfile { measure_secs: 12.0, ..ExperimentProfile::test() };
+    let profile = ExperimentProfile {
+        measure_secs: 12.0,
+        ..ExperimentProfile::test()
+    };
     let rs = apm_repro::harness::experiment::run_point(
         StoreKind::Mysql,
         ClusterSpec::cluster_m(),
@@ -70,11 +113,17 @@ fn mysql_rsw_collapses_under_insert_churn() {
         &profile,
     )
     .throughput();
-    assert!(rsw < rs / 10.0, "mysql RSW must collapse: rs={rs} rsw={rsw}");
+    assert!(
+        rsw < rs / 10.0,
+        "mysql RSW must collapse: rs={rs} rsw={rsw}"
+    );
 
     let voltdb = point(StoreKind::VoltDb, 1, &Workload::rsw()).throughput();
     let cassandra = point(StoreKind::Cassandra, 1, &Workload::rsw()).throughput();
-    assert!(voltdb > cassandra, "voltdb best 1-node RSW: {voltdb} vs {cassandra}");
+    assert!(
+        voltdb > cassandra,
+        "voltdb best 1-node RSW: {voltdb} vs {cassandra}"
+    );
 }
 
 #[test]
@@ -84,6 +133,10 @@ fn hbase_and_cassandra_gain_from_lower_scan_rate_in_rsw() {
     for store in [StoreKind::Cassandra, StoreKind::HBase] {
         let rs = point(store, 2, &Workload::rs()).throughput();
         let rsw = point(store, 2, &Workload::rsw()).throughput();
-        assert!(rsw > rs * 1.3, "{}: RSW {rsw} must beat RS {rs}", store.name());
+        assert!(
+            rsw > rs * 1.3,
+            "{}: RSW {rsw} must beat RS {rs}",
+            store.name()
+        );
     }
 }
