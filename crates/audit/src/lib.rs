@@ -1,0 +1,16 @@
+//! apm-audit — dependency-free determinism & invariant auditor.
+//!
+//! Static half of the audit story (the dynamic half is the
+//! `KernelAuditor` behind apm-sim's `audit` feature): a token-level
+//! lint pass over the workspace sources enforcing the determinism
+//! rules catalogued in DESIGN.md §8. Run it with
+//! `cargo run -p apm-audit -- --deny-all`.
+//!
+//! The crate is a library + thin binary so the fixture tests in
+//! `tests/fixtures.rs` can drive the rules over inline snippets.
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{audit_files, severity, Severity, SourceFile, Violation};

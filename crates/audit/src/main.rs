@@ -1,0 +1,69 @@
+//! `cargo run -p apm-audit [-- --deny-all] [root]`
+//!
+//! Lints the workspace sources against the determinism rules (DESIGN.md
+//! §8) and prints findings as `file:line: [rule] message`. Exit code is
+//! non-zero when any deny-severity finding exists; `--deny-all`
+//! promotes warnings (unwrap, float-sum) to errors — CI runs that mode.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use apm_audit::{audit_files, severity, walk, Severity};
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--help" | "-h" => {
+                println!("usage: apm-audit [--deny-all] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let files = match walk::workspace_sources(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!(
+                "apm-audit: cannot read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = audit_files(&files);
+
+    let mut denies = 0usize;
+    let mut warns = 0usize;
+    for v in &violations {
+        let sev = if deny_all {
+            Severity::Deny
+        } else {
+            severity(v.rule)
+        };
+        let tag = match sev {
+            Severity::Deny => {
+                denies += 1;
+                "error"
+            }
+            Severity::Warn => {
+                warns += 1;
+                "warning"
+            }
+        };
+        println!("{}:{}: {tag}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    println!(
+        "apm-audit: {} file(s) scanned, {denies} error(s), {warns} warning(s)",
+        files.len()
+    );
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

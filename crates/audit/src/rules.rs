@@ -1,0 +1,379 @@
+//! The project-specific lint rules (D1–D5).
+//!
+//! Each rule walks the token stream from [`crate::lexer`] — no AST. The
+//! rules are deliberately scoped by crate (derived from the file path)
+//! so that, e.g., the wall-clock ban applies to the deterministic
+//! simulation layers but not to `bench`, which times real hardware.
+//!
+//! | rule             | issue | scope                         | default |
+//! |------------------|-------|-------------------------------|---------|
+//! | `clock`          | D1    | sim, stores, storage          | deny    |
+//! | `hash-order`     | D2    | sim, stores                   | deny    |
+//! | `unwrap`         | D3    | all non-test library code     | warn    |
+//! | `float-sum`      | D4    | core::stats, core::timeseries | warn    |
+//! | `shape-coverage` | D5    | harness extensions vs shape   | deny    |
+//!
+//! `--deny-all` promotes warnings to errors. Any rule is silenced on a
+//! line with `// audit:allow(<rule>)` on that line or the line above.
+
+use crate::lexer::{LexedFile, Tok};
+
+/// One source file ready for auditing.
+pub struct SourceFile {
+    /// Path relative to the workspace root, e.g. `crates/sim/src/kernel.rs`.
+    pub path: String,
+    pub lexed: LexedFile,
+}
+
+/// Rule severity before `--deny-all`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    Deny,
+    Warn,
+}
+
+/// A single finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Default severity per rule (promoted to Deny by `--deny-all`).
+pub fn severity(rule: &str) -> Severity {
+    match rule {
+        "unwrap" | "float-sum" => Severity::Warn,
+        _ => Severity::Deny,
+    }
+}
+
+/// The audited crate, derived from a workspace-relative path.
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("")
+    } else {
+        // Root package sources (`src/`, `tests/`).
+        "root"
+    }
+}
+
+fn is_bin(path: &str) -> bool {
+    path.contains("/bin/")
+        || path.contains("/benches/")
+        || path.ends_with("/main.rs")
+        || path == "main.rs"
+}
+
+/// Runs every rule over the file set and returns all findings,
+/// allow-list already applied, sorted by (file, line).
+pub fn audit_files(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        rule_clock(f, &mut out);
+        rule_hash_order(f, &mut out);
+        rule_unwrap(f, &mut out);
+        rule_float_sum(f, &mut out);
+    }
+    rule_shape_coverage(files, &mut out);
+    out.retain(|v| {
+        let file = files.iter().find(|f| f.path == v.file);
+        !file.is_some_and(|f| f.lexed.allowed(v.line, v.rule))
+    });
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out
+}
+
+/// D1 `clock`: no wall-clock or ambient randomness in the deterministic
+/// layers. Flags `Instant::now`, `SystemTime`, `thread_rng`, and argless
+/// `rand()`/`random()` calls in sim/stores/storage — tests included,
+/// since event-ordering tests must replay identically too.
+fn rule_clock(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !matches!(crate_of(&f.path), "sim" | "stores" | "storage") {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let flagged = match name.as_str() {
+            "SystemTime" | "thread_rng" => Some(format!("`{name}` is wall-clock/ambient state")),
+            "Instant" => follows(toks, i, &[":", ":", "now"])
+                .then(|| "`Instant::now()` breaks virtual-time determinism".to_string()),
+            "rand" | "random" => {
+                // Argless call: `rand()` / `random()` with nothing between
+                // the parens draws from ambient RNG state.
+                (punct_at(toks, i + 1, '(') && punct_at(toks, i + 2, ')'))
+                    .then(|| format!("argless `{name}()` uses ambient randomness"))
+            }
+            _ => None,
+        };
+        if let Some(msg) = flagged {
+            out.push(Violation {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "clock",
+                message: format!("{msg}; use sim virtual time / seeded rng"),
+            });
+        }
+    }
+}
+
+/// D2 `hash-order`: no `HashMap`/`HashSet` in the sim and stores crates.
+/// Iteration order over hashed collections varies run-to-run, which
+/// silently breaks event-ordering determinism — use `BTreeMap`/`BTreeSet`
+/// (or sort before iterating and annotate the line).
+fn rule_hash_order(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !matches!(crate_of(&f.path), "sim" | "stores") {
+        return;
+    }
+    for t in &f.lexed.tokens {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name == "HashMap" || name == "HashSet" {
+            out.push(Violation {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "hash-order",
+                message: format!(
+                    "`{name}` has nondeterministic iteration order; use BTree{} \
+                     or sort before iterating",
+                    &name[4..]
+                ),
+            });
+        }
+    }
+}
+
+/// D3 `unwrap`: no bare `.unwrap()` or empty `.expect("")` in non-test
+/// library code. Panics without context are useless in a long
+/// simulation run; say *why* the value is present or propagate the error.
+fn rule_unwrap(f: &SourceFile, out: &mut Vec<Violation>) {
+    if is_bin(&f.path) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        if i == 0 || !punct_at(toks, i - 1, '.') {
+            continue;
+        }
+        let msg = match name.as_str() {
+            "unwrap" if punct_at(toks, i + 1, '(') && punct_at(toks, i + 2, ')') => {
+                Some("bare `.unwrap()` in library code")
+            }
+            "expect"
+                if punct_at(toks, i + 1, '(')
+                    && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Str(s)) if s.is_empty()) =>
+            {
+                Some("`.expect(\"\")` carries no context")
+            }
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            out.push(Violation {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "unwrap",
+                message: format!("{msg}; add a contextful expect message or propagate the error"),
+            });
+        }
+    }
+}
+
+/// D4 `float-sum`: `core::stats` / `core::timeseries` must not narrow to
+/// `f32` or run order-sensitive float reductions. `fold` over floats is
+/// only blessed inside the compensated-summation helpers (functions
+/// whose name mentions `kahan` or `pairwise`).
+fn rule_float_sum(f: &SourceFile, out: &mut Vec<Violation>) {
+    if f.path != "crates/core/src/stats.rs" && f.path != "crates/core/src/timeseries.rs" {
+        return;
+    }
+    for t in &f.lexed.tokens {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let blessed = t
+            .in_fn
+            .as_deref()
+            .is_some_and(|f| f.contains("kahan") || f.contains("pairwise"));
+        let msg = match name.as_str() {
+            "f32" => Some("`f32` narrowing loses precision in aggregate stats"),
+            "fold" if !blessed => {
+                Some("order-sensitive `fold` reduction outside a blessed kahan/pairwise helper")
+            }
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            out.push(Violation {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "float-sum",
+                message: format!("{msg}; use integer sums or `kahan_sum`"),
+            });
+        }
+    }
+}
+
+/// D5 `shape-coverage`: every experiment id registered in
+/// `harness/src/extensions.rs::all_extensions` must appear in at least
+/// one shape check in `harness/src/shape.rs`. A figure nobody sanity-
+/// checks is a figure that can silently drift.
+fn rule_shape_coverage(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let Some(ext) = files
+        .iter()
+        .find(|f| f.path.ends_with("harness/src/extensions.rs"))
+    else {
+        return;
+    };
+    let Some(shape) = files
+        .iter()
+        .find(|f| f.path.ends_with("harness/src/shape.rs"))
+    else {
+        return;
+    };
+    // Registered ids: non-test "ext-*" string literals inside
+    // `all_extensions` (test modules register fakes like "ext-nope").
+    let mut ids: Vec<(String, u32)> = Vec::new();
+    for t in &ext.lexed.tokens {
+        if t.in_test || t.in_fn.as_deref() != Some("all_extensions") {
+            continue;
+        }
+        if let Tok::Str(s) = &t.tok {
+            if s.starts_with("ext-") && !ids.iter().any(|(id, _)| id == s) {
+                ids.push((s.clone(), t.line));
+            }
+        }
+    }
+    // Covered ids: any non-test string literal in shape.rs mentioning
+    // the id (the `checks_for` match arms).
+    for (id, line) in ids {
+        let covered =
+            shape.lexed.tokens.iter().any(|t| {
+                !t.in_test && matches!(&t.tok, Tok::Str(s) if s == &id || s.contains(&id))
+            });
+        if !covered {
+            out.push(Violation {
+                file: ext.path.clone(),
+                line,
+                rule: "shape-coverage",
+                message: format!("experiment `{id}` has no shape check in harness/src/shape.rs"),
+            });
+        }
+    }
+}
+
+/// True when tokens after `i` match the given idents/punct pattern.
+/// Pattern entries of length 1 that aren't alphanumeric match puncts.
+fn follows(toks: &[crate::lexer::Token], i: usize, pattern: &[&str]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(k, want)| match toks.get(i + 1 + k).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => s == want,
+            Some(Tok::Punct(c)) => want.len() == 1 && want.starts_with(*c),
+            _ => false,
+        })
+}
+
+fn punct_at(toks: &[crate::lexer::Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            lexed: lex(src),
+        }
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/sim/src/kernel.rs"), "sim");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+        assert_eq!(crate_of("tests/determinism.rs"), "root");
+    }
+
+    #[test]
+    fn clock_rule_scoped_to_deterministic_crates() {
+        let bad = file("crates/sim/src/x.rs", "fn f() { let t = Instant::now(); }");
+        let ok = file(
+            "crates/bench/src/x.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        let v = audit_files(&[bad, ok]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "clock");
+        assert_eq!(v[0].file, "crates/sim/src/x.rs");
+    }
+
+    #[test]
+    fn instant_without_now_is_fine() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "use std::time::Instant; fn f(t: Instant) -> Instant { t }",
+        );
+        assert!(audit_files(&[f]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t() { v.unwrap(); } }",
+        );
+        assert!(audit_files(&[f]).is_empty());
+    }
+
+    #[test]
+    fn empty_expect_flagged_contextful_expect_fine() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "fn f() { a.expect(\"\"); b.expect(\"queue non-empty: pushed above\"); }",
+        );
+        let v = audit_files(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn float_sum_blessed_helpers_escape() {
+        let src = "pub fn kahan_sum(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }\npub fn mean(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }";
+        let f = file("crates/core/src/stats.rs", src);
+        let v = audit_files(&[f]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "float-sum");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn shape_coverage_cross_file() {
+        let ext = file(
+            "crates/harness/src/extensions.rs",
+            "pub fn all_extensions() -> Vec<(&'static str, &'static str)> {\n    vec![(\"ext-covered\", \"t\"), (\"ext-bare\", \"t\")]\n}",
+        );
+        let shape = file(
+            "crates/harness/src/shape.rs",
+            "pub fn checks_for(figure: &str) { match figure { \"ext-covered\" => {}, _ => {} } }",
+        );
+        let v = audit_files(&[ext, shape]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "shape-coverage");
+        assert!(v[0].message.contains("ext-bare"));
+    }
+
+    #[test]
+    fn allow_annotation_silences() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "// audit:allow(hash-order)\nuse std::collections::HashMap;\n",
+        );
+        assert!(audit_files(&[f]).is_empty());
+    }
+}

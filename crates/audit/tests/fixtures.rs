@@ -1,0 +1,288 @@
+//! Fixture-driven rule tests: minimal source snippets that must trip
+//! each rule D1–D5, plus allow-list escapes that must pass. These are
+//! the auditor's own regression suite — if a rule stops firing on its
+//! fixture, the lint has silently rotted.
+
+use apm_audit::{audit_files, lexer::lex, severity, Severity, SourceFile};
+
+fn file(path: &str, src: &str) -> SourceFile {
+    SourceFile {
+        path: path.to_string(),
+        lexed: lex(src),
+    }
+}
+
+fn rules_hit(files: &[SourceFile]) -> Vec<&'static str> {
+    audit_files(files).into_iter().map(|v| v.rule).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_instant_now_in_sim_trips_clock() {
+    let f = file(
+        "crates/sim/src/bad.rs",
+        "fn stamp() -> Instant { let t = Instant::now(); t }",
+    );
+    assert_eq!(rules_hit(&[f]), ["clock"]);
+}
+
+#[test]
+fn d1_system_time_and_thread_rng_trip_clock() {
+    let f = file(
+        "crates/storage/src/bad.rs",
+        "fn f() { let t = SystemTime::now(); let mut r = thread_rng(); }",
+    );
+    assert_eq!(rules_hit(&[f]), ["clock", "clock"]);
+}
+
+#[test]
+fn d1_argless_random_trips_clock() {
+    let f = file("crates/stores/src/bad.rs", "fn f() -> f64 { random() }");
+    assert_eq!(rules_hit(&[f]), ["clock"]);
+}
+
+#[test]
+fn d1_seeded_rand_call_with_args_is_fine() {
+    let f = file(
+        "crates/stores/src/ok.rs",
+        "fn f(rng: &mut SplitRng) -> u64 { rng.next_u64() }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d1_does_not_apply_outside_deterministic_crates() {
+    let f = file(
+        "crates/bench/src/runner.rs",
+        "fn wall() -> Instant { Instant::now() }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d1_allow_escape_passes() {
+    let f = file(
+        "crates/sim/src/ok.rs",
+        "fn f() {\n    // justified: diagnostics only. audit:allow(clock)\n    let t = Instant::now();\n}",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_hashmap_in_stores_trips_hash_order() {
+    let f = file(
+        "crates/stores/src/bad.rs",
+        "use std::collections::HashMap;\nstruct S { jobs: HashMap<u64, usize> }",
+    );
+    assert_eq!(rules_hit(&[f]), ["hash-order", "hash-order"]);
+}
+
+#[test]
+fn d2_hashset_in_sim_trips_hash_order() {
+    let f = file(
+        "crates/sim/src/bad.rs",
+        "fn f() { let s: std::collections::HashSet<u64> = Default::default(); }",
+    );
+    assert_eq!(rules_hit(&[f]), ["hash-order"]);
+}
+
+#[test]
+fn d2_btreemap_is_fine() {
+    let f = file(
+        "crates/stores/src/ok.rs",
+        "use std::collections::BTreeMap;\nstruct S { jobs: BTreeMap<u64, usize> }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d2_hashmap_outside_sim_and_stores_is_fine() {
+    let f = file(
+        "crates/harness/src/ok.rs",
+        "use std::collections::HashMap;\nfn f() -> HashMap<u64, u64> { HashMap::new() }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d2_allow_escape_passes() {
+    let f = file(
+        "crates/stores/src/ok.rs",
+        "fn f() {\n    // Cardinality only, never iterated. audit:allow(hash-order)\n    let s: std::collections::HashSet<u64> = Default::default();\n}",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d2_mention_in_comment_or_string_is_fine() {
+    let f = file(
+        "crates/sim/src/ok.rs",
+        "// a HashMap would be wrong here\nfn f() -> &'static str { \"HashMap\" }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_bare_unwrap_in_library_code_trips() {
+    let f = file(
+        "crates/core/src/bad.rs",
+        "pub fn f(v: Option<u64>) -> u64 { v.unwrap() }",
+    );
+    assert_eq!(rules_hit(&[f]), ["unwrap"]);
+}
+
+#[test]
+fn d3_empty_expect_trips() {
+    let f = file(
+        "crates/core/src/bad.rs",
+        "pub fn f(v: Option<u64>) -> u64 { v.expect(\"\") }",
+    );
+    assert_eq!(rules_hit(&[f]), ["unwrap"]);
+}
+
+#[test]
+fn d3_contextful_expect_is_fine() {
+    let f = file(
+        "crates/core/src/ok.rs",
+        "pub fn f(v: Option<u64>) -> u64 { v.expect(\"pushed on the line above\") }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d3_unwrap_inside_tests_is_fine() {
+    let f = file(
+        "crates/core/src/ok.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d3_allow_escape_passes() {
+    let f = file(
+        "crates/core/src/ok.rs",
+        "pub fn f(v: Option<u64>) -> u64 {\n    // infallible: v is checked by the caller. audit:allow(unwrap)\n    v.unwrap()\n}",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d3_is_warn_severity_by_default() {
+    assert_eq!(severity("unwrap"), Severity::Warn);
+    assert_eq!(severity("hash-order"), Severity::Deny);
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_f32_narrowing_in_stats_trips_float_sum() {
+    let f = file(
+        "crates/core/src/stats.rs",
+        "pub fn mean(v: &[f64]) -> f32 { v[0] as f32 }",
+    );
+    assert_eq!(rules_hit(&[f]), ["float-sum", "float-sum"]);
+}
+
+#[test]
+fn d4_fold_outside_blessed_helper_trips() {
+    let f = file(
+        "crates/core/src/timeseries.rs",
+        "pub fn total(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }",
+    );
+    assert_eq!(rules_hit(&[f]), ["float-sum"]);
+}
+
+#[test]
+fn d4_fold_inside_kahan_helper_is_blessed() {
+    let f = file(
+        "crates/core/src/stats.rs",
+        "pub fn kahan_sum(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d4_scoped_to_stats_and_timeseries_only() {
+    let f = file(
+        "crates/core/src/record.rs",
+        "pub fn parse(b: &[u8]) -> u64 { b.iter().fold(0, |a, x| a * 10 + u64::from(*x)) }",
+    );
+    assert!(rules_hit(&[f]).is_empty());
+}
+
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_uncovered_extension_trips_shape_coverage() {
+    let ext = file(
+        "crates/harness/src/extensions.rs",
+        "pub fn all_extensions() -> Vec<(&'static str, &'static str)> {\n    vec![(\"ext-checked\", \"a\"), (\"ext-naked\", \"b\")]\n}",
+    );
+    let shape = file(
+        "crates/harness/src/shape.rs",
+        "pub fn checks_for(id: &str) { match id { \"ext-checked\" => {}, _ => {} } }",
+    );
+    let v = audit_files(&[ext, shape]);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "shape-coverage");
+    assert!(v[0].message.contains("ext-naked"));
+}
+
+#[test]
+fn d5_ids_in_test_modules_are_ignored() {
+    let ext = file(
+        "crates/harness/src/extensions.rs",
+        "pub fn all_extensions() -> Vec<(&'static str, &'static str)> {\n    vec![(\"ext-real\", \"a\")]\n}\n#[cfg(test)]\nmod tests {\n    fn t() { assert!(generate(\"ext-nope\").is_none()); }\n}",
+    );
+    let shape = file(
+        "crates/harness/src/shape.rs",
+        "pub fn checks_for(id: &str) { match id { \"ext-real\" => {}, _ => {} } }",
+    );
+    assert!(audit_files(&[ext, shape]).is_empty());
+}
+
+#[test]
+fn d5_allow_escape_passes() {
+    let ext = file(
+        "crates/harness/src/extensions.rs",
+        "pub fn all_extensions() -> Vec<(&'static str, &'static str)> {\n    // shape pending calibration. audit:allow(shape-coverage)\n    vec![(\"ext-wip\", \"a\")]\n}",
+    );
+    let shape = file(
+        "crates/harness/src/shape.rs",
+        "pub fn checks_for(_: &str) {}",
+    );
+    assert!(audit_files(&[ext, shape]).is_empty());
+}
+
+// ------------------------------------------------------- end-to-end
+
+#[test]
+fn multiple_rules_sort_by_file_and_line() {
+    let a = file(
+        "crates/sim/src/a.rs",
+        "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }",
+    );
+    let b = file(
+        "crates/core/src/b.rs",
+        "pub fn f(v: Option<u64>) -> u64 { v.unwrap() }",
+    );
+    let v = audit_files(&[a, b]);
+    let got: Vec<(&str, u32, &str)> = v
+        .iter()
+        .map(|v| (v.file.as_str(), v.line, v.rule))
+        .collect();
+    assert_eq!(
+        got,
+        [
+            ("crates/core/src/b.rs", 1, "unwrap"),
+            ("crates/sim/src/a.rs", 1, "hash-order"),
+            ("crates/sim/src/a.rs", 2, "clock"),
+        ]
+    );
+}

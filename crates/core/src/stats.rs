@@ -321,9 +321,43 @@ impl BenchStats {
     }
 }
 
+/// Compensated (Kahan) summation over a float slice.
+///
+/// The one blessed way to reduce floats in this module: the running
+/// compensation term keeps the result independent of magnitude ordering
+/// to within one ulp, so aggregate stats stay bit-identical however a
+/// caller happens to order its samples. The apm-audit `float-sum` rule
+/// bans ad-hoc `fold` reductions here outside kahan/pairwise helpers.
+pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut compensation = 0.0;
+    for v in values {
+        let y = v - compensation;
+        let t = sum + y;
+        compensation = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kahan_sum_is_order_insensitive_where_naive_fold_is_not() {
+        // 1e16 + 1.0 + ... + 1.0 loses every unit under naive folding
+        // when the big term comes first; Kahan keeps them all.
+        let mut values = vec![1e16];
+        values.resize(1001, 1.0);
+        let naive: f64 = values.iter().sum();
+        let kahan = kahan_sum(values.iter().copied());
+        assert_eq!(kahan, 1e16 + 1000.0);
+        assert_ne!(naive, kahan, "naive sum should demonstrate the loss");
+        // Reversed order gives the identical Kahan result.
+        values.reverse();
+        assert_eq!(kahan_sum(values.into_iter()), kahan);
+    }
 
     #[test]
     fn histogram_mean_is_exact() {

@@ -377,13 +377,16 @@ mod tests {
     #[test]
     fn replication_preserves_availability_through_a_crash() {
         let t = crash_failover(&profile());
-        let rf1 = t.get("rf1", "availability").unwrap();
-        let rf2 = t.get("rf2", "availability").unwrap();
+        let rf1 = t.get("rf1", "availability").expect("rf1/availability cell");
+        let rf2 = t.get("rf2", "availability").expect("rf2/availability cell");
         assert!(rf2 >= 0.99, "rf=2 must ride through the crash: {rf2}");
         assert!(rf1 < 0.95, "rf=1 must lose its key range: {rf1}");
-        assert!(t.get("rf1", "errors").unwrap() > t.get("rf2", "errors").unwrap());
+        assert!(
+            t.get("rf1", "errors").expect("rf1/errors cell")
+                > t.get("rf2", "errors").expect("rf2/errors cell")
+        );
         for row in ["rf1", "rf2"] {
-            let ratio = t.get(row, "recovery_ratio").unwrap();
+            let ratio = t.get(row, "recovery_ratio").expect("recovery_ratio cell");
             assert!(
                 ratio >= 0.85,
                 "{row} must recover after restart: post/pre {ratio}"
@@ -395,29 +398,45 @@ mod tests {
     fn slow_disk_degrades_without_errors() {
         let t = slow_disk(&profile());
         for row in ["x1", "x4", "x16"] {
-            assert_eq!(t.get(row, "errors").unwrap(), 0.0, "{row} errored");
             assert_eq!(
-                t.get(row, "availability").unwrap(),
+                t.get(row, "errors").expect("errors cell"),
+                0.0,
+                "{row} errored"
+            );
+            assert_eq!(
+                t.get(row, "availability").expect("availability cell"),
                 1.0,
                 "{row} availability"
             );
         }
-        let base = t.get("x1", "mid_ops_per_sec").unwrap();
-        let worst = t.get("x16", "mid_ops_per_sec").unwrap();
+        let base = t
+            .get("x1", "mid_ops_per_sec")
+            .expect("x1/mid_ops_per_sec cell");
+        let worst = t
+            .get("x16", "mid_ops_per_sec")
+            .expect("x16/mid_ops_per_sec cell");
         assert!(
             worst < 0.9 * base,
             "x16 disk must dent throughput: {base} → {worst}"
         );
-        let ratio = t.get("x16", "recovery_ratio").unwrap();
+        let ratio = t
+            .get("x16", "recovery_ratio")
+            .expect("x16/recovery_ratio cell");
         assert!(ratio >= 0.85, "slow disk must fully recover: {ratio}");
     }
 
     #[test]
     fn partition_stalls_but_timeouts_keep_the_rest_serving() {
         let t = partition(&profile());
-        let pre = t.get("stall", "pre_ops_per_sec").unwrap();
-        let stall_mid = t.get("stall", "mid_ops_per_sec").unwrap();
-        let timeout_mid = t.get("timeout-10ms", "mid_ops_per_sec").unwrap();
+        let pre = t
+            .get("stall", "pre_ops_per_sec")
+            .expect("stall/pre_ops_per_sec cell");
+        let stall_mid = t
+            .get("stall", "mid_ops_per_sec")
+            .expect("stall/mid_ops_per_sec cell");
+        let timeout_mid = t
+            .get("timeout-10ms", "mid_ops_per_sec")
+            .expect("timeout-10ms/mid_ops_per_sec cell");
         assert!(
             stall_mid < 0.1 * pre,
             "stall must choke the loop: {pre} → {stall_mid}"
@@ -427,12 +446,14 @@ mod tests {
             "deadlines must help: {stall_mid} vs {timeout_mid}"
         );
         assert_eq!(
-            t.get("stall", "errors").unwrap(),
+            t.get("stall", "errors").expect("stall/errors cell"),
             0.0,
             "stalls are not errors"
         );
         assert!(
-            t.get("timeout-10ms", "errors").unwrap() > 0.0,
+            t.get("timeout-10ms", "errors")
+                .expect("timeout-10ms/errors cell")
+                > 0.0,
             "timeouts are errors"
         );
     }
@@ -440,9 +461,15 @@ mod tests {
     #[test]
     fn failover_ranks_the_recovery_designs() {
         let t = failover_comparison(&profile());
-        let cassandra = t.get("cassandra-rf2", "availability").unwrap();
-        let hbase = t.get("hbase", "availability").unwrap();
-        let redis = t.get("redis", "availability").unwrap();
+        let cassandra = t
+            .get("cassandra-rf2", "availability")
+            .expect("cassandra-rf2/availability cell");
+        let hbase = t
+            .get("hbase", "availability")
+            .expect("hbase/availability cell");
+        let redis = t
+            .get("redis", "availability")
+            .expect("redis/availability cell");
         assert!(
             cassandra >= 0.99,
             "rf2 failover is near-instant: {cassandra}"

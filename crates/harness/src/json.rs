@@ -342,7 +342,10 @@ impl<'a> Parser<'a> {
                     // slicing at char boundaries is safe).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s
+                        .chars()
+                        .next()
+                        .expect("Some(_) peek above guarantees a non-empty slice");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -381,6 +381,121 @@ pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
                 0.98,
             ),
         ],
+        "ext-replication" => vec![
+            ratio_check(
+                "ext: rf=3 costs throughput vs rf=1 (every write fans out)",
+                cell(t, "3", "throughput"),
+                cell(t, "1", "throughput"),
+                0.0,
+                0.999,
+            ),
+            ratio_check(
+                "ext: rf=3 triples per-node disk use at the 10-minute mark",
+                cell(t, "3", "disk_gb_per_node_at_10m"),
+                cell(t, "1", "disk_gb_per_node_at_10m"),
+                2.5,
+                3.5,
+            ),
+        ],
+        "ext-compression" => vec![
+            ratio_check(
+                "ext: compression shrinks on-disk data to 40-70% of raw",
+                cell(t, "on", "disk_gb_per_node_at_10m"),
+                cell(t, "off", "disk_gb_per_node_at_10m"),
+                0.4,
+                0.7,
+            ),
+            ratio_check(
+                "ext: decompression costs read throughput",
+                cell(t, "on", "thr_R"),
+                cell(t, "off", "thr_R"),
+                0.0,
+                0.999,
+            ),
+        ],
+        "ext-tokens" => vec![ratio_check(
+            "§6: random tokens unbalance the ring; the hottest node gates the closed loop",
+            cell(t, "random", "throughput"),
+            cell(t, "optimal", "throughput"),
+            0.0,
+            0.97,
+        )],
+        "ext-skew" => vec![
+            ratio_check(
+                "ext: zipfian skew keeps the closed loop serving (no collapse vs uniform)",
+                cell(t, "zipfian", "throughput"),
+                cell(t, "uniform", "throughput"),
+                0.25,
+                1.5,
+            ),
+            ratio_check(
+                "ext: latest-skew keeps the closed loop serving (no collapse vs uniform)",
+                cell(t, "latest", "throughput"),
+                cell(t, "uniform", "throughput"),
+                0.25,
+                1.5,
+            ),
+        ],
+        "ext-compaction" => vec![
+            ratio_check(
+                "ext: both compaction strategies sustain comparable write throughput",
+                cell(t, "leveled", "thr_W"),
+                cell(t, "size-tiered", "thr_W"),
+                0.25,
+                4.0,
+            ),
+            ratio_check(
+                "ext: both compaction strategies sustain comparable read throughput",
+                cell(t, "leveled", "thr_R"),
+                cell(t, "size-tiered", "thr_R"),
+                0.25,
+                4.0,
+            ),
+        ],
+        "ext-mongodb" => vec![
+            ratio_check(
+                "§7 (Jeong): MongoDB's global write lock caps W throughput well below Cassandra's",
+                cell(t, "W", "mongodb"),
+                cell(t, "W", "cassandra"),
+                0.0,
+                0.6,
+            ),
+            ratio_check(
+                "§7 (Jeong): MongoDB reads beat HBase's HDFS indirection",
+                cell(t, "R", "mongodb"),
+                cell(t, "R", "hbase"),
+                1.0,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-elasticity" => {
+            // Rows are per-second timeline indices; the bootstrap lands at
+            // the midpoint. Compare the post-bootstrap mean against the
+            // steady pre-bootstrap mean (skipping the warmup second and
+            // the bootstrap second itself).
+            let timeline: Vec<f64> = t
+                .rows
+                .iter()
+                .filter_map(|r| t.get(r, "ops_per_sec"))
+                .collect();
+            let half = timeline.len() / 2;
+            if timeline.len() < 6 || half < 2 {
+                vec![ShapeResult::of(
+                    "ext: elasticity timeline long enough to judge the bootstrap",
+                    false,
+                    format!("only {} samples", timeline.len()),
+                )]
+            } else {
+                let pre = timeline[1..half - 1].iter().sum::<f64>() / (half - 2) as f64;
+                let post = timeline[half + 1..].iter().sum::<f64>()
+                    / (timeline.len() - half - 1) as f64;
+                vec![ShapeResult::of(
+                    "§6 (elastic speedup): throughput survives a live node bootstrap (post ≥ 75% of pre)",
+                    post > pre * 0.75,
+                    format!("pre {pre:.0} ops/s, post {post:.0} ops/s"),
+                )]
+            }
+        }
         _ => Vec::new(),
     }
 }
@@ -428,6 +543,19 @@ mod tests {
                 !checks_for(spec.id, &dummy).is_empty(),
                 "{} has no shape checks",
                 spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn every_extension_has_checks() {
+        // The apm-audit `shape-coverage` rule enforces the same at the
+        // token level; this is the runtime twin.
+        let dummy = table(&[("1", &[("a", 1.0)])]);
+        for (id, _) in crate::extensions::all_extensions() {
+            assert!(
+                !checks_for(id, &dummy).is_empty(),
+                "{id} has no shape checks"
             );
         }
     }

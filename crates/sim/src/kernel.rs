@@ -146,6 +146,10 @@ pub struct Engine {
     free_execs: Vec<u32>,
     ready: VecDeque<ExecRef>,
     completions: VecDeque<Completion>,
+    /// Runtime invariant checker (monotonicity, tie-breaks, op
+    /// conservation, fault causality) — see `crate::audit`.
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::KernelAuditor,
 }
 
 impl Engine {
@@ -157,6 +161,13 @@ impl Engine {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The runtime invariant checker (only with the `audit` feature).
+    /// Its fingerprint lets callers cross-check two runs event-by-event.
+    #[cfg(feature = "audit")]
+    pub fn auditor(&self) -> &crate::audit::KernelAuditor {
+        &self.auditor
     }
 
     /// Registers a FIFO resource with `capacity` parallel servers.
@@ -227,6 +238,14 @@ impl Engine {
     /// accounted for the server slot in `busy`.
     fn begin_service(&mut self, resource: ResourceId, exec: ExecRef, service: SimDuration) {
         let r = &mut self.resources[resource.0 as usize];
+        // Fault causality: in-service requests may outlive a crash, but
+        // a down node must never *start* serving new work.
+        #[cfg(feature = "audit")]
+        assert!(
+            r.down.is_none(),
+            "kernel audit: service began on failed resource `{}`",
+            r.name
+        );
         let scaled =
             SimDuration::from_nanos(service.as_nanos().saturating_mul(u64::from(r.slowdown)));
         r.busy_ns += u128::from(scaled.as_nanos());
@@ -335,6 +354,12 @@ impl Engine {
         submitted: SimTime,
         parent: Option<ExecRef>,
     ) -> ExecRef {
+        // Parentless execs (top-level submissions and fire-and-forget
+        // join branches) each owe the driver exactly one completion.
+        #[cfg(feature = "audit")]
+        if parent.is_none() {
+            self.auditor.on_issue();
+        }
         if let Some(idx) = self.free_execs.pop() {
             let slot = &mut self.execs[idx as usize];
             debug_assert!(!slot.live);
@@ -503,6 +528,8 @@ impl Engine {
                 // ignores the straggler: its ref is stale or join_need==0.
             }
             None => {
+                #[cfg(feature = "audit")]
+                self.auditor.on_complete();
                 self.completions.push_back(Completion {
                     token,
                     submitted,
@@ -526,6 +553,8 @@ impl Engine {
         let Some(Reverse((at, _seq, payload_idx))) = self.events.pop() else {
             return false;
         };
+        #[cfg(feature = "audit")]
+        self.auditor.on_pop(at, _seq);
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         let event = self.payloads[payload_idx].take().expect("payload present");
@@ -630,7 +659,9 @@ mod tests {
         let mut engine = Engine::new();
         let cpu = engine.add_resource("cpu", 1);
         engine.submit(Plan::build().acquire(cpu, us(10)).finish(), Token(7));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.latency(), us(10));
         assert_eq!(engine.served(cpu), 1);
     }
@@ -643,7 +674,14 @@ mod tests {
             engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
         }
         let latencies: Vec<u64> = (0..3)
-            .map(|_| engine.next_completion().unwrap().latency().as_nanos() / 1_000)
+            .map(|_| {
+                engine
+                    .next_completion()
+                    .expect("completion queued by the drained run")
+                    .latency()
+                    .as_nanos()
+                    / 1_000
+            })
             .collect();
         // First waits 10us, second 20us (queued behind first), third 30us.
         assert_eq!(latencies, vec![10, 20, 30]);
@@ -657,7 +695,14 @@ mod tests {
             engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
         }
         let latencies: Vec<u64> = (0..4)
-            .map(|_| engine.next_completion().unwrap().latency().as_nanos() / 1_000)
+            .map(|_| {
+                engine
+                    .next_completion()
+                    .expect("completion queued by the drained run")
+                    .latency()
+                    .as_nanos()
+                    / 1_000
+            })
             .collect();
         assert_eq!(latencies, vec![10, 10, 20, 20]);
     }
@@ -669,7 +714,13 @@ mod tests {
             engine.submit(Plan::build().delay(us(100)).finish(), Token(i));
         }
         for _ in 0..5 {
-            assert_eq!(engine.next_completion().unwrap().latency(), us(100));
+            assert_eq!(
+                engine
+                    .next_completion()
+                    .expect("completion queued by the drained run")
+                    .latency(),
+                us(100)
+            );
         }
     }
 
@@ -682,7 +733,9 @@ mod tests {
         assert_eq!(engine.now(), SimTime(3_000));
         // A 10us group-commit epoch: boundary at 10us, +2us sync.
         engine.submit(Plan::build().align_to(us(10), us(2)).finish(), Token(1));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.finished, SimTime(12_000));
         assert_eq!(c.latency(), us(9));
     }
@@ -699,7 +752,9 @@ mod tests {
             Plan::build().join_all(branches).delay(us(1)).finish(),
             Token(9),
         );
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.latency(), us(51));
     }
 
@@ -713,7 +768,9 @@ mod tests {
             Plan::build().delay(us(10)).acquire(cpu, us(30)).finish(),
         ];
         engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(1));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(
             c.latency(),
             us(5),
@@ -740,7 +797,9 @@ mod tests {
             ]),
             Token(3),
         );
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.latency(), us(1), "need=0 join must not block");
         engine.run_to_idle();
         assert_eq!(engine.served(disk), 1, "background branch still ran");
@@ -765,7 +824,9 @@ mod tests {
             Plan::build().delay(us(5)).finish(),
             Token(2),
         );
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.submitted, SimTime(1_000_000));
         assert_eq!(c.latency(), us(5));
     }
@@ -858,7 +919,9 @@ mod tests {
         let disk = engine.add_resource("disk", 1);
         engine.fail_resource(disk, FailMode::Reject { latency: us(5) });
         engine.submit(Plan::build().acquire(disk, us(100)).finish(), Token(1));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.outcome, Outcome::Failed);
         assert_eq!(
             c.latency(),
@@ -878,12 +941,18 @@ mod tests {
         // When the first request completes the second is already in
         // service and the third still queued. Failing the resource aborts
         // the queued waiter but lets in-flight work finish.
-        let first = engine.next_completion().unwrap();
+        let first = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(first.outcome, Outcome::Ok);
         engine.fail_resource(disk, FailMode::Reject { latency: us(1) });
-        let second = engine.next_completion().unwrap();
+        let second = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!((second.token, second.outcome), (Token(2), Outcome::Failed));
-        let third = engine.next_completion().unwrap();
+        let third = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!((third.token, third.outcome), (Token(1), Outcome::Ok));
     }
 
@@ -896,7 +965,9 @@ mod tests {
         // Nothing completes while stalled; the clock stays put.
         assert!(engine.run_until(SimTime(1_000_000)).is_empty());
         engine.restore_resource(nic);
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.outcome, Outcome::Ok);
         assert!(c.finished >= SimTime(1_000_000));
     }
@@ -907,11 +978,19 @@ mod tests {
         let disk = engine.add_resource("disk", 1);
         engine.set_resource_slowdown(disk, 4);
         engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(1));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.latency(), us(40));
         engine.set_resource_slowdown(disk, 1);
         engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(2));
-        assert_eq!(engine.next_completion().unwrap().latency(), us(10));
+        assert_eq!(
+            engine
+                .next_completion()
+                .expect("completion queued by the drained run")
+                .latency(),
+            us(10)
+        );
     }
 
     #[test]
@@ -924,7 +1003,9 @@ mod tests {
             Token(1),
             us(500),
         );
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.outcome, Outcome::TimedOut);
         assert_eq!(c.latency(), us(500));
     }
@@ -938,7 +1019,9 @@ mod tests {
             Token(1),
             us(500),
         );
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(c.outcome, Outcome::Ok);
         assert_eq!(c.latency(), us(10));
         assert!(
@@ -959,7 +1042,9 @@ mod tests {
             Plan::build().acquire(b, us(10)).finish(),
         ];
         engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(9));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(
             c.outcome,
             Outcome::Failed,
@@ -978,7 +1063,9 @@ mod tests {
             Plan::build().acquire(b, us(10)).finish(),
         ];
         engine.submit(Plan::build().join_quorum(branches, 1).finish(), Token(9));
-        let c = engine.next_completion().unwrap();
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
         assert_eq!(
             c.outcome,
             Outcome::Ok,
@@ -998,7 +1085,13 @@ mod tests {
         assert!(engine.run_until(SimTime(50_000)).is_empty());
         engine.restore_resource(disk);
         let tokens: Vec<u64> = (0..3)
-            .map(|_| engine.next_completion().unwrap().token.0)
+            .map(|_| {
+                engine
+                    .next_completion()
+                    .expect("completion queued by the drained run")
+                    .token
+                    .0
+            })
             .collect();
         assert_eq!(tokens, vec![0, 1, 2], "stalled queue drains in FIFO order");
         assert_eq!(engine.served(disk), 3);

@@ -19,6 +19,8 @@
 //! all randomness comes from seeded `SplitRng` streams upstream, so every
 //! simulation run is exactly repeatable.
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod cluster;
 pub mod disk;
 pub mod fault;
@@ -27,6 +29,8 @@ pub mod net;
 pub mod plan;
 pub mod time;
 
+#[cfg(feature = "audit")]
+pub use audit::KernelAuditor;
 pub use cluster::{ClusterSpec, NodeResources, NodeSpec};
 pub use disk::{DiskSpec, IoPattern};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule};

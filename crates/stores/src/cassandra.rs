@@ -27,7 +27,7 @@ use apm_storage::encoding::{cassandra_format, StorageFormat};
 use apm_storage::lsm::{BackgroundJob, CompactionStrategy, JobKind, LsmConfig, LsmTree};
 use apm_storage::receipt::DiskIo;
 use apm_storage::wal::{CommitLog, SyncPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Read path CPU model (thrift parse, row resolution, merge).
 const READ_COST: CostModel = CostModel {
@@ -133,9 +133,9 @@ pub struct CassandraStore {
     /// it when it rejoins the ring (Cassandra's hinted handoff).
     hints: Vec<Vec<Record>>,
     /// Global background job id → (node index, engine-local job).
-    jobs: HashMap<u64, (usize, BackgroundJob)>,
+    jobs: BTreeMap<u64, (usize, BackgroundJob)>,
     /// Background jobs that are bootstrap streams, not LSM jobs.
-    stream_jobs: std::collections::HashSet<u64>,
+    stream_jobs: std::collections::BTreeSet<u64>,
     /// Bytes streamed by completed/running bootstraps (diagnostics).
     streamed_bytes: u64,
     next_job: u64,
@@ -181,8 +181,8 @@ impl CassandraStore {
             nodes,
             down: vec![false; n],
             hints: vec![Vec::new(); n],
-            jobs: HashMap::new(),
-            stream_jobs: std::collections::HashSet::new(),
+            jobs: BTreeMap::new(),
+            stream_jobs: std::collections::BTreeSet::new(),
             streamed_bytes: 0,
             next_job: 1,
         }

@@ -27,7 +27,7 @@ use apm_sim::{Engine, Plan, SimDuration, Step};
 use apm_storage::encoding::{hbase_format, StorageFormat};
 use apm_storage::lsm::{BackgroundJob, JobKind, LsmConfig, LsmTree};
 use apm_storage::wal::{CommitLog, SyncPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Read path CPU (RPC, memstore + block lookup) — cheap; the latency is
 /// in HDFS.
@@ -82,7 +82,7 @@ pub struct HbaseStore {
     hdfs: Hdfs,
     format: StorageFormat,
     servers_state: Vec<Server>,
-    jobs: HashMap<u64, (usize, BackgroundJob)>,
+    jobs: BTreeMap<u64, (usize, BackgroundJob)>,
     next_job: u64,
     /// Pending deferred-WAL bytes per server (flushed with memstores).
     wal_backlog: Vec<u64>,
@@ -94,10 +94,10 @@ pub struct HbaseStore {
     /// Regions of a dead server re-opened on a substitute: dead → host.
     /// The data lives in HDFS, so the substitute serves it with its own
     /// CPU/disk/NIC once WAL replay finishes.
-    reassigned: HashMap<usize, usize>,
+    reassigned: BTreeMap<usize, usize>,
     /// In-flight master-recovery jobs (detection + WAL replay): job id →
     /// dead server.
-    recovery_jobs: HashMap<u64, usize>,
+    recovery_jobs: BTreeMap<u64, usize>,
 }
 
 impl HbaseStore {
@@ -122,13 +122,13 @@ impl HbaseStore {
             hdfs,
             format: hbase_format(),
             servers_state,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             next_job: 1,
             wal_backlog: vec![0; n],
             cache_bytes,
             down: vec![false; n],
-            reassigned: HashMap::new(),
-            recovery_jobs: HashMap::new(),
+            reassigned: BTreeMap::new(),
+            recovery_jobs: BTreeMap::new(),
             ctx,
         }
     }

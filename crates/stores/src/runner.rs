@@ -264,12 +264,12 @@ mod tests {
     use apm_core::ops::Operation;
     use apm_core::record::Record;
     use apm_sim::{ClusterSpec, Plan};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// A minimal in-memory store with a fixed CPU cost, for driver tests.
     struct FixtureStore {
         ctx: StoreCtx,
-        data: HashMap<apm_core::record::MetricKey, Record>,
+        data: BTreeMap<apm_core::record::MetricKey, Record>,
         cpu_us: u64,
     }
 
@@ -278,7 +278,7 @@ mod tests {
             let ctx = StoreCtx::new(engine, ClusterSpec::cluster_m(), 1, 1, 0.1, 3);
             FixtureStore {
                 ctx,
-                data: HashMap::new(),
+                data: BTreeMap::new(),
                 cpu_us,
             }
         }

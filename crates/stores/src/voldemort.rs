@@ -36,7 +36,7 @@ use apm_storage::bufferpool::{Access, BufferPool};
 use apm_storage::encoding::{voldemort_format, StorageFormat};
 use apm_storage::receipt::{CostReceipt, DiskIo};
 use apm_storage::wal::{CommitLog, SyncPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Server-side request cost (protobuf parse, store lookup dispatch).
 const SERVER_COST: CostModel = CostModel {
@@ -156,7 +156,7 @@ pub struct VoldemortStore {
     format: StorageFormat,
     nodes: Vec<Node>,
     /// Outstanding background log flushes (job id → node).
-    jobs: HashMap<u64, usize>,
+    jobs: BTreeMap<u64, usize>,
     next_job: u64,
 }
 
@@ -178,7 +178,7 @@ impl VoldemortStore {
             format: voldemort_format(),
             ctx,
             nodes,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             next_job: 1,
         }
     }

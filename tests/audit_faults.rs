@@ -1,0 +1,34 @@
+//! Acceptance check for the `audit` feature: the fault experiments
+//! reproduce byte-identically with every kernel invariant check
+//! enabled. Compile-gated — run with `cargo test --features audit`.
+//!
+//! Every `Engine` in these runs carries the `KernelAuditor`, so a
+//! monotonicity, tie-break, conservation, or fault-causality violation
+//! anywhere in the crash/slow-disk/partition workloads panics the test;
+//! the assertions below additionally pin the *results* bit-for-bit
+//! across two executions.
+#![cfg(feature = "audit")]
+
+use apm_repro::harness::experiment::ExperimentProfile;
+use apm_repro::harness::faults::{crash_failover, partition, slow_disk};
+
+#[test]
+fn fault_experiments_reproduce_byte_identically_under_audit() {
+    let profile = ExperimentProfile::test();
+    for (name, gen) in [
+        (
+            "ext-faults-crash",
+            crash_failover as fn(&ExperimentProfile) -> _,
+        ),
+        ("ext-faults-slowdisk", slow_disk),
+        ("ext-faults-partition", partition),
+    ] {
+        let a = gen(&profile);
+        let b = gen(&profile);
+        assert_eq!(a.rows, b.rows, "{name}: row set diverged");
+        assert_eq!(a.columns, b.columns, "{name}: column set diverged");
+        // Option<f64> equality is bitwise for the finite values the
+        // tables hold — byte-identical or bust.
+        assert_eq!(a.cells, b.cells, "{name}: cells diverged under audit");
+    }
+}

@@ -7,6 +7,7 @@
 use apm_repro::core::ops::OpKind;
 use apm_repro::core::workload::Workload;
 use apm_repro::harness::experiment::{run_point, ExperimentProfile, StoreKind};
+use apm_repro::harness::faults::crash_failover;
 use apm_repro::sim::ClusterSpec;
 
 fn fingerprint(store: StoreKind, seed: u64) -> (u64, u64, u64, Option<u64>) {
@@ -45,6 +46,25 @@ fn different_seeds_change_the_operation_stream() {
     // Total completed ops differ almost surely when the op stream differs;
     // if throughput coincided, the issued count still reflects ordering.
     assert_ne!((a.0, a.1), (b.0, b.1), "seed must influence the run");
+}
+
+/// Regression test for the D2 (`hash-order`) audit fixes: the store
+/// background-job maps used to be `HashMap`s, so a run with crash
+/// faults — which iterates those maps during failover and hint replay —
+/// could diverge between executions. With `BTreeMap` the whole fault
+/// table (availability, error counts, phase throughputs, recovery
+/// times) must be bit-identical across two runs.
+#[test]
+fn fault_experiments_are_deterministic_across_runs() {
+    let profile = ExperimentProfile::test();
+    let a = crash_failover(&profile);
+    let b = crash_failover(&profile);
+    assert_eq!(a.rows, b.rows, "row set diverged");
+    assert_eq!(a.columns, b.columns, "column set diverged");
+    assert_eq!(
+        a.cells, b.cells,
+        "cell values diverged across identical runs"
+    );
 }
 
 #[test]
