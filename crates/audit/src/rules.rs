@@ -5,13 +5,18 @@
 //! so that, e.g., the wall-clock ban applies to the deterministic
 //! simulation layers but not to `bench`, which times real hardware.
 //!
-//! | rule             | issue | scope                         | default |
-//! |------------------|-------|-------------------------------|---------|
-//! | `clock`          | D1    | sim, stores, storage          | deny    |
-//! | `hash-order`     | D2    | sim, stores                   | deny    |
-//! | `unwrap`         | D3    | all non-test library code     | warn    |
-//! | `float-sum`      | D4    | core::stats, core::timeseries | warn    |
-//! | `shape-coverage` | D5    | harness extensions vs shape   | deny    |
+//! | rule             | issue | scope                                 | default |
+//! |------------------|-------|---------------------------------------|---------|
+//! | `clock`          | D1    | sim, stores, storage + obs modules    | deny    |
+//! | `hash-order`     | D2    | sim, stores + obs modules             | deny    |
+//! | `unwrap`         | D3    | all non-test library code             | warn    |
+//! | `float-sum`      | D4    | core::stats, core::timeseries        | warn    |
+//! | `shape-coverage` | D5    | harness extensions vs shape           | deny    |
+//!
+//! The *obs modules* — `core/src/stats.rs` (windowed telemetry) and
+//! `harness/src/obs.rs` (profiler + trace exporter) — feed deterministic
+//! artifacts (trace fingerprints, telemetry tables), so they inherit the
+//! determinism rules even though their crates otherwise don't.
 //!
 //! `--deny-all` promotes warnings to errors. Any rule is silenced on a
 //! line with `// audit:allow(<rule>)` on that line or the line above.
@@ -60,6 +65,12 @@ fn crate_of(path: &str) -> &str {
     }
 }
 
+/// Observability modules outside the deterministic crates whose output
+/// (trace fingerprints, telemetry windows) must still replay identically.
+fn is_obs_path(path: &str) -> bool {
+    path.ends_with("core/src/stats.rs") || path.ends_with("harness/src/obs.rs")
+}
+
 fn is_bin(path: &str) -> bool {
     path.contains("/bin/")
         || path.contains("/benches/")
@@ -91,7 +102,7 @@ pub fn audit_files(files: &[SourceFile]) -> Vec<Violation> {
 /// `rand()`/`random()` calls in sim/stores/storage — tests included,
 /// since event-ordering tests must replay identically too.
 fn rule_clock(f: &SourceFile, out: &mut Vec<Violation>) {
-    if !matches!(crate_of(&f.path), "sim" | "stores" | "storage") {
+    if !matches!(crate_of(&f.path), "sim" | "stores" | "storage") && !is_obs_path(&f.path) {
         return;
     }
     let toks = &f.lexed.tokens;
@@ -125,7 +136,7 @@ fn rule_clock(f: &SourceFile, out: &mut Vec<Violation>) {
 /// silently breaks event-ordering determinism — use `BTreeMap`/`BTreeSet`
 /// (or sort before iterating and annotate the line).
 fn rule_hash_order(f: &SourceFile, out: &mut Vec<Violation>) {
-    if !matches!(crate_of(&f.path), "sim" | "stores") {
+    if !matches!(crate_of(&f.path), "sim" | "stores") && !is_obs_path(&f.path) {
         return;
     }
     for t in &f.lexed.tokens {
@@ -366,6 +377,32 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "shape-coverage");
         assert!(v[0].message.contains("ext-bare"));
+    }
+
+    #[test]
+    fn obs_modules_inherit_the_determinism_rules() {
+        let clock = file(
+            "crates/harness/src/obs.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        let hash = file(
+            "crates/core/src/stats.rs",
+            "fn windows() { let m: HashMap<u64, u64> = HashMap::new(); }",
+        );
+        // The same code in an unscoped harness module stays clean.
+        let other = file(
+            "crates/harness/src/figures.rs",
+            "fn f() { let t = Instant::now(); let m: HashMap<u64, u64> = HashMap::new(); }",
+        );
+        let v = audit_files(&[clock, hash, other]);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "clock" && v.file.ends_with("obs.rs")));
+        assert!(v
+            .iter()
+            .filter(|v| v.rule == "hash-order")
+            .all(|v| v.file.ends_with("stats.rs")));
     }
 
     #[test]

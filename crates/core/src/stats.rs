@@ -321,6 +321,162 @@ impl BenchStats {
     }
 }
 
+/// Utilisation and queue depth of one resource class over one window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceSample {
+    /// Fraction of the class's server-time spent busy during the window.
+    pub utilization: f64,
+    /// Waiting requests (not in service) sampled at the window boundary.
+    pub queue_depth: f64,
+}
+
+/// One telemetry window: op counts, a latency histogram, and per-class
+/// resource samples.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryWindow {
+    ops: u64,
+    errors: u64,
+    latency: Histogram,
+    /// Samples keyed by resource class (ordered map: iteration order must
+    /// not depend on insertion history).
+    resources: BTreeMap<String, ResourceSample>,
+}
+
+impl TelemetryWindow {
+    /// Operations completed in this window.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations that errored in this window.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Fraction of this window's attempted operations that errored.
+    pub fn error_rate(&self) -> f64 {
+        let attempted = self.ops + self.errors;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.errors as f64 / attempted as f64
+        }
+    }
+
+    /// Latency histogram of the window's completed operations.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// `q`-quantile latency of the window in milliseconds.
+    pub fn quantile_latency_ms(&self, q: f64) -> f64 {
+        self.latency.quantile(q) as f64 / 1e6
+    }
+
+    /// Sample for a resource class, if one was taken.
+    pub fn resource(&self, class: &str) -> Option<ResourceSample> {
+        self.resources.get(class).copied()
+    }
+
+    /// All resource classes sampled in this window, in key order.
+    pub fn resource_classes(&self) -> impl Iterator<Item = &str> {
+        self.resources.keys().map(String::as_str)
+    }
+}
+
+/// Windowed benchmark telemetry: the generalisation of [`BenchStats`]'s
+/// one-second `timeline`. Each fixed-size window holds completed/errored
+/// op counts, a log-bucketed latency [`Histogram`] (so per-window
+/// p50/p95/p99 are available), and per-resource-class utilisation and
+/// queue-depth samples taken at window boundaries.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    window_ns: u64,
+    windows: Vec<TelemetryWindow>,
+}
+
+impl Telemetry {
+    /// Creates an empty recorder with the given window size.
+    ///
+    /// # Panics
+    /// Panics if `window_ns` is zero.
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "telemetry window must be positive");
+        Telemetry {
+            window_ns,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window size in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Index of the window containing `offset_ns` past the measurement
+    /// start.
+    pub fn window_index(&self, offset_ns: u64) -> usize {
+        (offset_ns / self.window_ns) as usize
+    }
+
+    fn window_at(&mut self, index: usize) -> &mut TelemetryWindow {
+        if index >= self.windows.len() {
+            self.windows
+                .resize_with(index + 1, TelemetryWindow::default);
+        }
+        &mut self.windows[index]
+    }
+
+    /// Records a completed operation at `offset_ns` past the measurement
+    /// start with the given latency.
+    pub fn record(&mut self, offset_ns: u64, latency_ns: u64) {
+        let w = self.window_at((offset_ns / self.window_ns) as usize);
+        w.ops += 1;
+        w.latency.record(latency_ns);
+    }
+
+    /// Records an errored operation at `offset_ns`.
+    pub fn record_error(&mut self, offset_ns: u64) {
+        self.window_at((offset_ns / self.window_ns) as usize).errors += 1;
+    }
+
+    /// Stores the boundary sample for `class` in window `index`.
+    pub fn sample_resource(&mut self, index: usize, class: &str, sample: ResourceSample) {
+        self.window_at(index)
+            .resources
+            .insert(class.to_string(), sample);
+    }
+
+    /// The recorded windows, oldest first.
+    pub fn windows(&self) -> &[TelemetryWindow] {
+        &self.windows
+    }
+
+    /// Throughput of window `index` in operations per second.
+    pub fn ops_per_sec(&self, index: usize) -> f64 {
+        self.windows
+            .get(index)
+            .map_or(0.0, |w| w.ops as f64 * 1e9 / self.window_ns as f64)
+    }
+
+    /// Mean utilisation of `class` across all windows that sampled it,
+    /// reduced with [`pairwise_sum`] so the result is independent of how
+    /// callers ordered their windows.
+    pub fn mean_utilization(&self, class: &str) -> f64 {
+        let samples: Vec<f64> = self
+            .windows
+            .iter()
+            .filter_map(|w| w.resource(class))
+            .map(|s| s.utilization)
+            .collect();
+        if samples.is_empty() {
+            0.0
+        } else {
+            pairwise_sum(&samples) / samples.len() as f64
+        }
+    }
+}
+
 /// Compensated (Kahan) summation over a float slice.
 ///
 /// The one blessed way to reduce floats in this module: the running
@@ -340,6 +496,27 @@ pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
     sum
 }
 
+/// Pairwise (cascade) summation over a float slice — `kahan_sum`'s twin
+/// and the other blessed reduction under the apm-audit `float-sum` rule.
+///
+/// Splitting recursively halves the number of additions any term flows
+/// through, bounding the error growth at O(log n) instead of the O(n) of
+/// a left fold. Because the reduction tree depends only on the slice
+/// *length*, reversing a power-of-two-length slice mirrors the tree and
+/// gives the bit-identical result — handy for order-insensitive window
+/// averages.
+pub fn pairwise_sum(values: &[f64]) -> f64 {
+    match values {
+        [] => 0.0,
+        [a] => *a,
+        [a, b] => a + b,
+        _ => {
+            let mid = values.len() / 2;
+            pairwise_sum(&values[..mid]) + pairwise_sum(&values[mid..])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +534,85 @@ mod tests {
         // Reversed order gives the identical Kahan result.
         values.reverse();
         assert_eq!(kahan_sum(values.into_iter()), kahan);
+    }
+
+    #[test]
+    fn pairwise_sum_is_order_insensitive_where_naive_fold_is_not() {
+        // A power-of-two length: reversing mirrors the reduction tree,
+        // so pairwise summation gives the bit-identical result.
+        let mut values = vec![1e16];
+        values.resize(1024, 1.0);
+        let naive: f64 = values.iter().sum();
+        let pairwise = pairwise_sum(&values);
+        assert_ne!(naive, 1e16 + 1023.0, "naive sum should demonstrate loss");
+        assert!(
+            (pairwise - (1e16 + 1023.0)).abs() <= 2.0,
+            "pairwise error must stay within a couple of ulps, got {pairwise}"
+        );
+        values.reverse();
+        assert_eq!(pairwise_sum(&values), pairwise);
+    }
+
+    #[test]
+    fn pairwise_sum_handles_tiny_slices() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[1.5]), 1.5);
+        assert_eq!(pairwise_sum(&[1.5, 2.5]), 4.0);
+        assert_eq!(pairwise_sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn telemetry_buckets_ops_and_latencies_by_window() {
+        let mut t = Telemetry::new(1_000_000_000);
+        t.record(100, 1_000_000); // window 0: 1 ms
+        t.record(999_999_999, 3_000_000); // window 0: 3 ms
+        t.record(2_500_000_000, 10_000_000); // window 2: 10 ms
+        t.record_error(2_600_000_000);
+        assert_eq!(t.windows().len(), 3);
+        assert_eq!(t.windows()[0].ops(), 2);
+        assert_eq!(t.windows()[1].ops(), 0);
+        assert_eq!(t.windows()[2].ops(), 1);
+        assert_eq!(t.windows()[2].errors(), 1);
+        assert!((t.windows()[2].error_rate() - 0.5).abs() < 1e-12);
+        assert!((t.ops_per_sec(0) - 2.0).abs() < 1e-12);
+        // Per-window quantiles come from the same log-bucketed histogram
+        // BenchStats uses, so p99 >= p50 within ~3 % error.
+        let w0 = &t.windows()[0];
+        assert!(w0.quantile_latency_ms(0.99) >= w0.quantile_latency_ms(0.50));
+    }
+
+    #[test]
+    fn telemetry_resource_samples_average_pairwise() {
+        let mut t = Telemetry::new(1_000_000_000);
+        for (i, util) in [0.2, 0.4, 0.6].into_iter().enumerate() {
+            t.sample_resource(
+                i,
+                "cpu",
+                ResourceSample {
+                    utilization: util,
+                    queue_depth: i as f64,
+                },
+            );
+        }
+        assert!((t.mean_utilization("cpu") - 0.4).abs() < 1e-12);
+        assert_eq!(t.mean_utilization("disk"), 0.0);
+        assert_eq!(
+            t.windows()[1].resource("cpu"),
+            Some(ResourceSample {
+                utilization: 0.4,
+                queue_depth: 1.0
+            })
+        );
+        assert_eq!(
+            t.windows()[0].resource_classes().collect::<Vec<_>>(),
+            vec!["cpu"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn telemetry_zero_window_panics() {
+        Telemetry::new(0);
     }
 
     #[test]

@@ -213,6 +213,23 @@ fn main() -> ExitCode {
         println!("wrote {} and {}", json_path.display(), md_path.display());
     }
 
+    // With span tracing compiled in, also export a Perfetto-loadable
+    // demo trace (small fault-laden Cassandra run) next to the results.
+    #[cfg(feature = "trace")]
+    if let Some(dir) = &args.out {
+        let (json, fingerprint) = apm_harness::obs::capture_trace_demo();
+        match apm_harness::output::write_chrome_trace(dir, "trace-demo", &json) {
+            Ok(path) => println!(
+                "wrote {} (trace fingerprint {fingerprint:#018x})",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace demo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if failed_checks > 0 {
         println!("{failed_checks} shape check(s) failed");
     }

@@ -216,6 +216,7 @@ pub fn run_point_throttled(
         event_at_secs: None,
         faults: FaultSchedule::none(),
         op_deadline: None,
+        telemetry_window_secs: None,
     };
     let result = run_benchmark(&mut engine, boxed.as_mut(), &config);
     Point {

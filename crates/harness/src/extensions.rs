@@ -33,6 +33,8 @@ pub fn all_extensions() -> Vec<(&'static str, &'static str)> {
         ("ext-faults-slowdisk", "Extension: one fail-slow disk, x1/x4/x16 (HBase, workload R, 4 nodes)"),
         ("ext-faults-partition", "Extension: one shard partitioned, stall vs client timeout (Redis, workload R, 4 nodes)"),
         ("ext-faults-failover", "Extension: crash recovery compared across Cassandra rf=2, HBase, Redis (workload R, 4 nodes)"),
+        ("ext-obs-profile", "Extension: virtual-time attribution — queue-wait vs service per resource class (workload R, 4 nodes)"),
+        ("ext-obs-telemetry", "Extension: windowed telemetry timeline at 70% load (Cassandra, workload R, 8 nodes)"),
     ]
 }
 
@@ -50,6 +52,8 @@ pub fn generate_extension(id: &str, profile: &ExperimentProfile) -> Option<Table
         "ext-faults-slowdisk" => Some(crate::faults::slow_disk(profile)),
         "ext-faults-partition" => Some(crate::faults::partition(profile)),
         "ext-faults-failover" => Some(crate::faults::failover_comparison(profile)),
+        "ext-obs-profile" => Some(crate::obs::time_attribution(profile)),
+        "ext-obs-telemetry" => Some(crate::obs::telemetry_timeline(profile)),
         _ => None,
     }
 }
@@ -80,6 +84,7 @@ fn run_cassandra(
         event_at_secs: None,
         faults: FaultSchedule::none(),
         op_deadline: None,
+        telemetry_window_secs: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -325,6 +330,7 @@ pub fn mongodb_comparison(profile: &ExperimentProfile) -> Table {
                 event_at_secs: None,
                 faults: FaultSchedule::none(),
                 op_deadline: None,
+                telemetry_window_secs: None,
             };
             let result = run_benchmark(&mut engine, &mut store, &config);
             let _ = store.name();
@@ -373,6 +379,7 @@ pub fn elasticity(profile: &ExperimentProfile) -> Table {
         event_at_secs: Some(add_at),
         faults: FaultSchedule::none(),
         op_deadline: None,
+        telemetry_window_secs: None,
     };
     let result = apm_stores::runner::run_benchmark(&mut engine, &mut store, &config);
     let mut table = Table::new(
@@ -458,6 +465,8 @@ mod tests {
             "ext-faults-slowdisk",
             "ext-faults-partition",
             "ext-faults-failover",
+            "ext-obs-profile",
+            "ext-obs-telemetry",
         ];
         for (id, _) in all_extensions() {
             assert!(known.contains(&id), "unlisted extension {id}");

@@ -119,6 +119,7 @@ fn run_cassandra(
         event_at_secs: None,
         faults,
         op_deadline,
+        telemetry_window_secs: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -154,6 +155,7 @@ fn run_hbase(
         event_at_secs: None,
         faults,
         op_deadline: None,
+        telemetry_window_secs: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -185,6 +187,7 @@ fn run_redis(
         event_at_secs: None,
         faults,
         op_deadline,
+        telemetry_window_secs: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }

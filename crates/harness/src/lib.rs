@@ -16,6 +16,10 @@
 //! * [`extensions`] — the paper's §8 future-work items (replication,
 //!   compression) and two §6-motivated ablations (token assignment, key
 //!   skew), implemented as additional experiments.
+//! * [`obs`] — the observability experiments: virtual-time profiling
+//!   (queue-wait vs. service per resource class) and the windowed
+//!   telemetry timeline, plus the Chrome trace exporter (`trace`
+//!   feature).
 //! * [`output`] — result persistence (JSON/CSV) and report rendering.
 //!
 //! The `repro` binary drives it all:
@@ -31,6 +35,7 @@ pub mod extensions;
 pub mod faults;
 pub mod figures;
 pub mod json;
+pub mod obs;
 pub mod output;
 pub mod reference;
 pub mod shape;

@@ -222,6 +222,17 @@ pub fn write_csv(dir: &Path, id: &str, table: &Table) -> io::Result<std::path::P
     Ok(path)
 }
 
+/// Writes a Chrome trace-event JSON document (load it in Perfetto or
+/// `chrome://tracing`) and returns the path written. The text comes from
+/// the `trace`-feature exporter in [`crate::obs`]; this writer itself is
+/// feature-independent so callers can persist pre-rendered traces.
+pub fn write_chrome_trace(dir: &Path, id: &str, json: &str) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.trace.json"));
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Writes a gnuplot script that plots a figure's CSV the way the paper
 /// draws it (throughput linear, latencies on a log axis), and returns
 /// the script path. Run with `gnuplot results/<id>.gp` to get a PNG.

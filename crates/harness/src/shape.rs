@@ -496,6 +496,88 @@ pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
                 )]
             }
         }
+        "ext-obs-profile" => vec![
+            ratio_check(
+                "obs: reads consume real server CPU service time",
+                cell(t, "cassandra", "cpu_service_ms"),
+                Some(1.0),
+                1e-6,
+                f64::INFINITY,
+            ),
+            order_check(
+                "obs (§5.6): the saturated loop is processing-bound — CPU queue-wait exceeds CPU service",
+                t,
+                "cassandra",
+                "cpu_service_ms",
+                "cpu_queue_ms",
+            ),
+            ratio_check(
+                "obs: the in-memory Redis attributes exactly zero time to server disks",
+                cell(t, "redis", "disk_service_ms"),
+                Some(1.0),
+                0.0,
+                0.0,
+            ),
+            ratio_check(
+                "obs: Redis's single-threaded event loop shows up as server compute",
+                cell(t, "redis", "cpu_service_ms"),
+                Some(1.0),
+                1e-6,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-obs-telemetry" => {
+            // Rows are one-second window indices of a run bounded to 70 %
+            // of maximum throughput; judge the whole timeline.
+            let windows: Vec<(f64, f64, f64, f64, f64)> = t
+                .rows
+                .iter()
+                .filter_map(|r| {
+                    Some((
+                        t.get(r, "ops_per_sec")?,
+                        t.get(r, "error_rate")?,
+                        t.get(r, "p50_ms")?,
+                        t.get(r, "p99_ms")?,
+                        t.get(r, "cpu_util")?,
+                    ))
+                })
+                .collect();
+            if windows.len() < 2 {
+                return vec![ShapeResult::of(
+                    "obs: telemetry timeline has at least two windows",
+                    false,
+                    format!("only {} windows", windows.len()),
+                )];
+            }
+            let max_ops = windows.iter().map(|w| w.0).fold(f64::MIN, f64::max);
+            let min_ops = windows.iter().map(|w| w.0).fold(f64::MAX, f64::min);
+            vec![
+                ShapeResult::of(
+                    "obs: the throttled timeline is steady — every window within 2× of the busiest",
+                    min_ops > 0.0 && max_ops / min_ops < 2.0,
+                    format!("ops/s range {min_ops:.0}..{max_ops:.0}"),
+                ),
+                ShapeResult::of(
+                    "obs: quantiles are ordered (p99 ≥ p50) in every window",
+                    windows.iter().all(|w| w.3 >= w.2),
+                    format!("{} windows checked", windows.len()),
+                ),
+                ShapeResult::of(
+                    "obs (§5.6): at 70% load the run is error-free",
+                    windows.iter().all(|w| w.1 == 0.0),
+                    "error_rate == 0 in every window".into(),
+                ),
+                ShapeResult::of(
+                    "obs: bounded load keeps CPU utilisation positive but unsaturated",
+                    windows.iter().all(|w| w.4 > 0.0 && w.4 < 1.0),
+                    format!(
+                        "cpu_util range {:.2}..{:.2}",
+                        windows.iter().map(|w| w.4).fold(f64::MAX, f64::min),
+                        windows.iter().map(|w| w.4).fold(f64::MIN, f64::max)
+                    ),
+                ),
+            ]
+        }
         _ => Vec::new(),
     }
 }

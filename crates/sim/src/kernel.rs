@@ -87,9 +87,13 @@ struct Resource {
     name: String,
     capacity: u32,
     busy: u32,
-    waiting: VecDeque<(ExecRef, SimDuration)>,
+    /// Waiting queue: exec, its service demand, and when it enqueued.
+    waiting: VecDeque<(ExecRef, SimDuration, SimTime)>,
     /// Accumulated server-busy nanoseconds (for utilisation reports).
     busy_ns: u128,
+    /// Accumulated queue-wait nanoseconds of requests that reached
+    /// service (aborted/stalled-forever waits are not attributed).
+    waited_ns: u128,
     served: u64,
     /// Fault state: `Some(mode)` while the resource is down.
     down: Option<FailMode>,
@@ -150,6 +154,9 @@ pub struct Engine {
     /// conservation, fault causality) — see `crate::audit`.
     #[cfg(feature = "audit")]
     auditor: crate::audit::KernelAuditor,
+    /// Span recorder (bounded ring + run fingerprint) — see `crate::trace`.
+    #[cfg(feature = "trace")]
+    tracer: crate::trace::Tracer,
 }
 
 impl Engine {
@@ -170,6 +177,52 @@ impl Engine {
         &self.auditor
     }
 
+    /// The span recorder (only with the `trace` feature).
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> &crate::trace::Tracer {
+        &self.tracer
+    }
+
+    /// Replaces the span recorder with an empty one holding at most
+    /// `capacity` events (only with the `trace` feature). Call before the
+    /// run of interest; the fingerprint restarts from zero.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.tracer = crate::trace::Tracer::with_capacity(capacity);
+    }
+
+    /// Records a plan-level trace event for `exec` at the current time.
+    /// Stale exec refs (e.g. a timed-out plan whose service completes
+    /// later) are recorded without a token.
+    #[cfg(feature = "trace")]
+    fn trace_op(
+        &mut self,
+        exec: ExecRef,
+        resource: Option<ResourceId>,
+        kind: crate::trace::TraceEventKind,
+    ) {
+        let token = self
+            .is_current(exec)
+            .then(|| self.execs[exec.idx as usize].token);
+        self.tracer.record(crate::trace::TraceEvent {
+            at: self.now,
+            token,
+            resource,
+            kind,
+        });
+    }
+
+    /// Records a resource fault-transition trace event.
+    #[cfg(feature = "trace")]
+    fn trace_resource(&mut self, resource: ResourceId, kind: crate::trace::TraceEventKind) {
+        self.tracer.record(crate::trace::TraceEvent {
+            at: self.now,
+            token: None,
+            resource: Some(resource),
+            kind,
+        });
+    }
+
     /// Registers a FIFO resource with `capacity` parallel servers.
     ///
     /// # Panics
@@ -183,6 +236,7 @@ impl Engine {
             busy: 0,
             waiting: VecDeque::new(),
             busy_ns: 0,
+            waited_ns: 0,
             served: 0,
             down: None,
             slowdown: 1,
@@ -196,11 +250,13 @@ impl Engine {
     /// until [`Engine::restore_resource`]. Requests already *in service*
     /// finish normally — they left the node before it died.
     pub fn fail_resource(&mut self, resource: ResourceId, mode: FailMode) {
+        #[cfg(feature = "trace")]
+        self.trace_resource(resource, crate::trace::TraceEventKind::ResourceDown);
         let r = &mut self.resources[resource.0 as usize];
         r.down = Some(mode);
         if let FailMode::Reject { latency } = mode {
-            let waiting: Vec<(ExecRef, SimDuration)> = r.waiting.drain(..).collect();
-            for (exec, _service) in waiting {
+            let waiting: Vec<(ExecRef, SimDuration, SimTime)> = r.waiting.drain(..).collect();
+            for (exec, _service, _enqueued) in waiting {
                 self.abort_exec(exec, Outcome::Failed, latency);
             }
         }
@@ -209,6 +265,8 @@ impl Engine {
     /// Clears `resource`'s fault state and starts serving any stalled
     /// queue entries.
     pub fn restore_resource(&mut self, resource: ResourceId) {
+        #[cfg(feature = "trace")]
+        self.trace_resource(resource, crate::trace::TraceEventKind::ResourceRestored);
         self.resources[resource.0 as usize].down = None;
         self.kick(resource);
     }
@@ -226,6 +284,8 @@ impl Engine {
     /// Panics if `factor` is zero.
     pub fn set_resource_slowdown(&mut self, resource: ResourceId, factor: u32) {
         assert!(factor > 0, "slowdown factor must be positive");
+        #[cfg(feature = "trace")]
+        self.trace_resource(resource, crate::trace::TraceEventKind::Slowdown);
         self.resources[resource.0 as usize].slowdown = factor;
     }
 
@@ -251,6 +311,12 @@ impl Engine {
         r.busy_ns += u128::from(scaled.as_nanos());
         let at = self.now + scaled;
         self.schedule(at, Event::AcquireDone(exec, resource));
+        #[cfg(feature = "trace")]
+        self.trace_op(
+            exec,
+            Some(resource),
+            crate::trace::TraceEventKind::ServiceStart,
+        );
     }
 
     /// Fills free server slots from the waiting queue (after a restore).
@@ -260,10 +326,11 @@ impl Engine {
             if r.busy >= r.capacity || r.down.is_some() {
                 return;
             }
-            let Some((next, service)) = r.waiting.pop_front() else {
+            let Some((next, service, enqueued)) = r.waiting.pop_front() else {
                 return;
             };
             r.busy += 1;
+            r.waited_ns += u128::from(self.now.since(enqueued).as_nanos());
             self.begin_service(resource, next, service);
         }
     }
@@ -296,6 +363,30 @@ impl Engine {
         self.resources[resource.0 as usize].served
     }
 
+    /// Number of resources registered so far. Resource ids are dense:
+    /// `ResourceId(0..count)` are all valid.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of parallel servers `resource` was registered with.
+    pub fn resource_capacity(&self, resource: ResourceId) -> u32 {
+        self.resources[resource.0 as usize].capacity
+    }
+
+    /// Accumulated server-busy nanoseconds of `resource` (the numerator
+    /// of [`Engine::utilization`]; pure service time, excluding queueing).
+    pub fn service_ns(&self, resource: ResourceId) -> u128 {
+        self.resources[resource.0 as usize].busy_ns
+    }
+
+    /// Accumulated nanoseconds requests spent waiting in `resource`'s
+    /// queue before reaching service. Waits that never reach service
+    /// (aborted by a crash, still queued) are not attributed.
+    pub fn queue_wait_ns(&self, resource: ResourceId) -> u128 {
+        self.resources[resource.0 as usize].waited_ns
+    }
+
     /// Name a resource was registered with.
     pub fn resource_name(&self, resource: ResourceId) -> &str {
         &self.resources[resource.0 as usize].name
@@ -319,6 +410,13 @@ impl Engine {
         assert!(start >= self.now, "cannot submit into the past");
         let exec = self.alloc_exec(plan.0, token, start, None);
         self.schedule(start, Event::Resume(exec));
+        #[cfg(feature = "trace")]
+        self.tracer.record(crate::trace::TraceEvent {
+            at: start,
+            token: Some(token),
+            resource: None,
+            kind: crate::trace::TraceEventKind::Submit,
+        });
     }
 
     /// Submits a plan now with a client-side deadline: if it has not
@@ -345,6 +443,13 @@ impl Engine {
         let exec = self.alloc_exec(plan.0, token, start, None);
         self.schedule(start, Event::Resume(exec));
         self.schedule(start + deadline, Event::Timeout(exec));
+        #[cfg(feature = "trace")]
+        self.tracer.record(crate::trace::TraceEvent {
+            at: start,
+            token: Some(token),
+            resource: None,
+            kind: crate::trace::TraceEventKind::Submit,
+        });
     }
 
     fn alloc_exec(
@@ -459,14 +564,26 @@ impl Engine {
                             self.abort_exec(exec, Outcome::Failed, latency);
                         }
                         Some(FailMode::Stall) => {
-                            r.waiting.push_back((exec, service));
+                            r.waiting.push_back((exec, service, self.now));
+                            #[cfg(feature = "trace")]
+                            self.trace_op(
+                                exec,
+                                Some(resource),
+                                crate::trace::TraceEventKind::Enqueue,
+                            );
                         }
                         None => {
                             if r.busy < r.capacity {
                                 r.busy += 1;
                                 self.begin_service(resource, exec, service);
                             } else {
-                                r.waiting.push_back((exec, service));
+                                r.waiting.push_back((exec, service, self.now));
+                                #[cfg(feature = "trace")]
+                                self.trace_op(
+                                    exec,
+                                    Some(resource),
+                                    crate::trace::TraceEventKind::Enqueue,
+                                );
                             }
                         }
                     }
@@ -475,11 +592,20 @@ impl Engine {
                 Step::Join { branches, need } => {
                     let need = need.min(branches.len());
                     if need == 0 {
-                        // Fire-and-forget branches still execute.
+                        // Fire-and-forget branches still execute. They are
+                        // parentless (each emits its own Completion), so
+                        // they open their own trace spans.
                         for branch in branches {
                             let token = self.execs[exec.idx as usize].token;
                             let child = self.alloc_exec(branch.0, token, self.now, None);
                             self.ready.push_back(child);
+                            #[cfg(feature = "trace")]
+                            self.tracer.record(crate::trace::TraceEvent {
+                                at: self.now,
+                                token: Some(token),
+                                resource: None,
+                                kind: crate::trace::TraceEventKind::Submit,
+                            });
                         }
                         continue;
                     }
@@ -530,6 +656,13 @@ impl Engine {
             None => {
                 #[cfg(feature = "audit")]
                 self.auditor.on_complete();
+                #[cfg(feature = "trace")]
+                self.tracer.record(crate::trace::TraceEvent {
+                    at: self.now,
+                    token: Some(token),
+                    resource: None,
+                    kind: crate::trace::TraceEventKind::Complete(outcome),
+                });
                 self.completions.push_back(Completion {
                     token,
                     submitted,
@@ -566,12 +699,19 @@ impl Engine {
                 }
             }
             Event::AcquireDone(exec, resource) => {
+                #[cfg(feature = "trace")]
+                self.trace_op(
+                    exec,
+                    Some(resource),
+                    crate::trace::TraceEventKind::ServiceEnd,
+                );
                 let r = &mut self.resources[resource.0 as usize];
                 r.served += 1;
                 // Hand the slot straight to the next waiter — unless the
                 // resource is down (a stalled queue drains on restore).
                 if r.down.is_none() {
-                    if let Some((next, service)) = r.waiting.pop_front() {
+                    if let Some((next, service, enqueued)) = r.waiting.pop_front() {
+                        r.waited_ns += u128::from(self.now.since(enqueued).as_nanos());
                         self.begin_service(resource, next, service);
                     } else {
                         r.busy -= 1;
@@ -1072,6 +1212,118 @@ mod tests {
             "the live replica satisfies the quorum"
         );
         assert_eq!(c.latency(), us(10));
+    }
+
+    #[test]
+    fn queue_wait_accumulates_only_for_served_requests() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for i in 0..3 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        engine.run_to_idle();
+        // First request never waits; second waits 10us, third 20us.
+        assert_eq!(engine.queue_wait_ns(disk), us(30).as_nanos() as u128);
+        assert_eq!(engine.service_ns(disk), us(30).as_nanos() as u128);
+        assert_eq!(engine.resource_count(), 1);
+        assert_eq!(engine.resource_capacity(disk), 1);
+    }
+
+    #[test]
+    fn queue_wait_skips_requests_aborted_by_a_crash() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for i in 0..2 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        // At t=0 the first is in service, the second queued; the crash
+        // rejects the waiter, whose wait must not be attributed.
+        engine.run_until(SimTime(1_000));
+        engine.fail_resource(disk, FailMode::Reject { latency: us(1) });
+        engine.run_to_idle();
+        assert_eq!(engine.queue_wait_ns(disk), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_the_full_op_lifecycle_in_order() {
+        use crate::trace::TraceEventKind as K;
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for i in 0..2 {
+            engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+        }
+        engine.run_to_idle();
+        let got: Vec<(Option<u64>, K)> = engine
+            .tracer()
+            .events()
+            .iter()
+            .map(|e| (e.token.map(|t| t.0), e.kind))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (Some(0), K::Submit),
+                (Some(1), K::Submit),
+                (Some(0), K::ServiceStart),
+                (Some(1), K::Enqueue),
+                (Some(0), K::ServiceEnd),
+                (Some(1), K::ServiceStart),
+                (Some(0), K::Complete(Outcome::Ok)),
+                (Some(1), K::ServiceEnd),
+                (Some(1), K::Complete(Outcome::Ok)),
+            ]
+        );
+        // Each op event carries the resource it touched (plan-level
+        // submit/complete events carry none).
+        for e in engine.tracer().events() {
+            match e.kind {
+                K::Submit | K::Complete(_) => assert_eq!(e.resource, None),
+                _ => assert_eq!(e.resource, Some(disk)),
+            }
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_fault_transitions_and_timeouts() {
+        use crate::trace::TraceEventKind as K;
+        let mut engine = Engine::new();
+        let nic = engine.add_resource("nic", 1);
+        engine.fail_resource(nic, FailMode::Stall);
+        engine.submit_with_deadline(
+            Plan::build().acquire(nic, us(10)).finish(),
+            Token(7),
+            us(500),
+        );
+        engine.run_until(SimTime(1_000_000));
+        engine.restore_resource(nic);
+        engine.set_resource_slowdown(nic, 2);
+        engine.run_to_idle();
+        let kinds: Vec<K> = engine.tracer().events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&K::ResourceDown));
+        assert!(kinds.contains(&K::ResourceRestored));
+        assert!(kinds.contains(&K::Slowdown));
+        assert!(kinds.contains(&K::Complete(Outcome::TimedOut)));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_fingerprints_match_across_identical_runs() {
+        let run = |seed: u64| {
+            let mut engine = Engine::new();
+            let disk = engine.add_resource("disk", 2);
+            for i in 0..20 {
+                engine.submit(
+                    Plan::build().acquire(disk, us(1 + (seed + i) % 7)).finish(),
+                    Token(i),
+                );
+            }
+            engine.run_to_idle();
+            engine.tracer().fingerprint()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different workloads must differ");
     }
 
     #[test]

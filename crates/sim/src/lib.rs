@@ -28,6 +28,8 @@ pub mod kernel;
 pub mod net;
 pub mod plan;
 pub mod time;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 #[cfg(feature = "audit")]
 pub use audit::KernelAuditor;
@@ -38,3 +40,5 @@ pub use kernel::{Completion, Engine, FailMode, Outcome, ResourceId, Token};
 pub use net::NetSpec;
 pub use plan::{Plan, Step};
 pub use time::{SimDuration, SimTime};
+#[cfg(feature = "trace")]
+pub use trace::{TraceEvent, TraceEventKind, Tracer};

@@ -132,6 +132,9 @@ pub struct CassandraStore {
     /// Hinted handoff queues: writes a down replica missed, replayed to
     /// it when it rejoins the ring (Cassandra's hinted handoff).
     hints: Vec<Vec<Record>>,
+    /// Hinted-handoff drain auditor (see `crate::audit`).
+    #[cfg(feature = "audit")]
+    hint_audit: crate::audit::HintAuditor,
     /// Global background job id → (node index, engine-local job).
     jobs: BTreeMap<u64, (usize, BackgroundJob)>,
     /// Background jobs that are bootstrap streams, not LSM jobs.
@@ -181,6 +184,8 @@ impl CassandraStore {
             nodes,
             down: vec![false; n],
             hints: vec![Vec::new(); n],
+            #[cfg(feature = "audit")]
+            hint_audit: crate::audit::HintAuditor::default(),
             jobs: BTreeMap::new(),
             stream_jobs: std::collections::BTreeSet::new(),
             streamed_bytes: 0,
@@ -327,6 +332,9 @@ impl CassandraStore {
     /// that competes with recovering foreground traffic.
     fn replay_hints(&mut self, node: usize, engine: &mut Engine) {
         let hints = std::mem::take(&mut self.hints[node]);
+        #[cfg(feature = "audit")]
+        self.hint_audit
+            .on_replayed(engine.now(), node, hints.len() as u64);
         if hints.is_empty() {
             return;
         }
@@ -471,6 +479,8 @@ impl CassandraStore {
                 // Hinted handoff: the live coordinator stores the mutation
                 // and replays it when the replica rejoins.
                 self.hints[node].push(*record);
+                #[cfg(feature = "audit")]
+                self.hint_audit.on_queued(engine.now(), node);
                 continue;
             }
             let (receipt, flush) = self.nodes[node].lsm.insert(record.key, record.fields);
@@ -608,6 +618,11 @@ impl DistributedStore for CassandraStore {
             apm_sim::FaultKind::Restart => {
                 self.down[event.node] = false;
                 self.replay_hints(event.node, engine);
+                // Hinted handoff must drain: the rejoined replica's queue
+                // is empty and queued/replayed totals balance.
+                #[cfg(feature = "audit")]
+                self.hint_audit
+                    .assert_drained(event.node, self.hints[event.node].len());
             }
             _ => {}
         }
@@ -667,6 +682,7 @@ mod tests {
             event_at_secs: None,
             faults: FaultSchedule::none(),
             op_deadline: None,
+            telemetry_window_secs: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -868,6 +884,65 @@ mod tests {
         assert_eq!(
             total, 800,
             "rf=2 must converge to two copies of all 400 records"
+        );
+        engine.run_to_idle();
+    }
+
+    /// The store auditor's evidence stream must balance: every hint
+    /// queued while the replica was down is replayed exactly once on
+    /// rejoin, and all Queued events precede the Replayed event.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn hint_auditor_evidence_stream_balances_on_rejoin() {
+        use crate::audit::HintEventKind;
+        use apm_sim::{FaultEvent, FaultKind, SimTime};
+        let mut engine = Engine::new();
+        let ctx = StoreCtx::new(&mut engine, ClusterSpec::cluster_m(), 3, 1, 0.01, 3);
+        let mut s = CassandraStore::new(
+            ctx,
+            CassandraConfig {
+                replication: 2,
+                ..Default::default()
+            },
+        );
+        for seq in 0..100 {
+            s.load(&record_for_seq(seq));
+        }
+        s.finish_load();
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 1,
+                kind: FaultKind::Crash,
+            },
+            &mut engine,
+        );
+        for seq in 100..200 {
+            let record = record_for_seq(seq);
+            s.plan_op(0, &Operation::Insert { record }, &mut engine);
+        }
+        // The drain invariant itself is asserted inside on_fault(Restart).
+        s.on_fault(
+            &FaultEvent {
+                at: SimTime(0),
+                node: 1,
+                kind: FaultKind::Restart,
+            },
+            &mut engine,
+        );
+        let queued = s.hint_audit.queued(1);
+        assert!(queued > 0, "crash window must have queued hints");
+        assert_eq!(s.hint_audit.replayed(1), queued);
+        let events = s.hint_audit.events();
+        let replay = events
+            .iter()
+            .position(|e| matches!(e.kind, HintEventKind::Replayed { .. }))
+            .expect("replay recorded");
+        assert!(
+            events[..replay]
+                .iter()
+                .all(|e| e.kind == HintEventKind::Queued && e.node == 1),
+            "every hint must be queued before the replay"
         );
         engine.run_to_idle();
     }

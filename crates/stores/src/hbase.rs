@@ -442,6 +442,7 @@ mod tests {
             event_at_secs: None,
             faults: FaultSchedule::none(),
             op_deadline: None,
+            telemetry_window_secs: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

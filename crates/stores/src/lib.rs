@@ -23,6 +23,8 @@
 //! benchmark driver lives in [`runner`].
 
 pub mod api;
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod cache;
 pub mod cassandra;
 pub mod hashes;

@@ -385,6 +385,7 @@ mod tests {
             event_at_secs: None,
             faults: FaultSchedule::none(),
             op_deadline: None,
+            telemetry_window_secs: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -469,6 +470,7 @@ mod tests {
             event_at_secs: None,
             faults: FaultSchedule::none(),
             op_deadline: None,
+            telemetry_window_secs: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(
@@ -499,6 +501,7 @@ mod tests {
             event_at_secs: None,
             faults: FaultSchedule::none(),
             op_deadline: None,
+            telemetry_window_secs: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(s.load_rejections() > 0, "overfilled load must reject");

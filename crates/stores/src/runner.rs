@@ -11,10 +11,11 @@ use crate::api::{fault_token, split_fault_token, split_token, DistributedStore};
 use apm_core::driver::ClientConfig;
 use apm_core::keyspace::record_for_seq;
 use apm_core::ops::{OpKind, OpOutcome};
-use apm_core::stats::BenchStats;
+use apm_core::stats::{pairwise_sum, BenchStats, ResourceSample, Telemetry};
 use apm_core::workload::{Workload, WorkloadGenerator};
-use apm_sim::kernel::Token;
+use apm_sim::kernel::{ResourceId, Token};
 use apm_sim::{Engine, FaultSchedule, Plan, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Configuration of one benchmark run.
 #[derive(Clone, Debug)]
@@ -39,6 +40,11 @@ pub struct RunConfig {
     /// complete as timed out and count as errors — required to observe
     /// network partitions (stalled requests never finish on their own).
     pub op_deadline: Option<SimDuration>,
+    /// Record windowed [`Telemetry`] (per-window throughput, error rate,
+    /// latency percentiles, per-class server utilisation and queue depth)
+    /// with this window size. `None` (the default for all paper figures)
+    /// skips recording entirely.
+    pub telemetry_window_secs: Option<f64>,
 }
 
 /// Result of one benchmark run.
@@ -50,6 +56,9 @@ pub struct RunResult {
     pub issued: u64,
     /// Per-node disk usage after the run, if the store persists to disk.
     pub disk_bytes_per_node: Option<u64>,
+    /// Windowed telemetry over the measurement window, when
+    /// [`RunConfig::telemetry_window_secs`] was set.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunResult {
@@ -72,6 +81,108 @@ struct ClientSlot {
     missing: bool,
     /// Next scheduled issue time under throttling.
     next_issue: SimTime,
+}
+
+/// Resource class (`cpu` / `disk` / `net`) of a *server* resource name;
+/// `None` for client machines (workload generators, not the system under
+/// test) and unclassified resources. Server-side software serialisation
+/// stages — Redis's event loop, MongoDB's write lock, HDFS xceiver
+/// pools, VoltDB sites and initiator — count as `cpu`: they are where a
+/// request burns compute, distinct from the physical disk and NIC
+/// acquires those stores also make.
+pub fn server_resource_class(name: &str) -> Option<&'static str> {
+    if name.starts_with("client") {
+        return None;
+    }
+    if name.ends_with(".cpu")
+        || name.ends_with(".eventloop")
+        || name.ends_with(".writelock")
+        || name.ends_with(".xceiver")
+        || name.starts_with("voltdb.")
+    {
+        Some("cpu")
+    } else if name.ends_with(".disk") {
+        Some("disk")
+    } else if name.ends_with(".nic") {
+        Some("net")
+    } else {
+        None
+    }
+}
+
+/// Samples per-class server-resource state at telemetry window
+/// boundaries. A boundary is detected at the first completion at or past
+/// it, so samples lag the nominal boundary by at most one op latency —
+/// deterministic, and negligible against one-second windows.
+struct TelemetrySampler {
+    telemetry: Telemetry,
+    window: SimDuration,
+    warmup_end: SimTime,
+    /// Next unsampled boundary index; boundary `k` closes window `k - 1`.
+    boundary: u64,
+    /// Service-busy nanoseconds per resource at the previous boundary.
+    prev_busy: Vec<u128>,
+}
+
+impl TelemetrySampler {
+    fn new(engine: &Engine, window_secs: f64, warmup_end: SimTime) -> TelemetrySampler {
+        let window = SimDuration::from_secs_f64(window_secs);
+        TelemetrySampler {
+            telemetry: Telemetry::new(window.as_nanos()),
+            window,
+            warmup_end,
+            boundary: 0,
+            prev_busy: vec![0; engine.resource_count()],
+        }
+    }
+
+    fn boundary_time(&self, k: u64) -> SimTime {
+        self.warmup_end + SimDuration::from_nanos(self.window.as_nanos() * k)
+    }
+
+    /// Samples every boundary at or before `now`.
+    fn advance_to(&mut self, engine: &Engine, now: SimTime) {
+        while self.boundary_time(self.boundary) <= now {
+            let k = self.boundary;
+            self.boundary += 1;
+            if k == 0 {
+                // Boundary 0 is the measurement start: baseline only.
+                self.snapshot_busy(engine);
+                continue;
+            }
+            self.sample_window(engine, (k - 1) as usize);
+        }
+    }
+
+    fn snapshot_busy(&mut self, engine: &Engine) {
+        for (i, prev) in self.prev_busy.iter_mut().enumerate() {
+            *prev = engine.service_ns(ResourceId(i as u32));
+        }
+    }
+
+    fn sample_window(&mut self, engine: &Engine, index: usize) {
+        let mut utils: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        let mut queues: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let window_ns = self.window.as_nanos() as f64;
+        for i in 0..engine.resource_count() {
+            let id = ResourceId(i as u32);
+            let Some(class) = server_resource_class(engine.resource_name(id)) else {
+                continue;
+            };
+            let delta = engine.service_ns(id) - self.prev_busy[i];
+            let util = delta as f64 / (window_ns * f64::from(engine.resource_capacity(id)));
+            utils.entry(class).or_default().push(util);
+            *queues.entry(class).or_default() += engine.queue_len(id) as f64;
+        }
+        self.snapshot_busy(engine);
+        for (class, class_utils) in &utils {
+            let sample = ResourceSample {
+                utilization: pairwise_sum(class_utils) / class_utils.len() as f64,
+                queue_depth: queues[class],
+            };
+            self.telemetry.sample_resource(index, class, sample);
+        }
+    }
 }
 
 /// Runs the load phase then the transaction phase of one benchmark.
@@ -113,6 +224,9 @@ pub fn run_benchmark(
         })
         .collect();
     let mut stats = BenchStats::new();
+    let mut sampler = config
+        .telemetry_window_secs
+        .map(|secs| TelemetrySampler::new(engine, secs, warmup_end));
     let mut issued: u64 = 0;
     let start = engine.now();
 
@@ -161,6 +275,9 @@ pub fn run_benchmark(
     // Event loop: consume completions, reissue, stop at the window end.
     while let Some(completion) = engine.next_completion() {
         let now = completion.finished;
+        if let Some(sampler) = sampler.as_mut() {
+            sampler.advance_to(engine, now.min(measure_end));
+        }
         if now > measure_end {
             break;
         }
@@ -185,16 +302,25 @@ pub fn run_benchmark(
         let slot = &slots[client as usize];
         let failed = !completion.outcome.is_ok();
         if now > warmup_end {
+            let offset_ns = now.since(warmup_end).as_nanos();
             if failed || slot.missing {
                 // Kernel-level failure (node down, timeout) or lost data.
-                stats.record_error(slot.kind, now.since(warmup_end).as_nanos());
+                stats.record_error(slot.kind, offset_ns);
+                if let Some(sampler) = sampler.as_mut() {
+                    sampler.telemetry.record_error(offset_ns);
+                }
             } else {
                 if slot.ok {
                     stats.record(slot.kind, completion.latency().as_nanos());
+                    if let Some(sampler) = sampler.as_mut() {
+                        sampler
+                            .telemetry
+                            .record(offset_ns, completion.latency().as_nanos());
+                    }
                 } else {
                     stats.record_rejection(slot.kind);
                 }
-                stats.record_timeline(now.since(warmup_end).as_nanos());
+                stats.record_timeline(offset_ns);
             }
         }
         if slot.kind == OpKind::Insert && slot.ok && !failed {
@@ -224,10 +350,16 @@ pub fn run_benchmark(
     }
 
     stats.set_window_ns(measure_end.since(warmup_end).as_nanos());
+    // Flush the final boundary (the loop stops at the first completion
+    // past the window, which may itself lie beyond it).
+    if let Some(sampler) = sampler.as_mut() {
+        sampler.advance_to(engine, measure_end);
+    }
     RunResult {
         stats,
         issued,
         disk_bytes_per_node: store.disk_bytes_per_node(),
+        telemetry: sampler.map(|s| s.telemetry),
     }
 }
 
@@ -345,6 +477,7 @@ mod tests {
             event_at_secs: None,
             faults: FaultSchedule::none(),
             op_deadline: None,
+            telemetry_window_secs: None,
         }
     }
 
@@ -477,6 +610,80 @@ mod tests {
         let (a, b, c) = (run(), run(), run());
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn server_resource_class_splits_servers_from_clients() {
+        assert_eq!(server_resource_class("node3.cpu"), Some("cpu"));
+        assert_eq!(server_resource_class("node0.disk"), Some("disk"));
+        assert_eq!(server_resource_class("node11.nic"), Some("net"));
+        assert_eq!(server_resource_class("client0.cpu"), None);
+        assert_eq!(server_resource_class("client4.nic"), None);
+        assert_eq!(server_resource_class("coordinator"), None);
+        // Software serialisation stages count as server compute.
+        assert_eq!(server_resource_class("redis2.eventloop"), Some("cpu"));
+        assert_eq!(server_resource_class("mongod0.writelock"), Some("cpu"));
+        assert_eq!(server_resource_class("datanode1.xceiver"), Some("cpu"));
+        assert_eq!(server_resource_class("voltdb.site3"), Some("cpu"));
+        assert_eq!(server_resource_class("voltdb.initiator"), Some("cpu"));
+    }
+
+    #[test]
+    fn telemetry_records_windows_with_consistent_quantiles() {
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let mut cfg = quick_config(Workload::r());
+        cfg.telemetry_window_secs = Some(0.5);
+        let result = run_benchmark(&mut engine, &mut store, &cfg);
+        let telemetry = result.telemetry.expect("telemetry requested");
+        // 2 s measurement window at 0.5 s per window → 4 full windows.
+        assert_eq!(telemetry.windows().len(), 4);
+        let total: u64 = telemetry.windows().iter().map(|w| w.ops()).sum();
+        assert_eq!(total, result.stats.total_ops(), "every measured op lands");
+        for w in telemetry.windows() {
+            assert!(w.ops() > 0, "saturated loop fills every window");
+            assert!(w.quantile_latency_ms(0.99) >= w.quantile_latency_ms(0.95));
+            assert!(w.quantile_latency_ms(0.95) >= w.quantile_latency_ms(0.50));
+            let cpu = w.resource("cpu").expect("server cpu sampled");
+            assert!(
+                cpu.utilization > 0.5 && cpu.utilization < 1.2,
+                "cpu-bound fixture should saturate: {}",
+                cpu.utilization
+            );
+            assert!(cpu.queue_depth >= 0.0);
+        }
+        // The fixture plan touches no server disk: zero utilisation.
+        let disk = telemetry.windows()[0].resource("disk").expect("sampled");
+        assert_eq!(disk.utilization, 0.0);
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_and_off_by_default() {
+        let run = || {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::rw());
+            cfg.telemetry_window_secs = Some(0.5);
+            let r = run_benchmark(&mut engine, &mut store, &cfg);
+            let t = r.telemetry.unwrap();
+            let shape: Vec<(u64, u64, u64)> = t
+                .windows()
+                .iter()
+                .map(|w| (w.ops(), w.errors(), w.latency().max()))
+                .collect();
+            let utils: Vec<u64> = t
+                .windows()
+                .iter()
+                .map(|w| w.resource("cpu").unwrap().utilization.to_bits())
+                .collect();
+            (shape, utils)
+        };
+        assert_eq!(run(), run());
+
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let r = run_benchmark(&mut engine, &mut store, &quick_config(Workload::r()));
+        assert!(r.telemetry.is_none(), "telemetry must be opt-in");
     }
 
     #[test]

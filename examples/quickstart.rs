@@ -46,6 +46,7 @@ fn main() {
         event_at_secs: None,
         faults: FaultSchedule::none(),
         op_deadline: None,
+        telemetry_window_secs: None,
     };
     let result = run_benchmark(&mut engine, &mut store, &config);
 

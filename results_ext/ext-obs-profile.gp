@@ -1,0 +1,15 @@
+set datafile separator ','
+set key outside
+set title "Extension: virtual-time attribution per op (workload R, 4 nodes)"
+set xlabel 'store'
+set ylabel 'ms/op'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-obs-profile.png'
+set style data linespoints
+plot 'ext-obs-profile.csv' using 2:xtic(1) with linespoints title 'cpu_queue_ms', \
+     'ext-obs-profile.csv' using 3:xtic(1) with linespoints title 'cpu_service_ms', \
+     'ext-obs-profile.csv' using 4:xtic(1) with linespoints title 'disk_queue_ms', \
+     'ext-obs-profile.csv' using 5:xtic(1) with linespoints title 'disk_service_ms', \
+     'ext-obs-profile.csv' using 6:xtic(1) with linespoints title 'net_queue_ms', \
+     'ext-obs-profile.csv' using 7:xtic(1) with linespoints title 'net_service_ms'

@@ -1,0 +1,17 @@
+set datafile separator ','
+set key outside
+set title "Extension: telemetry timeline at 70% load (Cassandra, workload R, 8 nodes; target 142928 ops/s)"
+set xlabel 'window'
+set ylabel 'ops/sec | ratio | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-obs-telemetry.png'
+set style data linespoints
+plot 'ext-obs-telemetry.csv' using 2:xtic(1) with linespoints title 'ops_per_sec', \
+     'ext-obs-telemetry.csv' using 3:xtic(1) with linespoints title 'error_rate', \
+     'ext-obs-telemetry.csv' using 4:xtic(1) with linespoints title 'p50_ms', \
+     'ext-obs-telemetry.csv' using 5:xtic(1) with linespoints title 'p95_ms', \
+     'ext-obs-telemetry.csv' using 6:xtic(1) with linespoints title 'p99_ms', \
+     'ext-obs-telemetry.csv' using 7:xtic(1) with linespoints title 'cpu_util', \
+     'ext-obs-telemetry.csv' using 8:xtic(1) with linespoints title 'disk_util', \
+     'ext-obs-telemetry.csv' using 9:xtic(1) with linespoints title 'net_util'

@@ -67,6 +67,29 @@ fn fault_experiments_are_deterministic_across_runs() {
     );
 }
 
+/// The observability additions must be as replayable as the runs they
+/// observe: two executions of the virtual-time profiler and of the
+/// windowed telemetry timeline must agree to the bit (utilisations are
+/// compared via `to_bits`, not approximately).
+#[test]
+fn observability_tables_are_deterministic_across_runs() {
+    let profile = ExperimentProfile::test();
+    let bits = |t: &apm_repro::core::report::Table| -> Vec<Vec<Option<u64>>> {
+        t.cells
+            .iter()
+            .map(|row| row.iter().map(|c| c.map(f64::to_bits)).collect())
+            .collect()
+    };
+    let a = apm_repro::harness::obs::time_attribution(&profile);
+    let b = apm_repro::harness::obs::time_attribution(&profile);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(bits(&a), bits(&b), "profiler attribution diverged");
+    let c = apm_repro::harness::obs::telemetry_timeline(&profile);
+    let d = apm_repro::harness::obs::telemetry_timeline(&profile);
+    assert_eq!(c.rows, d.rows);
+    assert_eq!(bits(&c), bits(&d), "telemetry timeline diverged");
+}
+
 #[test]
 fn latency_statistics_are_reproducible_to_the_nanosecond() {
     let profile = ExperimentProfile::test();
