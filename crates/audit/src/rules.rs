@@ -13,10 +13,12 @@
 //! | `float-sum`      | D4    | core::stats, core::timeseries        | warn    |
 //! | `shape-coverage` | D5    | harness extensions vs shape           | deny    |
 //!
-//! The *obs modules* — `core/src/stats.rs` (windowed telemetry) and
-//! `harness/src/obs.rs` (profiler + trace exporter) — feed deterministic
-//! artifacts (trace fingerprints, telemetry tables), so they inherit the
-//! determinism rules even though their crates otherwise don't.
+//! The *obs modules* — `core/src/stats.rs` (windowed telemetry),
+//! `harness/src/obs.rs` (profiler + trace exporter), and
+//! `harness/src/resilience.rs` (policy-on replay experiments) — feed
+//! deterministic artifacts (trace fingerprints, telemetry and policy
+//! tables), so they inherit the determinism rules even though their
+//! crates otherwise don't.
 //!
 //! `--deny-all` promotes warnings to errors. Any rule is silenced on a
 //! line with `// audit:allow(<rule>)` on that line or the line above.
@@ -66,9 +68,12 @@ fn crate_of(path: &str) -> &str {
 }
 
 /// Observability modules outside the deterministic crates whose output
-/// (trace fingerprints, telemetry windows) must still replay identically.
+/// (trace fingerprints, telemetry windows, resilience tables) must
+/// still replay identically.
 fn is_obs_path(path: &str) -> bool {
-    path.ends_with("core/src/stats.rs") || path.ends_with("harness/src/obs.rs")
+    path.ends_with("core/src/stats.rs")
+        || path.ends_with("harness/src/obs.rs")
+        || path.ends_with("harness/src/resilience.rs")
 }
 
 fn is_bin(path: &str) -> bool {
@@ -403,6 +408,35 @@ mod tests {
             .iter()
             .filter(|v| v.rule == "hash-order")
             .all(|v| v.file.ends_with("stats.rs")));
+    }
+
+    #[test]
+    fn resilience_module_trips_the_clock_rule() {
+        let clock = file(
+            "crates/harness/src/resilience.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        let v = audit_files(&[clock]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].rule == "clock" && v[0].file.ends_with("resilience.rs"));
+    }
+
+    #[test]
+    fn resilience_module_trips_the_hash_order_rule() {
+        let hash = file(
+            "crates/harness/src/resilience.rs",
+            "fn f() { let m: HashMap<u64, u64> = HashMap::new(); }",
+        );
+        // The same map in an unscoped harness module stays clean.
+        let other = file(
+            "crates/harness/src/figures.rs",
+            "fn f() { let m: HashMap<u64, u64> = HashMap::new(); }",
+        );
+        let v = audit_files(&[hash, other]);
+        assert!(!v.is_empty(), "scoped module must trip hash-order");
+        assert!(v
+            .iter()
+            .all(|v| v.rule == "hash-order" && v.file.ends_with("resilience.rs")));
     }
 
     #[test]

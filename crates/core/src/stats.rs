@@ -137,6 +137,35 @@ impl Histogram {
     }
 }
 
+/// Client-side resilience-policy activity over one benchmark run
+/// (retries, hedged reads, circuit-breaker transitions, load shedding).
+/// All zero when no policy is configured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Retry attempts issued (beyond each op's primary attempt).
+    pub retries: u64,
+    /// Hedged (speculative duplicate) reads issued.
+    pub hedges: u64,
+    /// Hedged reads that finished before their primary and succeeded.
+    pub hedge_wins: u64,
+    /// Circuit-breaker state transitions across all targets.
+    pub breaker_transitions: u64,
+    /// Operations or extra attempts shed by a breaker or the admission
+    /// budget (counted as rejections, not errors).
+    pub shed: u64,
+}
+
+impl ResilienceCounters {
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, other: &ResilienceCounters) {
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.breaker_transitions += other.breaker_transitions;
+        self.shed += other.shed;
+    }
+}
+
 /// Aggregated results of one benchmark run.
 #[derive(Clone, Debug, Default)]
 pub struct BenchStats {
@@ -153,6 +182,8 @@ pub struct BenchStats {
     timeline: Vec<u64>,
     /// Errored operations per one-second bucket since window start.
     error_timeline: Vec<u64>,
+    /// Resilience-policy activity (zero without a policy).
+    resilience: ResilienceCounters,
 }
 
 impl BenchStats {
@@ -304,6 +335,16 @@ impl BenchStats {
         self.per_kind.get(&kind)
     }
 
+    /// Resilience-policy counters (all zero without a policy).
+    pub fn resilience(&self) -> &ResilienceCounters {
+        &self.resilience
+    }
+
+    /// Mutable resilience counters, for the benchmark driver.
+    pub fn resilience_mut(&mut self) -> &mut ResilienceCounters {
+        &mut self.resilience
+    }
+
     /// Merges another run's stats (used to average repeated executions,
     /// §3: "the reported results are the average of at least 3
     /// independent executions").
@@ -318,6 +359,7 @@ impl BenchStats {
             *self.errors.entry(*kind).or_default() += n;
         }
         self.window_ns += other.window_ns;
+        self.resilience.merge(&other.resilience);
     }
 }
 
@@ -336,6 +378,10 @@ pub struct ResourceSample {
 pub struct TelemetryWindow {
     ops: u64,
     errors: u64,
+    /// Operations the store or a resilience policy rejected/shed in this
+    /// window (back-pressure, not failures — excluded from [`Self::ops`]
+    /// and [`Self::error_rate`]).
+    rejected: u64,
     latency: Histogram,
     /// Samples keyed by resource class (ordered map: iteration order must
     /// not depend on insertion history).
@@ -351,6 +397,19 @@ impl TelemetryWindow {
     /// Operations that errored in this window.
     pub fn errors(&self) -> u64 {
         self.errors
+    }
+
+    /// Operations rejected or shed in this window.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Operations attempted in this window that got a response: completed
+    /// plus rejected (the per-second `timeline` semantics of
+    /// [`BenchStats`]; errors are excluded, matching its throughput
+    /// timeline).
+    pub fn responded(&self) -> u64 {
+        self.ops + self.rejected
     }
 
     /// Fraction of this window's attempted operations that errored.
@@ -438,6 +497,12 @@ impl Telemetry {
     /// Records an errored operation at `offset_ns`.
     pub fn record_error(&mut self, offset_ns: u64) {
         self.window_at((offset_ns / self.window_ns) as usize).errors += 1;
+    }
+
+    /// Records a rejected/shed operation at `offset_ns`.
+    pub fn record_rejection(&mut self, offset_ns: u64) {
+        self.window_at((offset_ns / self.window_ns) as usize)
+            .rejected += 1;
     }
 
     /// Stores the boundary sample for `class` in window `index`.
@@ -746,6 +811,51 @@ mod tests {
         assert_eq!(stats.recovery_secs(5, 10, 0.9), Some(2));
         assert_eq!(stats.recovery_secs(5, 10, 0.99), Some(3));
         assert_eq!(stats.recovery_secs(5, 10, 1.2), None);
+    }
+
+    #[test]
+    fn resilience_counters_merge_and_ride_bench_stats() {
+        let mut a = BenchStats::new();
+        a.resilience_mut().retries = 3;
+        a.resilience_mut().hedges = 2;
+        a.resilience_mut().hedge_wins = 1;
+        let mut b = BenchStats::new();
+        b.resilience_mut().retries = 4;
+        b.resilience_mut().breaker_transitions = 2;
+        b.resilience_mut().shed = 7;
+        a.merge(&b);
+        assert_eq!(
+            *a.resilience(),
+            ResilienceCounters {
+                retries: 7,
+                hedges: 2,
+                hedge_wins: 1,
+                breaker_transitions: 2,
+                shed: 7,
+            }
+        );
+        assert_eq!(
+            *BenchStats::new().resilience(),
+            ResilienceCounters::default()
+        );
+    }
+
+    #[test]
+    fn telemetry_tracks_rejections_apart_from_ops_and_errors() {
+        let mut t = Telemetry::new(1_000_000_000);
+        t.record(100, 1_000_000);
+        t.record_rejection(200);
+        t.record_rejection(1_200_000_000);
+        t.record_error(300);
+        assert_eq!(t.windows()[0].ops(), 1);
+        assert_eq!(t.windows()[0].rejected(), 1);
+        assert_eq!(t.windows()[0].responded(), 2);
+        assert_eq!(t.windows()[0].errors(), 1);
+        assert_eq!(t.windows()[1].rejected(), 1);
+        assert_eq!(t.windows()[1].responded(), 1);
+        // Rejections stay out of ops-based rates.
+        assert!((t.ops_per_sec(0) - 1.0).abs() < 1e-12);
+        assert!((t.windows()[0].error_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

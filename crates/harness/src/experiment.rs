@@ -217,6 +217,7 @@ pub fn run_point_throttled(
         faults: FaultSchedule::none(),
         op_deadline: None,
         telemetry_window_secs: None,
+        resilience: None,
     };
     let result = run_benchmark(&mut engine, boxed.as_mut(), &config);
     Point {

@@ -35,6 +35,10 @@ pub fn all_extensions() -> Vec<(&'static str, &'static str)> {
         ("ext-faults-failover", "Extension: crash recovery compared across Cassandra rf=2, HBase, Redis (workload R, 4 nodes)"),
         ("ext-obs-profile", "Extension: virtual-time attribution — queue-wait vs service per resource class (workload R, 4 nodes)"),
         ("ext-obs-telemetry", "Extension: windowed telemetry timeline at 70% load (Cassandra, workload R, 8 nodes)"),
+        ("ext-res-retry", "Extension: retries with capped backoff vs a node crash, rf=1 (Cassandra, workload R, 4 nodes)"),
+        ("ext-res-hedge", "Extension: hedged reads vs a fail-slow node, rf=2 (Cassandra, workload R, 4 nodes)"),
+        ("ext-res-breaker", "Extension: circuit breaker vs a partitioned shard (Redis, read-only, 4 nodes)"),
+        ("ext-res-storm", "Extension: admission control vs an unbounded retry storm (Cassandra rf=1, workload R, 4 nodes)"),
     ]
 }
 
@@ -54,6 +58,10 @@ pub fn generate_extension(id: &str, profile: &ExperimentProfile) -> Option<Table
         "ext-faults-failover" => Some(crate::faults::failover_comparison(profile)),
         "ext-obs-profile" => Some(crate::obs::time_attribution(profile)),
         "ext-obs-telemetry" => Some(crate::obs::telemetry_timeline(profile)),
+        "ext-res-retry" => Some(crate::resilience::retry_masking(profile)),
+        "ext-res-hedge" => Some(crate::resilience::hedged_reads(profile)),
+        "ext-res-breaker" => Some(crate::resilience::breaker_shedding(profile)),
+        "ext-res-storm" => Some(crate::resilience::retry_storm(profile)),
         _ => None,
     }
 }
@@ -85,6 +93,7 @@ fn run_cassandra(
         faults: FaultSchedule::none(),
         op_deadline: None,
         telemetry_window_secs: None,
+        resilience: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -331,6 +340,7 @@ pub fn mongodb_comparison(profile: &ExperimentProfile) -> Table {
                 faults: FaultSchedule::none(),
                 op_deadline: None,
                 telemetry_window_secs: None,
+                resilience: None,
             };
             let result = run_benchmark(&mut engine, &mut store, &config);
             let _ = store.name();
@@ -380,6 +390,7 @@ pub fn elasticity(profile: &ExperimentProfile) -> Table {
         faults: FaultSchedule::none(),
         op_deadline: None,
         telemetry_window_secs: None,
+        resilience: None,
     };
     let result = apm_stores::runner::run_benchmark(&mut engine, &mut store, &config);
     let mut table = Table::new(
@@ -467,6 +478,10 @@ mod tests {
             "ext-faults-failover",
             "ext-obs-profile",
             "ext-obs-telemetry",
+            "ext-res-retry",
+            "ext-res-hedge",
+            "ext-res-breaker",
+            "ext-res-storm",
         ];
         for (id, _) in all_extensions() {
             assert!(known.contains(&id), "unlisted extension {id}");

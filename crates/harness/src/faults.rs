@@ -6,7 +6,8 @@
 //! 24/7). These experiments drive the calibrated stores through seeded
 //! [`FaultSchedule`]s — node crashes, a fail-slow disk, a network
 //! partition — and read availability, error counts, and post-fault
-//! recovery off the per-second throughput and error timelines.
+//! recovery off the run's one-second [`Telemetry`] windows (phase means)
+//! and the error timeline (recovery detection).
 //!
 //! Every run is fully deterministic: the same seed plus the same fault
 //! schedule reproduces byte-identical tables (run `repro --out` twice
@@ -15,7 +16,7 @@
 use crate::experiment::ExperimentProfile;
 use apm_core::driver::ClientConfig;
 use apm_core::report::Table;
-use apm_core::stats::BenchStats;
+use apm_core::stats::{BenchStats, Telemetry};
 use apm_core::workload::Workload;
 use apm_sim::{ClusterSpec, Engine, FaultSchedule, SimDuration, SimTime};
 use apm_stores::api::StoreCtx;
@@ -24,31 +25,32 @@ use apm_stores::hbase::HbaseStore;
 use apm_stores::redis::RedisStore;
 use apm_stores::routing::JedisHash;
 use apm_stores::runner::{run_benchmark, RunConfig, RunResult};
+use apm_stores::ResiliencePolicy;
 
 /// Which node the schedules target. Node 1 rather than node 0 so that
 /// ring/routing bookkeeping is exercised on a non-trivial index.
-const VICTIM: usize = 1;
+pub(crate) const VICTIM: usize = 1;
 
 /// A post-restart second counts as "recovered" once it reaches this
 /// fraction of the pre-fault mean (the within-10% acceptance bar).
 const RECOVERY_THRESHOLD: f64 = 0.9;
 
-fn secs(s: f64) -> SimTime {
+pub(crate) fn secs(s: f64) -> SimTime {
     SimTime((s * 1e9) as u64)
 }
 
 /// Common fault timing: the measurement window split in thirds —
 /// healthy, faulted, recovered. Times are offsets from warmup end,
 /// matching [`FaultSchedule`] semantics.
-struct FaultWindow {
-    window: f64,
-    fault: f64,
-    restore: f64,
+pub(crate) struct FaultWindow {
+    pub(crate) window: f64,
+    pub(crate) fault: f64,
+    pub(crate) restore: f64,
 }
 
 impl FaultWindow {
-    fn for_profile(profile: &ExperimentProfile) -> FaultWindow {
-        // At least 9 s so each third spans several timeline buckets.
+    pub(crate) fn for_profile(profile: &ExperimentProfile) -> FaultWindow {
+        // At least 9 s so each third spans several telemetry windows.
         let window = profile.measure_secs.max(9.0);
         FaultWindow {
             window,
@@ -57,15 +59,23 @@ impl FaultWindow {
         }
     }
 
-    fn crash(&self) -> FaultSchedule {
+    pub(crate) fn crash(&self) -> FaultSchedule {
         FaultSchedule::none().crash(VICTIM, secs(self.fault), secs(self.restore))
     }
 
-    /// Per-second throughput means of the three phases. The transition
-    /// buckets (the fault second and the restore second) are excluded —
-    /// they mix regimes.
-    fn phase_means(&self, stats: &BenchStats) -> (f64, f64, f64) {
-        let timeline = stats.timeline();
+    /// Per-second throughput means of the three phases, read off the
+    /// run's one-second [`Telemetry`] windows (`responded` = completed +
+    /// rejected, the same semantics the old `BenchStats` timeline had).
+    /// The transition windows (the fault second and the restore second)
+    /// are excluded — they mix regimes.
+    pub(crate) fn phase_means(&self, telemetry: &Telemetry) -> (f64, f64, f64) {
+        let mut timeline: Vec<u64> = telemetry.windows().iter().map(|w| w.responded()).collect();
+        // The sampler materialises every window up to the measurement
+        // end; the throughput timeline only ever extended to the last
+        // second that saw a response.
+        while timeline.last() == Some(&0) {
+            timeline.pop();
+        }
         let mean = |lo: usize, hi: usize| -> f64 {
             let lo = lo.min(timeline.len());
             let hi = hi.min(timeline.len());
@@ -83,7 +93,7 @@ impl FaultWindow {
         )
     }
 
-    fn recovery_secs(&self, stats: &BenchStats) -> Option<u64> {
+    pub(crate) fn recovery_secs(&self, stats: &BenchStats) -> Option<u64> {
         stats.recovery_secs(
             self.fault as usize,
             self.restore as usize,
@@ -92,13 +102,14 @@ impl FaultWindow {
     }
 }
 
-fn run_cassandra(
+pub(crate) fn run_cassandra(
     config: CassandraConfig,
     nodes: u32,
     profile: &ExperimentProfile,
     window: &FaultWindow,
     faults: FaultSchedule,
     op_deadline: Option<SimDuration>,
+    resilience: Option<ResiliencePolicy>,
 ) -> RunResult {
     let mut engine = Engine::new();
     let ctx = StoreCtx::new(
@@ -119,12 +130,13 @@ fn run_cassandra(
         event_at_secs: None,
         faults,
         op_deadline,
-        telemetry_window_secs: None,
+        telemetry_window_secs: Some(1.0),
+        resilience,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
 
-fn run_hbase(
+pub(crate) fn run_hbase(
     cluster: ClusterSpec,
     nodes: u32,
     profile: &ExperimentProfile,
@@ -155,18 +167,20 @@ fn run_hbase(
         event_at_secs: None,
         faults,
         op_deadline: None,
-        telemetry_window_secs: None,
+        telemetry_window_secs: Some(1.0),
+        resilience: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
 
-fn run_redis(
+pub(crate) fn run_redis(
     workload: Workload,
     nodes: u32,
     profile: &ExperimentProfile,
     window: &FaultWindow,
     faults: FaultSchedule,
     op_deadline: Option<SimDuration>,
+    resilience: Option<ResiliencePolicy>,
 ) -> RunResult {
     let mut engine = Engine::new();
     let ctx = StoreCtx::new(
@@ -187,7 +201,8 @@ fn run_redis(
         event_at_secs: None,
         faults,
         op_deadline,
-        telemetry_window_secs: None,
+        telemetry_window_secs: Some(1.0),
+        resilience,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -206,7 +221,11 @@ fn summary_columns(table: &mut Table) {
 }
 
 fn summary_row(result: &RunResult, window: &FaultWindow) -> Vec<Option<f64>> {
-    let (pre, mid, post) = window.phase_means(&result.stats);
+    let telemetry = result
+        .telemetry
+        .as_ref()
+        .expect("fault runs sample one-second telemetry windows");
+    let (pre, mid, post) = window.phase_means(telemetry);
     vec![
         Some(result.stats.availability()),
         Some(result.stats.total_errors() as f64),
@@ -246,6 +265,7 @@ pub fn crash_failover(profile: &ExperimentProfile) -> Table {
             profile,
             &w,
             w.crash(),
+            None,
             None,
         );
         table.push_row(&format!("rf{rf}"), summary_row(&result, &w));
@@ -293,7 +313,7 @@ pub fn slow_disk(profile: &ExperimentProfile) -> Table {
 
 /// A pure-read mix: partition effects isolated from the insert-driven
 /// maxmemory dynamics a long Redis run otherwise adds on top.
-fn read_only() -> Workload {
+pub(crate) fn read_only() -> Workload {
     let base = Workload::r();
     Workload {
         name: "read-only",
@@ -326,7 +346,15 @@ pub fn partition(profile: &ExperimentProfile) -> Table {
         ("stall", None),
         ("timeout-10ms", Some(SimDuration::from_millis(10))),
     ] {
-        let result = run_redis(read_only(), nodes, profile, &w, faults.clone(), deadline);
+        let result = run_redis(
+            read_only(),
+            nodes,
+            profile,
+            &w,
+            faults.clone(),
+            deadline,
+            None,
+        );
         table.push_row(label, summary_row(&result, &w));
     }
     table
@@ -360,11 +388,12 @@ pub fn failover_comparison(profile: &ExperimentProfile) -> Table {
         &w,
         w.crash(),
         None,
+        None,
     );
     table.push_row("cassandra-rf2", summary_row(&cassandra, &w));
     let hbase = run_hbase(ClusterSpec::cluster_m(), nodes, profile, &w, w.crash());
     table.push_row("hbase", summary_row(&hbase, &w));
-    let redis = run_redis(Workload::r(), nodes, profile, &w, w.crash(), None);
+    let redis = run_redis(Workload::r(), nodes, profile, &w, w.crash(), None, None);
     table.push_row("redis", summary_row(&redis, &w));
     table
 }

@@ -16,6 +16,9 @@
 //! * [`extensions`] — the paper's §8 future-work items (replication,
 //!   compression) and two §6-motivated ablations (token assignment, key
 //!   skew), implemented as additional experiments.
+//! * [`resilience`] — the client-side policy experiments: the fault
+//!   schedules replayed with retries, hedged reads, circuit breakers and
+//!   admission control switched on, policy-on vs policy-off per table.
 //! * [`obs`] — the observability experiments: virtual-time profiling
 //!   (queue-wait vs. service per resource class) and the windowed
 //!   telemetry timeline, plus the Chrome trace exporter (`trace`
@@ -38,6 +41,7 @@ pub mod json;
 pub mod obs;
 pub mod output;
 pub mod reference;
+pub mod resilience;
 pub mod shape;
 
 pub use experiment::{ExperimentProfile, StoreKind};

@@ -106,6 +106,7 @@ fn run_instrumented(
         faults: FaultSchedule::none(),
         op_deadline: None,
         telemetry_window_secs,
+        resilience: None,
     };
     let result = run_benchmark(&mut engine, store.as_mut(), &config);
     (engine, result)
@@ -375,6 +376,7 @@ pub fn capture_trace_demo() -> (String, u64) {
         faults: FaultSchedule::none().crash(1, SimTime(300_000_000), SimTime(600_000_000)),
         op_deadline: Some(apm_sim::SimDuration::from_millis(100)),
         telemetry_window_secs: None,
+        resilience: None,
     };
     let _ = run_benchmark(&mut engine, store.as_mut(), &config);
     let json = chrome::trace_to_json(&engine.tracer().events());

@@ -496,6 +496,98 @@ pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
                 )]
             }
         }
+        "ext-res-retry" => vec![
+            ratio_check(
+                "resilience: the retry ladder outlasts the rf=1 outage — availability strictly above the unprotected run",
+                cell(t, "retry-on", "availability"),
+                cell(t, "retry-off", "availability"),
+                1.000001,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "resilience: retries absorb the crash window's errors",
+                cell(t, "retry-on", "errors"),
+                cell(t, "retry-off", "errors"),
+                0.0,
+                0.5,
+            ),
+            ratio_check(
+                "resilience: the retry path actually fires during the outage",
+                cell(t, "retry-on", "retries"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-res-hedge" => vec![
+            ratio_check(
+                "resilience: hedged reads cut the fail-slow read p99 strictly below the unhedged run",
+                cell(t, "hedge-on", "p99_read_ms"),
+                cell(t, "hedge-off", "p99_read_ms"),
+                0.0,
+                0.999999,
+            ),
+            ratio_check(
+                "resilience: hedges fire once the tracker sees the slow tail",
+                cell(t, "hedge-on", "hedges"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "resilience: some hedges beat the slow primary, none double-count",
+                cell(t, "hedge-on", "hedge_wins"),
+                cell(t, "hedge-on", "hedges"),
+                1e-9,
+                1.0,
+            ),
+        ],
+        "ext-res-breaker" => vec![
+            ratio_check(
+                "resilience: an open breaker absorbs most of the partition's timeout errors",
+                cell(t, "breaker-on", "errors"),
+                cell(t, "breaker-off", "errors"),
+                0.0,
+                0.5,
+            ),
+            ratio_check(
+                "resilience: shed fast-fails replace 10 ms timeouts while the shard is gone",
+                cell(t, "breaker-on", "shed"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "resilience: the breaker both opens and recovers (≥ 2 legal transitions)",
+                cell(t, "breaker-on", "breaker_transitions"),
+                Some(1.0),
+                2.0,
+                f64::INFINITY,
+            ),
+        ],
+        "ext-res-storm" => vec![
+            ratio_check(
+                "resilience: admission control caps the retry storm well below the unbounded run",
+                cell(t, "budgeted", "retries"),
+                cell(t, "unbounded", "retries"),
+                0.0,
+                0.9,
+            ),
+            ratio_check(
+                "resilience: the drained token bucket sheds the excess attempts",
+                cell(t, "budgeted", "shed"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "resilience: without a budget nothing is shed (the storm runs free)",
+                cell(t, "unbounded", "shed"),
+                Some(1.0),
+                0.0,
+                0.0,
+            ),
+        ],
         "ext-obs-profile" => vec![
             ratio_check(
                 "obs: reads consume real server CPU service time",

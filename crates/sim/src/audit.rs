@@ -10,7 +10,8 @@
 //!   timestamp come out in strictly increasing submission-sequence
 //!   order, so equal-time ties always resolve in submission order;
 //! * **op conservation** — every top-level submission produces exactly
-//!   one [`crate::Completion`] (Ok, Failed, or TimedOut), verified
+//!   one [`crate::Completion`] (Ok, Failed, TimedOut, or Cancelled),
+//!   verified
 //!   incrementally (completions never exceed issues) and exactly at
 //!   drain via [`KernelAuditor::assert_conserved`];
 //! * **fault causality** — no *new* service ever begins on a crashed

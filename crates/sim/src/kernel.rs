@@ -36,6 +36,9 @@ pub enum Outcome {
     Failed,
     /// The plan's deadline elapsed before it finished.
     TimedOut,
+    /// The submitter revoked the plan via [`Engine::cancel`] before it
+    /// finished (e.g. a hedged read whose sibling won).
+    Cancelled,
 }
 
 impl Outcome {
@@ -108,6 +111,13 @@ struct ExecRef {
     idx: u32,
     generation: u32,
 }
+
+/// Handle to a submitted top-level plan, returned by the `submit*`
+/// family. Lets the submitter [`Engine::cancel`] the plan later; like the
+/// internal exec references it is generation-protected, so a handle to a
+/// plan that already completed is inert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanHandle(ExecRef);
 
 #[derive(Debug)]
 struct Exec {
@@ -398,15 +408,15 @@ impl Engine {
     }
 
     /// Submits a plan now.
-    pub fn submit(&mut self, plan: Plan, token: Token) {
-        self.submit_at(self.now, plan, token);
+    pub fn submit(&mut self, plan: Plan, token: Token) -> PlanHandle {
+        self.submit_at(self.now, plan, token)
     }
 
     /// Submits a plan to start at `start` (must not be in the past).
     ///
     /// # Panics
     /// Panics if `start` is before the current simulated time.
-    pub fn submit_at(&mut self, start: SimTime, plan: Plan, token: Token) {
+    pub fn submit_at(&mut self, start: SimTime, plan: Plan, token: Token) -> PlanHandle {
         assert!(start >= self.now, "cannot submit into the past");
         let exec = self.alloc_exec(plan.0, token, start, None);
         self.schedule(start, Event::Resume(exec));
@@ -417,14 +427,20 @@ impl Engine {
             resource: None,
             kind: crate::trace::TraceEventKind::Submit,
         });
+        PlanHandle(exec)
     }
 
     /// Submits a plan now with a client-side deadline: if it has not
     /// finished within `deadline` it completes with [`Outcome::TimedOut`]
     /// at exactly the deadline. Work it queued stays queued (a server
     /// may still burn time serving the abandoned request).
-    pub fn submit_with_deadline(&mut self, plan: Plan, token: Token, deadline: SimDuration) {
-        self.submit_at_with_deadline(self.now, plan, token, deadline);
+    pub fn submit_with_deadline(
+        &mut self,
+        plan: Plan,
+        token: Token,
+        deadline: SimDuration,
+    ) -> PlanHandle {
+        self.submit_at_with_deadline(self.now, plan, token, deadline)
     }
 
     /// Submits a plan to start at `start` with a deadline counted from
@@ -438,7 +454,7 @@ impl Engine {
         plan: Plan,
         token: Token,
         deadline: SimDuration,
-    ) {
+    ) -> PlanHandle {
         assert!(start >= self.now, "cannot submit into the past");
         let exec = self.alloc_exec(plan.0, token, start, None);
         self.schedule(start, Event::Resume(exec));
@@ -450,6 +466,27 @@ impl Engine {
             resource: None,
             kind: crate::trace::TraceEventKind::Submit,
         });
+        PlanHandle(exec)
+    }
+
+    /// Cancels the plan behind `handle`, completing it *now* with
+    /// [`Outcome::Cancelled`]. Like a timeout, cancellation abandons the
+    /// plan wherever it is: queue entries and in-flight services it owns
+    /// become stale (a server may still burn time on the abandoned
+    /// request, as real ones do after a client disconnects). Returns
+    /// `true` if the plan was still running; a handle to a finished plan
+    /// is inert and returns `false`.
+    pub fn cancel(&mut self, handle: PlanHandle) -> bool {
+        let exec = handle.0;
+        if !self.is_current(exec) {
+            return false;
+        }
+        let slot = &mut self.execs[exec.idx as usize];
+        slot.outcome = Outcome::Cancelled;
+        slot.pc = slot.steps.len();
+        slot.join_need = 0;
+        self.finish_exec(exec);
+        true
     }
 
     fn alloc_exec(
@@ -1347,5 +1384,98 @@ mod tests {
             .collect();
         assert_eq!(tokens, vec![0, 1, 2], "stalled queue drains in FIFO order");
         assert_eq!(engine.served(disk), 3);
+    }
+
+    #[test]
+    fn cancel_completes_the_plan_with_cancelled_outcome() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        let handle = engine.submit(Plan::build().acquire(disk, us(100)).finish(), Token(4));
+        // Let the service start, then revoke the plan mid-flight.
+        engine.run_until(SimTime(10_000));
+        assert!(engine.cancel(handle), "a running plan can be cancelled");
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
+        assert_eq!((c.token, c.outcome), (Token(4), Outcome::Cancelled));
+        assert_eq!(c.finished, SimTime(10_000), "cancellation takes effect now");
+        // The abandoned service still burns server time, like a timeout.
+        engine.run_to_idle();
+        assert_eq!(engine.served(disk), 1);
+    }
+
+    #[test]
+    fn cancel_emits_exactly_one_completion() {
+        let mut engine = Engine::new();
+        let handle = engine.submit(Plan::build().delay(us(50)).finish(), Token(1));
+        assert!(engine.cancel(handle));
+        let all = engine.run_to_idle();
+        assert_eq!(all.len(), 1, "cancel must not double-complete: {all:?}");
+        assert_eq!(all[0].outcome, Outcome::Cancelled);
+    }
+
+    #[test]
+    fn cancelling_a_finished_plan_is_inert() {
+        let mut engine = Engine::new();
+        let handle = engine.submit(Plan::build().delay(us(5)).finish(), Token(2));
+        let c = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
+        assert_eq!(c.outcome, Outcome::Ok);
+        assert!(!engine.cancel(handle), "stale handle must be a no-op");
+        assert!(engine.run_to_idle().is_empty());
+        // A recycled slot must not be reachable through the old handle.
+        let _other = engine.submit(Plan::build().delay(us(5)).finish(), Token(3));
+        assert!(!engine.cancel(handle), "recycled slot needs a new handle");
+        assert_eq!(engine.run_to_idle().len(), 1);
+    }
+
+    #[test]
+    fn cancel_abandons_queued_work_without_serving_it() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(0));
+        let queued = engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(1));
+        assert!(engine.cancel(queued));
+        let all = engine.run_to_idle();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].outcome, Outcome::Cancelled);
+        assert_eq!(all[1].outcome, Outcome::Ok);
+        // The stale queue entry is skipped when the server frees up.
+        assert_eq!(engine.served(disk), 1);
+    }
+
+    #[test]
+    fn cancelled_join_parent_ignores_straggler_children() {
+        let mut engine = Engine::new();
+        let a = engine.add_resource("replica-a", 1);
+        let b = engine.add_resource("replica-b", 1);
+        let branches = vec![
+            Plan::build().acquire(a, us(30)).finish(),
+            Plan::build().acquire(b, us(40)).finish(),
+        ];
+        let handle = engine.submit(Plan::build().join_all(branches).finish(), Token(6));
+        engine.run_until(SimTime(1_000));
+        assert!(engine.cancel(handle));
+        let all = engine.run_to_idle();
+        assert_eq!(all.len(), 1, "children must not complete for the parent");
+        assert_eq!(all[0].outcome, Outcome::Cancelled);
+        // Both branch services still ran to completion on the servers.
+        assert_eq!((engine.served(a), engine.served(b)), (1, 1));
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn cancellation_preserves_op_conservation() {
+        let mut engine = Engine::new();
+        let disk = engine.add_resource("disk", 1);
+        for i in 0..4 {
+            let handle = engine.submit(Plan::build().acquire(disk, us(10)).finish(), Token(i));
+            if i % 2 == 0 {
+                engine.cancel(handle);
+            }
+        }
+        engine.run_to_idle();
+        engine.auditor().assert_conserved();
     }
 }

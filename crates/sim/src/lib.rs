@@ -36,7 +36,7 @@ pub use audit::KernelAuditor;
 pub use cluster::{ClusterSpec, NodeResources, NodeSpec};
 pub use disk::{DiskSpec, IoPattern};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule};
-pub use kernel::{Completion, Engine, FailMode, Outcome, ResourceId, Token};
+pub use kernel::{Completion, Engine, FailMode, Outcome, PlanHandle, ResourceId, Token};
 pub use net::NetSpec;
 pub use plan::{Plan, Step};
 pub use time::{SimDuration, SimTime};

@@ -62,6 +62,7 @@ impl TraceEventKind {
             TraceEventKind::ResourceDown => 8,
             TraceEventKind::ResourceRestored => 9,
             TraceEventKind::Slowdown => 10,
+            TraceEventKind::Complete(Outcome::Cancelled) => 11,
         }
     }
 }

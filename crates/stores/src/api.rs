@@ -37,6 +37,65 @@ pub fn split_fault_token(token: Token) -> (bool, u64) {
     (token.0 & FAULT_BIT != 0, token.0 & !FAULT_BIT)
 }
 
+/// Bit marking a resilient-mode token as a hedge attempt (the
+/// speculative duplicate read issued to an alternative replica).
+pub const HEDGE_BIT: u64 = 1 << 61;
+
+/// Bit marking a resilient-mode token as a hedge *trigger*: the pure
+/// delay the driver arms alongside a primary read; its completion is the
+/// signal to launch the hedge, never a measured response.
+pub const HEDGE_TRIGGER_BIT: u64 = 1 << 60;
+
+/// Bits of a resilient-mode token carrying the client id.
+pub const CLIENT_BITS: u32 = 20;
+
+const CLIENT_MASK: u64 = (1 << CLIENT_BITS) - 1;
+const EPOCH_MASK: u64 = (1 << (60 - CLIENT_BITS)) - 1;
+
+/// Which role a resilient-mode attempt token plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptKind {
+    /// The primary (or retried) attempt of a logical op.
+    Primary,
+    /// The speculative hedge attempt.
+    Hedge,
+    /// The delay event that fires to launch a hedge.
+    HedgeTrigger,
+}
+
+/// Builds a resilient-mode token for `client`'s attempt `epoch`. Epochs
+/// advance on every attempt submission, so stale completions (cancelled
+/// losers, late stragglers) are recognised by epoch mismatch.
+pub fn attempt_token(client: u32, epoch: u64) -> Token {
+    debug_assert!(u64::from(client) <= CLIENT_MASK && epoch <= EPOCH_MASK);
+    Token((epoch & EPOCH_MASK) << CLIENT_BITS | u64::from(client))
+}
+
+/// Builds the hedge-attempt token for `client`'s attempt `epoch`.
+pub fn hedge_token(client: u32, epoch: u64) -> Token {
+    Token(HEDGE_BIT | attempt_token(client, epoch).0)
+}
+
+/// Builds the hedge-trigger token for `client`'s attempt `epoch`.
+pub fn hedge_trigger_token(client: u32, epoch: u64) -> Token {
+    Token(HEDGE_TRIGGER_BIT | attempt_token(client, epoch).0)
+}
+
+/// Splits a resilient-mode client token into `(client, epoch, kind)`.
+/// Callers must have already excluded background and fault sentinels.
+pub fn split_attempt_token(token: Token) -> (u32, u64, AttemptKind) {
+    let kind = if token.0 & HEDGE_BIT != 0 {
+        AttemptKind::Hedge
+    } else if token.0 & HEDGE_TRIGGER_BIT != 0 {
+        AttemptKind::HedgeTrigger
+    } else {
+        AttemptKind::Primary
+    };
+    let client = (token.0 & CLIENT_MASK) as u32;
+    let epoch = (token.0 >> CLIENT_BITS) & EPOCH_MASK;
+    (client, epoch, kind)
+}
+
 /// Applies a fault transition to the kernel resources of the affected
 /// node: the engine-level half of failure injection, common to every
 /// store. Stores layer their recovery logic (replica failover, hinted
@@ -300,6 +359,28 @@ pub trait DistributedStore {
         apply_node_fault(self.ctx(), engine, event);
     }
 
+    /// The server node the store's client-side routing would send `op`
+    /// to right now — the key a per-target circuit breaker shards on.
+    /// `None` (the default) disables breaking for this store.
+    fn plan_target(&self, op: &Operation) -> Option<usize> {
+        let _ = op;
+        None
+    }
+
+    /// Builds the plan for a *hedged* duplicate of a read: the same
+    /// logical op sent to a different live replica/coordinator than the
+    /// primary attempt would use. `None` (the default) means the store
+    /// has no alternative target and the hedge is skipped.
+    fn hedge_read_plan(
+        &mut self,
+        client_id: u32,
+        op: &Operation,
+        engine: &mut Engine,
+    ) -> Option<Plan> {
+        let _ = (client_id, op, engine);
+        None
+    }
+
     /// Whether the store's YCSB client supports scans (§5.4: Voldemort's
     /// does not).
     fn supports_scans(&self) -> bool {
@@ -353,6 +434,41 @@ mod tests {
         assert!(!is_fault, "background tokens must not read as fault");
         let (is_fault, idx) = split_fault_token(Token(9));
         assert_eq!((is_fault, idx), (false, 9));
+    }
+
+    #[test]
+    fn attempt_tokens_roundtrip_client_epoch_and_kind() {
+        for (client, epoch) in [
+            (0u32, 0u64),
+            (7, 1),
+            (999, 12_345),
+            ((1 << 20) - 1, (1 << 40) - 1),
+        ] {
+            assert_eq!(
+                split_attempt_token(attempt_token(client, epoch)),
+                (client, epoch, AttemptKind::Primary)
+            );
+            assert_eq!(
+                split_attempt_token(hedge_token(client, epoch)),
+                (client, epoch, AttemptKind::Hedge)
+            );
+            assert_eq!(
+                split_attempt_token(hedge_trigger_token(client, epoch)),
+                (client, epoch, AttemptKind::HedgeTrigger)
+            );
+        }
+    }
+
+    #[test]
+    fn attempt_tokens_are_disjoint_from_background_and_fault_sentinels() {
+        for t in [
+            attempt_token(3, 17),
+            hedge_token(3, 17),
+            hedge_trigger_token(3, 17),
+        ] {
+            assert!(!split_token(t).0, "attempt token read as background");
+            assert!(!split_fault_token(t).0, "attempt token read as fault");
+        }
     }
 
     #[test]

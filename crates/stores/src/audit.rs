@@ -17,6 +17,7 @@
 //! Violations `panic!`, like every audit check: an undrained hint queue
 //! means the recovery results are meaningless.
 
+use crate::resilience::{breaker_transition_is_legal, BreakerState};
 use apm_sim::SimTime;
 
 /// One hint lifecycle transition, stamped with the virtual clock.
@@ -114,6 +115,89 @@ impl HintAuditor {
     }
 }
 
+/// Watches the resilient driver's policy engine: every circuit-breaker
+/// transition must be one the Closed→Open→HalfOpen machine can legally
+/// make, and no logical op may retry past its configured budget.
+/// Embedded in the driver's policy state behind the `audit` feature.
+#[derive(Clone, Debug, Default)]
+pub struct RetryAuditor {
+    transitions: u64,
+    retries: u64,
+}
+
+impl RetryAuditor {
+    /// Records one breaker transition; panics if it is not legal.
+    pub fn on_transition(&mut self, from: BreakerState, to: BreakerState) {
+        assert!(
+            breaker_transition_is_legal(from, to),
+            "store audit: illegal breaker transition {from:?} -> {to:?}"
+        );
+        self.transitions += 1;
+    }
+
+    /// Records one retry as number `used` of a logical op; panics if the
+    /// op has now retried past `budget`.
+    pub fn on_retry(&mut self, used: u32, budget: u32) {
+        assert!(
+            used <= budget,
+            "store audit: retry {used} exceeds the configured budget of {budget}"
+        );
+        self.retries += 1;
+    }
+
+    /// Breaker transitions observed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Retries observed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+/// Asserts HBase's region-reassignment map is a bijection from dead
+/// region servers onto *distinct live* hosts: every reassigned region
+/// server is actually down, its host is up, no two dead servers share a
+/// host entry, and nothing maps to itself.
+pub fn assert_region_reassignment_bijection(
+    reassigned: &std::collections::BTreeMap<usize, usize>,
+    down: &[bool],
+) {
+    let mut hosts = std::collections::BTreeSet::new();
+    for (&dead, &host) in reassigned {
+        assert!(
+            down.get(dead).copied().unwrap_or(false),
+            "store audit: live node {dead} has its regions reassigned"
+        );
+        assert!(
+            !down.get(host).copied().unwrap_or(true),
+            "store audit: regions of node {dead} assigned to down host {host}"
+        );
+        assert!(
+            dead != host,
+            "store audit: node {dead} reassigned to itself"
+        );
+        assert!(
+            hosts.insert(host),
+            "store audit: host {host} received two region reassignments"
+        );
+    }
+}
+
+/// Asserts the Redis client-side hash ring conserves weight: every shard
+/// owns exactly `expected` virtual nodes on the ring (Jedis places a
+/// fixed per-shard vnode count; losing or duplicating one would skew key
+/// distribution silently).
+pub fn assert_ring_weight_conserved(vnodes_per_shard: &[u64], expected: u64) {
+    for (shard, &vnodes) in vnodes_per_shard.iter().enumerate() {
+        assert_eq!(
+            vnodes, expected,
+            "store audit: shard {shard} owns {vnodes} vnodes, expected {expected}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +238,82 @@ mod tests {
         a.assert_drained(2, 0);
         a.assert_drained(7, 0); // never-touched node is trivially drained
         assert_eq!(a.queued(0), 0);
+    }
+
+    #[test]
+    fn legal_breaker_cycle_and_bounded_retries_pass() {
+        use BreakerState::*;
+        let mut a = RetryAuditor::default();
+        for (from, to) in [
+            (Closed, Open),
+            (Open, HalfOpen),
+            (HalfOpen, Open),
+            (Open, HalfOpen),
+            (HalfOpen, Closed),
+        ] {
+            a.on_transition(from, to);
+        }
+        a.on_retry(1, 3);
+        a.on_retry(3, 3);
+        assert_eq!(a.transitions(), 5);
+        assert_eq!(a.retries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal breaker transition")]
+    fn breaker_skipping_half_open_panics() {
+        RetryAuditor::default().on_transition(BreakerState::Open, BreakerState::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured budget")]
+    fn retry_past_budget_panics() {
+        RetryAuditor::default().on_retry(4, 3);
+    }
+
+    #[test]
+    fn region_bijection_accepts_distinct_live_hosts() {
+        let mut reassigned = std::collections::BTreeMap::new();
+        reassigned.insert(0, 2);
+        reassigned.insert(1, 3);
+        assert_region_reassignment_bijection(&reassigned, &[true, true, false, false]);
+        // Empty map is trivially a bijection.
+        assert_region_reassignment_bijection(&std::collections::BTreeMap::new(), &[false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "received two region reassignments")]
+    fn region_fan_in_panics() {
+        let mut reassigned = std::collections::BTreeMap::new();
+        reassigned.insert(0, 2);
+        reassigned.insert(1, 2);
+        assert_region_reassignment_bijection(&reassigned, &[true, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to down host")]
+    fn region_on_dead_host_panics() {
+        let mut reassigned = std::collections::BTreeMap::new();
+        reassigned.insert(0, 1);
+        assert_region_reassignment_bijection(&reassigned, &[true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "live node 0 has its regions reassigned")]
+    fn reassigning_a_live_node_panics() {
+        let mut reassigned = std::collections::BTreeMap::new();
+        reassigned.insert(0, 1);
+        assert_region_reassignment_bijection(&reassigned, &[false, false]);
+    }
+
+    #[test]
+    fn ring_weight_conservation_accepts_uniform_shards() {
+        assert_ring_weight_conserved(&[160, 160, 160], 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 1 owns 159 vnodes")]
+    fn ring_weight_loss_panics() {
+        assert_ring_weight_conserved(&[160, 159], 160);
     }
 }

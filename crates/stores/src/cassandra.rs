@@ -597,6 +597,45 @@ impl DistributedStore for CassandraStore {
         }
     }
 
+    fn plan_target(&self, op: &Operation) -> Option<usize> {
+        // The node the coordinator-side failover in [`Self::plan_op`]
+        // would read from (writes target the same primary replica).
+        let replicas = self.ring.replicas(op.routing_key(), self.replication);
+        Some(
+            replicas
+                .iter()
+                .copied()
+                .find(|&n| !self.down[n])
+                .unwrap_or(replicas[0]),
+        )
+    }
+
+    fn hedge_read_plan(
+        &mut self,
+        client: u32,
+        op: &Operation,
+        _engine: &mut Engine,
+    ) -> Option<Plan> {
+        let Operation::Read { key } = op else {
+            return None;
+        };
+        // Speculative retry (the feature Cassandra later shipped as
+        // "rapid read protection"): duplicate the read to the next
+        // replica in ring order that is up and is not the node the
+        // primary attempt targeted.
+        let replicas = self.ring.replicas(key, self.replication);
+        let primary = replicas
+            .iter()
+            .copied()
+            .find(|&n| !self.down[n])
+            .unwrap_or(replicas[0]);
+        let alt = replicas
+            .iter()
+            .copied()
+            .find(|&n| n != primary && !self.down[n])?;
+        Some(self.read_plan(client, alt, op).1)
+    }
+
     fn on_timed_event(&mut self, engine: &mut Engine) {
         if self.bootstrap_on_event {
             self.add_node(engine);
@@ -683,6 +722,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

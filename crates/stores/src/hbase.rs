@@ -371,6 +371,8 @@ impl DistributedStore for HbaseStore {
                 // back (a cheap reopen — the data never left HDFS).
                 self.down[event.node] = false;
                 self.reassigned.remove(&event.node);
+                #[cfg(feature = "audit")]
+                crate::audit::assert_region_reassignment_bijection(&self.reassigned, &self.down);
             }
             _ => {}
         }
@@ -384,6 +386,11 @@ impl DistributedStore for HbaseStore {
                 let sub = (dead + 1) % self.servers_state.len();
                 if !self.down[sub] {
                     self.reassigned.insert(dead, sub);
+                    #[cfg(feature = "audit")]
+                    crate::audit::assert_region_reassignment_bijection(
+                        &self.reassigned,
+                        &self.down,
+                    );
                 }
             }
             return;
@@ -443,6 +450,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

@@ -33,12 +33,14 @@ pub mod hdfs;
 pub mod mongodb;
 pub mod mysql;
 pub mod redis;
+pub mod resilience;
 pub mod routing;
 pub mod runner;
 pub mod voldemort;
 pub mod voltdb;
 
 pub use api::{DistributedStore, StoreCtx};
+pub use resilience::ResiliencePolicy;
 pub use runner::{run_benchmark, RunConfig, RunResult};
 
 /// The store names in the paper's legend order.

@@ -107,8 +107,14 @@ impl RedisStore {
                 event_loop: engine.add_resource(format!("redis{i}.eventloop"), 1),
             })
             .collect();
+        let ring = JedisRing::new(ctx.node_count(), hash);
+        #[cfg(feature = "audit")]
+        crate::audit::assert_ring_weight_conserved(
+            &ring.vnode_weights(),
+            crate::routing::JEDIS_VNODES as u64,
+        );
         RedisStore {
-            ring: JedisRing::new(ctx.node_count(), hash),
+            ring,
             hash,
             ctx,
             instances,
@@ -340,6 +346,12 @@ impl DistributedStore for RedisStore {
         }
     }
 
+    fn plan_target(&self, op: &Operation) -> Option<usize> {
+        // Sharded Jedis pins every key to exactly one instance, so the
+        // circuit breaker shards on the ring route.
+        Some(self.shard(op.routing_key()))
+    }
+
     fn connection_cap(&self) -> Option<u32> {
         let nodes = self.ctx.node_count() as u32;
         Some(BASE_CONNECTIONS + EXTRA_CONNECTIONS_PER_NODE * (nodes - 1))
@@ -386,6 +398,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -471,6 +484,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(
@@ -502,6 +516,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(s.load_rejections() > 0, "overfilled load must reject");

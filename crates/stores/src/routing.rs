@@ -170,7 +170,7 @@ pub struct JedisRing {
 }
 
 /// Virtual nodes per shard, matching Jedis's `Hashing.MURMUR_HASH` setup.
-const JEDIS_VNODES: usize = 160;
+pub const JEDIS_VNODES: usize = 160;
 
 /// Key hasher choice for the Jedis ring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -224,6 +224,17 @@ impl JedisRing {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Virtual nodes each shard owns on the ring — the conserved weight:
+    /// Jedis always places [`JEDIS_VNODES`] per shard, and a hash
+    /// collision that silently dropped one would skew key distribution.
+    pub fn vnode_weights(&self) -> Vec<u64> {
+        let mut weights = vec![0u64; self.shards];
+        for &shard in self.ring.values() {
+            weights[shard] += 1;
+        }
+        weights
     }
 }
 

@@ -7,14 +7,21 @@
 //! them working as intensively as possible"); bounded mode (§5.6) spaces
 //! issues to hit a target aggregate rate.
 
-use crate::api::{fault_token, split_fault_token, split_token, DistributedStore};
+use crate::api::{
+    attempt_token, client_only_plan, fault_token, hedge_token, hedge_trigger_token,
+    split_attempt_token, split_fault_token, split_token, AttemptKind, DistributedStore,
+};
+use crate::resilience::{
+    backoff_delay, AdmissionBudget, Breaker, BreakerDecision, HedgeTracker, JitterRng,
+    ResiliencePolicy,
+};
 use apm_core::driver::ClientConfig;
 use apm_core::keyspace::record_for_seq;
-use apm_core::ops::{OpKind, OpOutcome};
-use apm_core::stats::{pairwise_sum, BenchStats, ResourceSample, Telemetry};
+use apm_core::ops::{OpKind, OpOutcome, Operation};
+use apm_core::stats::{pairwise_sum, BenchStats, ResilienceCounters, ResourceSample, Telemetry};
 use apm_core::workload::{Workload, WorkloadGenerator};
-use apm_sim::kernel::{ResourceId, Token};
-use apm_sim::{Engine, FaultSchedule, Plan, SimDuration, SimTime};
+use apm_sim::kernel::{PlanHandle, ResourceId, Token};
+use apm_sim::{Engine, FaultSchedule, Outcome, Plan, SimDuration, SimTime, Step};
 use std::collections::BTreeMap;
 
 /// Configuration of one benchmark run.
@@ -45,6 +52,10 @@ pub struct RunConfig {
     /// with this window size. `None` (the default for all paper figures)
     /// skips recording entirely.
     pub telemetry_window_secs: Option<f64>,
+    /// Client-side resilience policies (retry, hedging, circuit breaking,
+    /// admission control). `None` (the default) runs the legacy driver
+    /// loop byte-identically.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 /// Result of one benchmark run.
@@ -201,6 +212,13 @@ pub fn run_benchmark(
     }
     store.finish_load();
 
+    if config.resilience.is_some() {
+        // The resilient driver wraps every logical op in the policy
+        // engine; kept as a separate loop so the legacy path below stays
+        // byte-identical when no policy is configured.
+        return run_transactions_resilient(engine, store, config, total_records);
+    }
+
     // ---- Transaction phase.
     let mut generator = WorkloadGenerator::new(config.workload.clone(), total_records, config.seed);
     let connections = match store.connection_cap() {
@@ -319,6 +337,9 @@ pub fn run_benchmark(
                     }
                 } else {
                     stats.record_rejection(slot.kind);
+                    if let Some(sampler) = sampler.as_mut() {
+                        sampler.telemetry.record_rejection(offset_ns);
+                    }
                 }
                 stats.record_timeline(offset_ns);
             }
@@ -385,7 +406,536 @@ fn issue_op(
     match deadline {
         Some(deadline) => engine.submit_at_with_deadline(start, plan, token, deadline),
         None => engine.submit_at(start, plan, token),
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Resilient driver: the same closed loop, with every logical op wrapped in
+// the retry / hedging / circuit-breaking / admission policies of
+// [`crate::resilience`]. Lives beside the legacy loop (rather than inside
+// it) so a `RunConfig` without a policy keeps today's byte-identical path.
+
+/// Client CPU burned by a breaker fast-fail (error construction on the
+/// client; the shed op never touches the target node).
+const SHED_COST: SimDuration = SimDuration::from_micros(5);
+
+/// Per-connection state when a [`ResiliencePolicy`] is active.
+struct ResilientSlot {
+    /// The logical op in flight (retries and hedges re-send it).
+    op: Option<Operation>,
+    ok: bool,
+    missing: bool,
+    next_issue: SimTime,
+    /// Attempt epoch, advanced on every attempt submission; completions
+    /// carrying an older epoch are stale (cancelled losers, late
+    /// triggers) and are dropped unrecorded.
+    epoch: u64,
+    /// Start of the logical op's first attempt — the base for end-to-end
+    /// latency, so retries and backoff count against the op.
+    logical_start: SimTime,
+    retries_used: u32,
+    /// Jitter fraction drawn once per logical op, keeping each op's
+    /// backoff schedule monotone.
+    jitter: f64,
+    /// Breaker target of the current attempt.
+    target: Option<usize>,
+    was_probe: bool,
+    /// The current attempt was shed by a breaker (client fast-fail).
+    shed: bool,
+    hedge_used: bool,
+    primary: Option<PlanHandle>,
+    hedge: Option<PlanHandle>,
+    trigger: Option<PlanHandle>,
+}
+
+impl ResilientSlot {
+    fn kind(&self) -> OpKind {
+        self.op.as_ref().expect("logical op in flight").kind()
     }
+}
+
+/// Mutable policy-engine state shared by all connections.
+struct PolicyState {
+    policy: ResiliencePolicy,
+    rng: JitterRng,
+    tracker: HedgeTracker,
+    breakers: Vec<Breaker>,
+    budget: Option<AdmissionBudget>,
+    counters: ResilienceCounters,
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::RetryAuditor,
+}
+
+impl PolicyState {
+    fn new(policy: ResiliencePolicy, seed: u64, targets: usize) -> PolicyState {
+        PolicyState {
+            rng: JitterRng::new(seed ^ 0x7E51_11E9_CE00_0001),
+            tracker: HedgeTracker::default(),
+            breakers: (0..targets).map(|_| Breaker::default()).collect(),
+            budget: policy.admission.as_ref().map(AdmissionBudget::new),
+            counters: ResilienceCounters::default(),
+            #[cfg(feature = "audit")]
+            auditor: crate::audit::RetryAuditor::default(),
+            policy,
+        }
+    }
+
+    fn note_transition(
+        &mut self,
+        transition: Option<(
+            crate::resilience::BreakerState,
+            crate::resilience::BreakerState,
+        )>,
+    ) {
+        if let Some((_from, _to)) = transition {
+            self.counters.breaker_transitions += 1;
+            #[cfg(feature = "audit")]
+            self.auditor.on_transition(_from, _to);
+        }
+    }
+
+    /// Spends one extra-attempt credit (retry or hedge); always granted
+    /// when no admission policy is configured.
+    fn try_extra(&mut self) -> bool {
+        match self.budget.as_mut() {
+            Some(budget) => budget.try_spend(),
+            None => true,
+        }
+    }
+}
+
+fn run_transactions_resilient(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    total_records: u64,
+) -> RunResult {
+    let policy = config
+        .resilience
+        .clone()
+        .expect("resilient driver requires a policy");
+    let mut generator = WorkloadGenerator::new(config.workload.clone(), total_records, config.seed);
+    let connections = match store.connection_cap() {
+        Some(cap) => config.client.connections.min(cap),
+        None => config.client.connections,
+    };
+    assert!(connections > 0, "no client connections");
+    let warmup_end = engine.now() + SimDuration::from_secs_f64(config.client.warmup_secs);
+    let measure_end = warmup_end + SimDuration::from_secs_f64(config.client.measure_secs);
+    let issue_interval = config
+        .client
+        .issue_interval_secs()
+        .map(SimDuration::from_secs_f64);
+
+    let mut slots: Vec<ResilientSlot> = (0..connections)
+        .map(|_| ResilientSlot {
+            op: None,
+            ok: true,
+            missing: false,
+            next_issue: engine.now(),
+            epoch: 0,
+            logical_start: engine.now(),
+            retries_used: 0,
+            jitter: 0.0,
+            target: None,
+            was_probe: false,
+            shed: false,
+            hedge_used: false,
+            primary: None,
+            hedge: None,
+            trigger: None,
+        })
+        .collect();
+    let mut stats = BenchStats::new();
+    let mut sampler = config
+        .telemetry_window_secs
+        .map(|secs| TelemetrySampler::new(engine, secs, warmup_end));
+    let mut issued: u64 = 0;
+    let start = engine.now();
+    let mut ps = PolicyState::new(policy, config.seed, store.ctx().servers.len());
+
+    for (index, event) in config.faults.events().iter().enumerate() {
+        let at = warmup_end + SimDuration::from_nanos(event.at.as_nanos());
+        if at < measure_end {
+            engine.submit_at(
+                at.max(engine.now()),
+                Plan::empty(),
+                fault_token(index as u64),
+            );
+        }
+    }
+
+    for client in 0..connections {
+        let at = match issue_interval {
+            Some(interval) => {
+                start
+                    + SimDuration::from_nanos(
+                        interval.as_nanos() * u64::from(client) / u64::from(connections),
+                    )
+            }
+            None => start,
+        };
+        slots[client as usize].next_issue = at;
+        issue_logical_op(
+            engine,
+            store,
+            &mut generator,
+            &mut slots,
+            &mut ps,
+            client,
+            at,
+            config.op_deadline,
+            &mut issued,
+        );
+    }
+
+    let mut event_at = config
+        .event_at_secs
+        .map(|secs| warmup_end + SimDuration::from_secs_f64(secs));
+
+    while let Some(completion) = engine.next_completion() {
+        let now = completion.finished;
+        if let Some(sampler) = sampler.as_mut() {
+            sampler.advance_to(engine, now.min(measure_end));
+        }
+        if now > measure_end {
+            break;
+        }
+        if let Some(at) = event_at {
+            if now >= at {
+                event_at = None;
+                store.on_timed_event(engine);
+            }
+        }
+        let (is_fault, fault_index) = split_fault_token(completion.token);
+        if is_fault {
+            let event = config.faults.events()[fault_index as usize];
+            store.on_fault(&event, engine);
+            continue;
+        }
+        let (is_background, id) = split_token(completion.token);
+        if is_background {
+            store.on_background(id, engine);
+            continue;
+        }
+        let (client, epoch, attempt_kind) = split_attempt_token(completion.token);
+        if epoch != slots[client as usize].epoch || completion.outcome == Outcome::Cancelled {
+            // A cancelled loser, a stale trigger, or a straggler from a
+            // superseded attempt: never recorded, so a hedged op can
+            // never double-count in the stats.
+            continue;
+        }
+        if attempt_kind == AttemptKind::HedgeTrigger {
+            launch_hedge(
+                engine,
+                store,
+                &mut slots,
+                &mut ps,
+                client,
+                epoch,
+                config.op_deadline,
+                &mut issued,
+            );
+            continue;
+        }
+
+        // ---- The current attempt resolved: settle the race first.
+        let failed = !completion.outcome.is_ok();
+        {
+            let slot = &mut slots[client as usize];
+            let (winner_was_hedge, loser) = match attempt_kind {
+                AttemptKind::Hedge => (true, slot.primary.take()),
+                _ => (false, slot.hedge.take()),
+            };
+            if let Some(handle) = loser {
+                engine.cancel(handle);
+            }
+            if let Some(handle) = slot.trigger.take() {
+                engine.cancel(handle);
+            }
+            slot.primary = None;
+            slot.hedge = None;
+            if winner_was_hedge && !failed {
+                ps.counters.hedge_wins += 1;
+            }
+        }
+
+        // Feed the breaker and the hedge-latency tracker (shed attempts
+        // never touched the target, so they are invisible to both).
+        let slot_shed = slots[client as usize].shed;
+        if !slot_shed {
+            if let (Some(bp), Some(target)) =
+                (ps.policy.breaker.clone(), slots[client as usize].target)
+            {
+                let was_probe = slots[client as usize].was_probe;
+                let transition = ps.breakers[target].on_outcome(now, !failed, was_probe, &bp);
+                ps.note_transition(transition);
+            }
+            let slot = &slots[client as usize];
+            if !failed && slot.ok && !slot.missing && slot.kind() == OpKind::Read {
+                ps.tracker.record(completion.latency().as_nanos());
+            }
+        }
+
+        // Retry kernel-level failures within budget and admission.
+        if failed && !slot_shed {
+            if let Some(rp) = ps.policy.retry.clone() {
+                let kind = slots[client as usize].kind();
+                let used = slots[client as usize].retries_used;
+                if used < rp.budget(kind) {
+                    let re_at = now + backoff_delay(&rp, used, slots[client as usize].jitter);
+                    if re_at < measure_end {
+                        if ps.try_extra() {
+                            slots[client as usize].retries_used = used + 1;
+                            ps.counters.retries += 1;
+                            #[cfg(feature = "audit")]
+                            ps.auditor.on_retry(used + 1, rp.budget(kind));
+                            issue_attempt(
+                                engine,
+                                store,
+                                &mut slots,
+                                &mut ps,
+                                client,
+                                re_at,
+                                config.op_deadline,
+                                &mut issued,
+                            );
+                            continue;
+                        }
+                        // Admission control declined: the storm stops here.
+                        ps.counters.shed += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- Final resolution of the logical op.
+        if now > warmup_end {
+            let offset_ns = now.since(warmup_end).as_nanos();
+            let slot = &slots[client as usize];
+            let kind = slot.kind();
+            if slot.shed {
+                // Breaker fast-fail: a client-side rejection.
+                stats.record_rejection(kind);
+                stats.record_timeline(offset_ns);
+                if let Some(sampler) = sampler.as_mut() {
+                    sampler.telemetry.record_rejection(offset_ns);
+                }
+            } else if failed || slot.missing {
+                stats.record_error(kind, offset_ns);
+                if let Some(sampler) = sampler.as_mut() {
+                    sampler.telemetry.record_error(offset_ns);
+                }
+            } else if slot.ok {
+                // End-to-end latency: backoff and retries count against
+                // the op, exactly as a real client would experience.
+                let latency = now.since(slot.logical_start).as_nanos();
+                stats.record(kind, latency);
+                if let Some(sampler) = sampler.as_mut() {
+                    sampler.telemetry.record(offset_ns, latency);
+                }
+                stats.record_timeline(offset_ns);
+            } else {
+                stats.record_rejection(kind);
+                stats.record_timeline(offset_ns);
+                if let Some(sampler) = sampler.as_mut() {
+                    sampler.telemetry.record_rejection(offset_ns);
+                }
+            }
+        }
+        {
+            let slot = &slots[client as usize];
+            if slot.kind() == OpKind::Insert && slot.ok && !failed && !slot.shed {
+                generator.ack_insert();
+            }
+        }
+        // Schedule the next logical op for this connection.
+        let at = match issue_interval {
+            Some(interval) => {
+                let scheduled = slots[client as usize].next_issue + interval;
+                slots[client as usize].next_issue = if scheduled >= now { scheduled } else { now };
+                slots[client as usize].next_issue
+            }
+            None => now,
+        };
+        if at < measure_end {
+            issue_logical_op(
+                engine,
+                store,
+                &mut generator,
+                &mut slots,
+                &mut ps,
+                client,
+                at,
+                config.op_deadline,
+                &mut issued,
+            );
+        }
+    }
+
+    stats.set_window_ns(measure_end.since(warmup_end).as_nanos());
+    *stats.resilience_mut() = ps.counters;
+    if let Some(sampler) = sampler.as_mut() {
+        sampler.advance_to(engine, measure_end);
+    }
+    RunResult {
+        stats,
+        issued,
+        disk_bytes_per_node: store.disk_bytes_per_node(),
+        telemetry: sampler.map(|s| s.telemetry),
+    }
+}
+
+/// Starts a fresh logical op on `client`: draws the op and its jitter,
+/// credits admission control, and issues the first attempt.
+#[allow(clippy::too_many_arguments)]
+fn issue_logical_op(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    generator: &mut WorkloadGenerator,
+    slots: &mut [ResilientSlot],
+    ps: &mut PolicyState,
+    client: u32,
+    at: SimTime,
+    deadline: Option<SimDuration>,
+    issued: &mut u64,
+) {
+    let op = generator.next_op();
+    let slot = &mut slots[client as usize];
+    slot.op = Some(op);
+    slot.retries_used = 0;
+    slot.jitter = ps.rng.next_frac();
+    slot.hedge_used = false;
+    slot.logical_start = at.max(engine.now());
+    if let Some(budget) = ps.budget.as_mut() {
+        budget.on_primary();
+    }
+    issue_attempt(engine, store, slots, ps, client, at, deadline, issued);
+}
+
+/// Issues one attempt (primary or retry) of the client's logical op,
+/// consulting the target's circuit breaker and arming the hedge trigger
+/// for reads.
+#[allow(clippy::too_many_arguments)]
+fn issue_attempt(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    slots: &mut [ResilientSlot],
+    ps: &mut PolicyState,
+    client: u32,
+    at: SimTime,
+    deadline: Option<SimDuration>,
+    issued: &mut u64,
+) {
+    let op = slots[client as usize]
+        .op
+        .clone()
+        .expect("logical op in flight");
+    let start = at.max(engine.now());
+    let epoch = slots[client as usize].epoch + 1;
+    {
+        let slot = &mut slots[client as usize];
+        slot.epoch = epoch;
+        slot.was_probe = false;
+        slot.shed = false;
+        slot.primary = None;
+        slot.hedge = None;
+        slot.trigger = None;
+    }
+
+    // Circuit breaker: consult the per-target state machine first.
+    let target = store.plan_target(&op);
+    slots[client as usize].target = target;
+    if let (Some(bp), Some(t)) = (ps.policy.breaker.clone(), target) {
+        let (decision, transition) = ps.breakers[t].admit(start, &bp);
+        ps.note_transition(transition);
+        match decision {
+            BreakerDecision::Admit => {}
+            BreakerDecision::Probe => slots[client as usize].was_probe = true,
+            BreakerDecision::Shed => {
+                ps.counters.shed += 1;
+                let slot = &mut slots[client as usize];
+                slot.shed = true;
+                slot.ok = true;
+                slot.missing = false;
+                *issued += 1;
+                let plan = client_only_plan(store.ctx(), client, SHED_COST);
+                slots[client as usize].primary =
+                    Some(engine.submit_at(start, plan, attempt_token(client, epoch)));
+                return;
+            }
+        }
+    }
+
+    let (outcome, plan) = store.plan_op(client, &op, engine);
+    *issued += 1;
+    {
+        let slot = &mut slots[client as usize];
+        slot.ok = !matches!(outcome, OpOutcome::Rejected(_));
+        slot.missing = matches!(outcome, OpOutcome::Missing);
+    }
+    let token = attempt_token(client, epoch);
+    let handle = match deadline {
+        Some(deadline) => engine.submit_at_with_deadline(start, plan, token, deadline),
+        None => engine.submit_at(start, plan, token),
+    };
+    slots[client as usize].primary = Some(handle);
+
+    // Arm the hedge trigger: a pure delay whose completion is the signal
+    // to launch the speculative duplicate read.
+    if let Some(hp) = ps.policy.hedge.clone() {
+        if op.kind() == OpKind::Read && !slots[client as usize].hedge_used {
+            let delay = ps.tracker.delay(&hp);
+            let trigger = engine.submit_at(
+                start,
+                Plan(vec![Step::Delay(delay)]),
+                hedge_trigger_token(client, epoch),
+            );
+            slots[client as usize].trigger = Some(trigger);
+        }
+    }
+}
+
+/// Fired by a hedge trigger's completion: launches the speculative
+/// duplicate read if the primary is still in flight, admission control
+/// grants the extra attempt, and the store has an alternative replica.
+#[allow(clippy::too_many_arguments)]
+fn launch_hedge(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    slots: &mut [ResilientSlot],
+    ps: &mut PolicyState,
+    client: u32,
+    epoch: u64,
+    deadline: Option<SimDuration>,
+    issued: &mut u64,
+) {
+    {
+        let slot = &mut slots[client as usize];
+        slot.trigger = None;
+        if slot.primary.is_none() || slot.hedge.is_some() || slot.hedge_used || slot.shed {
+            return;
+        }
+    }
+    if !ps.try_extra() {
+        return; // admission control declines the speculative attempt
+    }
+    let op = slots[client as usize]
+        .op
+        .clone()
+        .expect("logical op in flight");
+    let Some(plan) = store.hedge_read_plan(client, &op, engine) else {
+        return; // no alternative replica to hedge to
+    };
+    ps.counters.hedges += 1;
+    slots[client as usize].hedge_used = true;
+    *issued += 1;
+    let token = hedge_token(client, epoch);
+    let handle = match deadline {
+        Some(deadline) => engine.submit_with_deadline(plan, token, deadline),
+        None => engine.submit(plan, token),
+    };
+    slots[client as usize].hedge = Some(handle);
 }
 
 #[cfg(test)]
@@ -403,6 +953,8 @@ mod tests {
         ctx: StoreCtx,
         data: BTreeMap<apm_core::record::MetricKey, Record>,
         cpu_us: u64,
+        /// Offer hedge plans (duplicate read against the same node).
+        hedged: bool,
     }
 
     impl FixtureStore {
@@ -412,7 +964,24 @@ mod tests {
                 ctx,
                 data: BTreeMap::new(),
                 cpu_us,
+                hedged: false,
             }
+        }
+
+        fn read_plan(&self, client: u32) -> Plan {
+            let server = self.ctx.servers[0];
+            round_trip_plan(
+                &self.ctx,
+                client,
+                &server,
+                SimDuration::from_micros(5),
+                100,
+                175,
+                vec![apm_sim::Step::Acquire {
+                    resource: server.cpu,
+                    service: SimDuration::from_micros(self.cpu_us),
+                }],
+            )
         }
     }
 
@@ -446,20 +1015,24 @@ mod tests {
                 }
                 Operation::Scan { .. } => OpOutcome::Scanned(0),
             };
-            let server = self.ctx.servers[0];
-            let plan = round_trip_plan(
-                &self.ctx,
-                client,
-                &server,
-                SimDuration::from_micros(5),
-                100,
-                175,
-                vec![apm_sim::Step::Acquire {
-                    resource: server.cpu,
-                    service: SimDuration::from_micros(self.cpu_us),
-                }],
-            );
-            (outcome, plan)
+            (outcome, self.read_plan(client))
+        }
+
+        fn plan_target(&self, _op: &Operation) -> Option<usize> {
+            Some(0)
+        }
+
+        fn hedge_read_plan(
+            &mut self,
+            client: u32,
+            op: &Operation,
+            _engine: &mut Engine,
+        ) -> Option<Plan> {
+            if self.hedged && matches!(op, Operation::Read { .. }) {
+                Some(self.read_plan(client))
+            } else {
+                None
+            }
         }
 
         fn disk_bytes_per_node(&self) -> Option<u64> {
@@ -478,6 +1051,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         }
     }
 
@@ -698,5 +1272,195 @@ mod tests {
         // OpOutcome::Missing only if the fixture returned them — assert
         // the fixture found every key by checking ok-flags stayed true.
         assert!(result.stats.ops(OpKind::Read) > 0);
+    }
+
+    use crate::resilience::{AdmissionPolicy, BreakerPolicy, HedgePolicy, RetryPolicy};
+
+    #[test]
+    fn empty_resilience_policy_matches_the_legacy_driver() {
+        let run = |resilience: Option<ResiliencePolicy>| {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::rw());
+            cfg.faults = FaultSchedule::none().crash(0, SimTime(400_000_000), SimTime(900_000_000));
+            cfg.resilience = resilience;
+            let r = run_benchmark(&mut engine, &mut store, &cfg);
+            (
+                r.issued,
+                r.stats.total_ops(),
+                r.stats.total_errors(),
+                r.stats.total_rejected(),
+                r.stats.throughput().to_bits(),
+                r.stats.mean_latency_ms(OpKind::Read).map(f64::to_bits),
+            )
+        };
+        // A policy bundle with every component disabled must reproduce
+        // the legacy driver's results exactly.
+        assert_eq!(run(None), run(Some(ResiliencePolicy::default())));
+    }
+
+    #[test]
+    fn retries_mask_a_crash_window() {
+        let run = |retry: Option<RetryPolicy>| {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::r());
+            cfg.faults = FaultSchedule::none().crash(0, SimTime(400_000_000), SimTime(900_000_000));
+            cfg.resilience = Some(ResiliencePolicy {
+                retry,
+                ..ResiliencePolicy::default()
+            });
+            run_benchmark(&mut engine, &mut store, &cfg)
+        };
+        let bare = run(None);
+        let retried = run(Some(RetryPolicy::standard()));
+        assert!(bare.stats.total_errors() > 0, "crash produced no errors");
+        assert_eq!(bare.stats.resilience().retries, 0);
+        assert!(retried.stats.resilience().retries > 0);
+        assert!(
+            retried.stats.availability() > bare.stats.availability(),
+            "retries did not improve availability: {} vs {}",
+            retried.stats.availability(),
+            bare.stats.availability()
+        );
+    }
+
+    #[test]
+    fn hedged_reads_fire_and_never_double_count() {
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        store.hedged = true;
+        let mut cfg = quick_config(Workload::r());
+        cfg.resilience = Some(ResiliencePolicy {
+            hedge: Some(HedgePolicy {
+                delay_quantile: 0.95,
+                min_delay: SimDuration::ZERO,
+                warmup_samples: u64::MAX, // pin the delay to the floor
+            }),
+            ..ResiliencePolicy::default()
+        });
+        let r = run_benchmark(&mut engine, &mut store, &cfg);
+        let counters = *r.stats.resilience();
+        assert!(counters.hedges > 0, "no hedges launched");
+        assert!(counters.hedge_wins <= counters.hedges);
+        // Every logical op resolves exactly once: the measured records
+        // can never exceed the logical ops issued, even though every read
+        // ran as two racing attempts.
+        let logical = r.issued - counters.hedges - counters.retries;
+        let recorded = r.stats.total_ops() + r.stats.total_errors() + r.stats.total_rejected();
+        assert!(
+            recorded <= logical,
+            "double-counted completions: {recorded} records for {logical} logical ops"
+        );
+    }
+
+    #[test]
+    fn breaker_sheds_during_an_outage_and_recovers() {
+        let run = |breaker: Option<BreakerPolicy>| {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::r());
+            // Throttle so shed fast-fails don't spin the closed loop.
+            cfg.client = cfg.client.with_throttle(Throttle::TargetOps(5_000.0));
+            cfg.faults =
+                FaultSchedule::none().crash(0, SimTime(300_000_000), SimTime(1_200_000_000));
+            cfg.resilience = Some(ResiliencePolicy {
+                breaker,
+                ..ResiliencePolicy::default()
+            });
+            run_benchmark(&mut engine, &mut store, &cfg)
+        };
+        let bare = run(None);
+        let broken = run(Some(BreakerPolicy {
+            window: 20,
+            error_threshold: 0.5,
+            open_for: SimDuration::from_millis(200),
+        }));
+        let counters = *broken.stats.resilience();
+        assert!(counters.shed > 0, "breaker never shed");
+        assert!(
+            counters.breaker_transitions >= 2,
+            "expected a full open/close cycle, saw {} transitions",
+            counters.breaker_transitions
+        );
+        // Shedding turns would-be errors into fast client-side
+        // rejections, so the error count drops against the bare run.
+        assert!(
+            broken.stats.total_errors() < bare.stats.total_errors(),
+            "breaker did not bound errors: {} vs {}",
+            broken.stats.total_errors(),
+            bare.stats.total_errors()
+        );
+        assert!(broken.stats.total_rejected() > 0);
+    }
+
+    #[test]
+    fn admission_control_bounds_a_retry_storm() {
+        let run = |admission: Option<AdmissionPolicy>| {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::r());
+            cfg.faults =
+                FaultSchedule::none().crash(0, SimTime(300_000_000), SimTime(1_200_000_000));
+            cfg.resilience = Some(ResiliencePolicy {
+                retry: Some(RetryPolicy {
+                    // An aggressive client: many cheap retries.
+                    max_retries_read: 8,
+                    max_retries_write: 8,
+                    base_backoff: SimDuration::from_millis(1),
+                    backoff_cap: SimDuration::from_millis(4),
+                    jitter: 0.0,
+                }),
+                admission,
+                ..ResiliencePolicy::default()
+            });
+            run_benchmark(&mut engine, &mut store, &cfg)
+        };
+        let unbounded = run(None);
+        let budgeted = run(Some(AdmissionPolicy {
+            retry_ratio: 0.05,
+            burst: 5,
+        }));
+        assert!(
+            budgeted.stats.resilience().retries < unbounded.stats.resilience().retries,
+            "admission control did not bound the storm: {} vs {}",
+            budgeted.stats.resilience().retries,
+            unbounded.stats.resilience().retries
+        );
+        assert!(
+            budgeted.stats.resilience().shed > 0,
+            "no retries were shed by the admission budget"
+        );
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        let run = || {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            store.hedged = true;
+            let mut cfg = quick_config(Workload::rw());
+            cfg.faults = FaultSchedule::none().crash(0, SimTime(300_000_000), SimTime(700_000_000));
+            cfg.op_deadline = Some(SimDuration::from_millis(250));
+            cfg.resilience = Some(ResiliencePolicy {
+                retry: Some(RetryPolicy::standard()),
+                hedge: Some(HedgePolicy {
+                    delay_quantile: 0.95,
+                    min_delay: SimDuration::from_micros(500),
+                    warmup_samples: 50,
+                }),
+                breaker: Some(BreakerPolicy::standard()),
+                admission: Some(AdmissionPolicy::standard()),
+            });
+            let r = run_benchmark(&mut engine, &mut store, &cfg);
+            (
+                r.issued,
+                r.stats.total_ops(),
+                r.stats.total_errors(),
+                *r.stats.resilience(),
+                r.stats.throughput().to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -264,6 +264,7 @@ mod tests {
             faults: FaultSchedule::none(),
             op_deadline: None,
             telemetry_window_secs: None,
+            resilience: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

@@ -81,6 +81,7 @@ fn main() {
         faults: FaultSchedule::none(),
         op_deadline: None,
         telemetry_window_secs: None,
+        resilience: None,
     };
     let result = run_benchmark(&mut engine, &mut store, &config);
     let supply = result.throughput();

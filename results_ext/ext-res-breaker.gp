@@ -1,0 +1,18 @@
+set datafile separator ','
+set key outside
+set title "Extension: circuit breaker vs a partitioned shard, t=3s to t=6s (Redis, read-only, timeout 10ms, 4 nodes)"
+set xlabel 'policy'
+set ylabel 'ratio | count | ops/sec | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-res-breaker.png'
+set style data linespoints
+plot 'ext-res-breaker.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-res-breaker.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-res-breaker.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-res-breaker.csv' using 5:xtic(1) with linespoints title 'p99_read_ms', \
+     'ext-res-breaker.csv' using 6:xtic(1) with linespoints title 'retries', \
+     'ext-res-breaker.csv' using 7:xtic(1) with linespoints title 'hedges', \
+     'ext-res-breaker.csv' using 8:xtic(1) with linespoints title 'hedge_wins', \
+     'ext-res-breaker.csv' using 9:xtic(1) with linespoints title 'breaker_transitions', \
+     'ext-res-breaker.csv' using 10:xtic(1) with linespoints title 'shed'

@@ -1,0 +1,18 @@
+set datafile separator ','
+set key outside
+set title "Extension: hedged reads vs a 16x fail-slow node, t=3s to t=6s (Cassandra rf=2, workload R, 4 nodes, 60% load)"
+set xlabel 'policy'
+set ylabel 'ratio | count | ops/sec | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-res-hedge.png'
+set style data linespoints
+plot 'ext-res-hedge.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-res-hedge.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-res-hedge.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-res-hedge.csv' using 5:xtic(1) with linespoints title 'p99_read_ms', \
+     'ext-res-hedge.csv' using 6:xtic(1) with linespoints title 'retries', \
+     'ext-res-hedge.csv' using 7:xtic(1) with linespoints title 'hedges', \
+     'ext-res-hedge.csv' using 8:xtic(1) with linespoints title 'hedge_wins', \
+     'ext-res-hedge.csv' using 9:xtic(1) with linespoints title 'breaker_transitions', \
+     'ext-res-hedge.csv' using 10:xtic(1) with linespoints title 'shed'

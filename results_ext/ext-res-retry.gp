@@ -1,0 +1,18 @@
+set datafile separator ','
+set key outside
+set title "Extension: retries vs a crash window, crash t=3s restart t=6s (Cassandra rf=1, workload R, 4 nodes)"
+set xlabel 'policy'
+set ylabel 'ratio | count | ops/sec | ms'
+set logscale y
+set term pngcairo size 900,540
+set output 'ext-res-retry.png'
+set style data linespoints
+plot 'ext-res-retry.csv' using 2:xtic(1) with linespoints title 'availability', \
+     'ext-res-retry.csv' using 3:xtic(1) with linespoints title 'errors', \
+     'ext-res-retry.csv' using 4:xtic(1) with linespoints title 'throughput', \
+     'ext-res-retry.csv' using 5:xtic(1) with linespoints title 'p99_read_ms', \
+     'ext-res-retry.csv' using 6:xtic(1) with linespoints title 'retries', \
+     'ext-res-retry.csv' using 7:xtic(1) with linespoints title 'hedges', \
+     'ext-res-retry.csv' using 8:xtic(1) with linespoints title 'hedge_wins', \
+     'ext-res-retry.csv' using 9:xtic(1) with linespoints title 'breaker_transitions', \
+     'ext-res-retry.csv' using 10:xtic(1) with linespoints title 'shed'
