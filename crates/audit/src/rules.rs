@@ -7,8 +7,8 @@
 //!
 //! | rule             | issue | scope                                 | default |
 //! |------------------|-------|---------------------------------------|---------|
-//! | `clock`          | D1    | sim, stores, storage + obs modules    | deny    |
-//! | `hash-order`     | D2    | sim, stores + obs modules             | deny    |
+//! | `clock`          | D1    | sim, stores, storage + obs/snap mods  | deny    |
+//! | `hash-order`     | D2    | sim, stores + obs/snap modules        | deny    |
 //! | `unwrap`         | D3    | all non-test library code             | warn    |
 //! | `float-sum`      | D4    | core::stats, core::timeseries        | warn    |
 //! | `shape-coverage` | D5    | harness extensions vs shape           | deny    |
@@ -18,7 +18,11 @@
 //! `harness/src/resilience.rs` (policy-on replay experiments) — feed
 //! deterministic artifacts (trace fingerprints, telemetry and policy
 //! tables), so they inherit the determinism rules even though their
-//! crates otherwise don't.
+//! crates otherwise don't. The *snap modules* — `core/src/snap.rs`
+//! (the sealed snapshot container and Snap codec) and
+//! `harness/src/snap.rs` (checkpoint/resume/bisect experiments) —
+//! join them: a snapshot byte stream that varies run-to-run breaks
+//! resume byte-identity outright.
 //!
 //! `--deny-all` promotes warnings to errors. Any rule is silenced on a
 //! line with `// audit:allow(<rule>)` on that line or the line above.
@@ -74,6 +78,14 @@ fn is_obs_path(path: &str) -> bool {
     path.ends_with("core/src/stats.rs")
         || path.ends_with("harness/src/obs.rs")
         || path.ends_with("harness/src/resilience.rs")
+        || is_snap_path(path)
+}
+
+/// Snapshot modules: the codec and the checkpoint/resume harness. Both
+/// emit byte streams that must be identical across runs, so they carry
+/// the same determinism obligations as the simulation crates.
+fn is_snap_path(path: &str) -> bool {
+    path.ends_with("core/src/snap.rs") || path.ends_with("harness/src/snap.rs")
 }
 
 fn is_bin(path: &str) -> bool {

@@ -61,6 +61,26 @@ fn d1_does_not_apply_outside_deterministic_crates() {
 }
 
 #[test]
+fn d1_snap_codec_trips_clock() {
+    // The snapshot codec must serialize identically across runs — no
+    // wall-clock stamps in the container.
+    let f = file(
+        "crates/core/src/snap.rs",
+        "fn stamp() -> u64 { SystemTime::now().elapsed().as_nanos() as u64 }",
+    );
+    assert_eq!(rules_hit(&[f]), ["clock"]);
+}
+
+#[test]
+fn d1_snap_harness_trips_clock() {
+    let f = file(
+        "crates/harness/src/snap.rs",
+        "fn jitter() { let t = Instant::now(); }",
+    );
+    assert_eq!(rules_hit(&[f]), ["clock"]);
+}
+
+#[test]
 fn d1_allow_escape_passes() {
     let f = file(
         "crates/sim/src/ok.rs",
@@ -105,6 +125,30 @@ fn d2_hashmap_outside_sim_and_stores_is_fine() {
         "use std::collections::HashMap;\nfn f() -> HashMap<u64, u64> { HashMap::new() }",
     );
     assert!(rules_hit(&[f]).is_empty());
+}
+
+#[test]
+fn d2_snap_modules_trip_hash_order() {
+    // A hashed map serialized in snapshot order would make two runs of
+    // the same scenario produce different snapshot bytes.
+    let codec = file(
+        "crates/core/src/snap.rs",
+        "fn f() { let m: std::collections::HashMap<u64, u64> = Default::default(); }",
+    );
+    let harness = file(
+        "crates/harness/src/snap.rs",
+        "fn f() { let s: std::collections::HashSet<u64> = Default::default(); }",
+    );
+    // The same collections in an unscoped harness module stay clean.
+    let other = file(
+        "crates/harness/src/figures.rs",
+        "fn f() { let m: std::collections::HashMap<u64, u64> = Default::default(); }",
+    );
+    let v = audit_files(&[codec, harness, other]);
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v
+        .iter()
+        .all(|v| v.rule == "hash-order" && v.file.contains("/snap.rs")));
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! The committed perf trajectory: measures raw kernel event throughput
+//! and the wall-clock cost of a reduced store matrix, then emits
+//! `BENCH_kernel.json` (see `runner::Artifact`). CI and PR authors rerun
+//! this with `cargo bench -p apm-bench --bench kernel` and commit the
+//! refreshed artifact so kernel speedups and regressions stay visible in
+//! history.
+
+use apm_bench::bench_profile;
+use apm_bench::runner::{black_box, Artifact, Group};
+use apm_core::workload::Workload;
+use apm_harness::experiment::{run_point, StoreKind};
+use apm_sim::kernel::{Engine, Token};
+use apm_sim::plan::Plan;
+use apm_sim::time::SimDuration;
+use apm_sim::ClusterSpec;
+
+/// Closed loop of 1000 plan completions on a contended resource — the
+/// simulator's hottest path. Returns mean ns per whole loop.
+fn kernel_closed_loop(group: &Group) -> f64 {
+    group.bench("closed_loop_1000_ops", || {
+        let mut engine = Engine::new();
+        let cpu = engine.add_resource("cpu", 8);
+        for i in 0..64 {
+            engine.submit(
+                Plan::build()
+                    .acquire(cpu, SimDuration::from_micros(100))
+                    .finish(),
+                Token(i),
+            );
+        }
+        let mut completed = 0u64;
+        while completed < 1_000 {
+            let c = engine.next_completion().expect("closed loop");
+            completed += 1;
+            engine.submit(
+                Plan::build()
+                    .acquire(cpu, SimDuration::from_micros(100))
+                    .finish(),
+                c.token,
+            );
+        }
+        black_box(engine.now())
+    })
+}
+
+/// The reduced matrix: every store at one Workload-RW point (Cluster M,
+/// 2 nodes, bench profile). Returns total wall milliseconds for one pass.
+fn reduced_matrix(group: &Group) -> f64 {
+    let profile = bench_profile();
+    let workload = Workload::rw();
+    group.bench_slow("reduced_matrix_6_stores", 3, || {
+        let mut total = 0.0;
+        for kind in StoreKind::ALL {
+            let point = run_point(kind, ClusterSpec::cluster_m(), 2, &workload, &profile);
+            total += point.throughput();
+        }
+        black_box(total)
+    })
+}
+
+fn main() {
+    let group = Group::new("kernel");
+    let loop_ns = kernel_closed_loop(&group);
+    let matrix_ms = reduced_matrix(&group);
+
+    let mut artifact = Artifact::new("kernel");
+    // 1000 completions per closed-loop iteration.
+    artifact.record("kernel_events_per_sec", 1_000.0 * 1e9 / loop_ns, "events/s");
+    artifact.record("kernel_closed_loop_1000_ops", loop_ns / 1e3, "us/iter");
+    artifact.record("reduced_matrix_wall", matrix_ms, "ms/pass");
+    match artifact.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+}

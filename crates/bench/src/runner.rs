@@ -22,8 +22,9 @@ impl Group {
         Group { name }
     }
 
-    /// Times `f` (one logical iteration per call) and prints the result.
-    pub fn bench<R, F: FnMut() -> R>(&self, name: &str, mut f: F) {
+    /// Times `f` (one logical iteration per call), prints the result, and
+    /// returns the mean ns/iter so callers can fold it into an artifact.
+    pub fn bench<R, F: FnMut() -> R>(&self, name: &str, mut f: F) -> f64 {
         // Warmup + batch-size calibration.
         let start = Instant::now();
         let mut calib_iters = 0u64;
@@ -51,11 +52,13 @@ impl Group {
             "{}/{name:<28} {mean:>12.1} ns/iter (best {best:>10.1}, {total_iters} iters)",
             self.name
         );
+        mean
     }
 
     /// Times `f` once per iteration for slow benchmarks (whole-experiment
-    /// pipelines); runs a fixed small number of iterations.
-    pub fn bench_slow<R, F: FnMut() -> R>(&self, name: &str, iters: u32, mut f: F) {
+    /// pipelines); runs a fixed small number of iterations and returns the
+    /// mean ms/iter.
+    pub fn bench_slow<R, F: FnMut() -> R>(&self, name: &str, iters: u32, mut f: F) -> f64 {
         black_box(f()); // warmup
         let mut times: Vec<f64> = Vec::new();
         for _ in 0..iters.max(1) {
@@ -70,5 +73,67 @@ impl Group {
             self.name,
             times.len()
         );
+        mean
+    }
+}
+
+/// A committed benchmark artifact: named measurements serialized as a flat
+/// JSON object (`BENCH_<name>.json`). The repo commits one per tracked
+/// trajectory so speedups and regressions are visible in history.
+pub struct Artifact {
+    name: &'static str,
+    entries: Vec<(String, f64, &'static str)>,
+}
+
+impl Artifact {
+    pub fn new(name: &'static str) -> Artifact {
+        Artifact {
+            name,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one measurement under `key` with a human-readable unit.
+    pub fn record(&mut self, key: &str, value: f64, unit: &'static str) {
+        self.entries.push((key.to_string(), value, unit));
+    }
+
+    /// Serializes the artifact as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"artifact\": \"{}\",\n", self.name));
+        out.push_str("  \"measurements\": {\n");
+        for (i, (key, value, unit)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{key}\": {{ \"value\": {value:.3}, \"unit\": \"{unit}\" }}{comma}\n"
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the `BENCH_OUT` directory if set,
+    /// else into the workspace root (the nearest ancestor of the current
+    /// directory holding a `Cargo.lock` — `cargo bench` starts benches in
+    /// the *package* root, not the workspace root).
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var_os("BENCH_OUT")
+            .map(std::path::PathBuf::from)
+            .or_else(|| {
+                let mut dir = std::env::current_dir().ok()?;
+                loop {
+                    if dir.join("Cargo.lock").is_file() {
+                        return Some(dir);
+                    }
+                    if !dir.pop() {
+                        return None;
+                    }
+                }
+            })
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
     }
 }

@@ -13,15 +13,14 @@
 //! splits non-trivial, and scans hit arbitrary record populations.
 
 use crate::record::{MetricKey, Record};
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Stateless 64-bit mix (SplitMix64 finaliser). Bijective, so scrambled
-/// identifiers never collide.
+/// identifiers never collide. Thin alias for [`crate::rng::mix`], the
+/// tree's single SplitMix64.
 #[inline]
 pub fn scramble(id: u64) -> u64 {
-    let mut z = id.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    crate::rng::mix(id)
 }
 
 /// Produces the benchmark key for sequence number `seq`.
@@ -97,6 +96,29 @@ impl SplitRng {
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// The raw generator state, for snapshots.
+    pub fn state(&self) -> (u64, u64) {
+        (self.s0, self.s1)
+    }
+
+    /// Rebuilds a generator from a snapshotted [`Self::state`].
+    pub fn from_state(s0: u64, s1: u64) -> SplitRng {
+        SplitRng { s0, s1 }
+    }
+}
+
+impl Snap for SplitRng {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.s0);
+        w.put_u64(self.s1);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(SplitRng {
+            s0: r.u64()?,
+            s1: r.u64()?,
+        })
+    }
 }
 
 /// Chooses existing record sequence numbers according to a distribution.
@@ -160,6 +182,25 @@ fn zeta(n: u64, theta: f64) -> f64 {
     }
 }
 
+impl Snap for ZipfState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.theta);
+        w.put_f64(self.alpha);
+        w.put_f64(self.zetan);
+        w.put_f64(self.eta);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ZipfState {
+            n: r.u64()?,
+            theta: r.f64()?,
+            alpha: r.f64()?,
+            zetan: r.f64()?,
+            eta: r.f64()?,
+        })
+    }
+}
+
 impl KeyChooser {
     /// Creates a chooser with its own RNG stream.
     pub fn new(dist: KeyDistribution, rng: SplitRng) -> Self {
@@ -168,6 +209,21 @@ impl KeyChooser {
             rng,
             zipf: None,
         }
+    }
+
+    /// Serializes the mutable chooser state (RNG position + Zipf cache).
+    /// The distribution is configuration and is not written.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.rng);
+        w.put(&self.zipf);
+    }
+
+    /// Restores state written by [`Self::snap_state`] into a chooser
+    /// built with the same distribution.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng = r.get()?;
+        self.zipf = r.get()?;
+        Ok(())
     }
 
     /// Picks the sequence number of an existing record, given that

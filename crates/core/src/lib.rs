@@ -21,6 +21,8 @@ pub mod metric;
 pub mod ops;
 pub mod record;
 pub mod report;
+pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod timeseries;
 pub mod workload;

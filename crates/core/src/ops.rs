@@ -6,6 +6,7 @@
 //! Updates are still modelled because two extension experiments use them.
 
 use crate::record::{MetricKey, Record};
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Kind of a benchmark operation, in a fixed reporting order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,6 +42,29 @@ impl OpKind {
     }
 }
 
+impl Snap for OpKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            OpKind::Read => 0,
+            OpKind::Scan => 1,
+            OpKind::Insert => 2,
+            OpKind::Update => 3,
+        });
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(OpKind::Read),
+            1 => Ok(OpKind::Scan),
+            2 => Ok(OpKind::Insert),
+            3 => Ok(OpKind::Update),
+            tag => Err(SnapError::BadTag {
+                what: "OpKind",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
 /// A fully-specified operation ready to be issued against a store.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Operation {
@@ -71,6 +95,45 @@ impl Operation {
             Operation::Read { key } => key,
             Operation::Scan { start, .. } => start,
             Operation::Insert { record } | Operation::Update { record } => &record.key,
+        }
+    }
+}
+
+impl Snap for Operation {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Operation::Read { key } => {
+                w.put_u8(0);
+                w.put(key);
+            }
+            Operation::Scan { start, len } => {
+                w.put_u8(1);
+                w.put(start);
+                w.put(len);
+            }
+            Operation::Insert { record } => {
+                w.put_u8(2);
+                w.put(record);
+            }
+            Operation::Update { record } => {
+                w.put_u8(3);
+                w.put(record);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Operation::Read { key: r.get()? }),
+            1 => Ok(Operation::Scan {
+                start: r.get()?,
+                len: r.get()?,
+            }),
+            2 => Ok(Operation::Insert { record: r.get()? }),
+            3 => Ok(Operation::Update { record: r.get()? }),
+            tag => Err(SnapError::BadTag {
+                what: "Operation",
+                tag: u64::from(tag),
+            }),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! mirrors the real measurement structure of Figure 2 (metric name, value,
 //! min, max, timestamp, duration).
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// Length in bytes of the alphanumeric record key.
@@ -113,6 +114,15 @@ impl MetricKey {
     }
 }
 
+impl Snap for MetricKey {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_bytes(&self.0);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(MetricKey(r.bytes(KEY_SIZE)?.try_into().expect("key size")))
+    }
+}
+
 impl fmt::Debug for MetricKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "MetricKey({})", String::from_utf8_lossy(&self.0))
@@ -163,6 +173,21 @@ impl FieldValues {
     }
 }
 
+impl Snap for FieldValues {
+    fn snap(&self, w: &mut SnapWriter) {
+        for field in &self.0 {
+            w.put_bytes(field);
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let mut fields = [[0u8; FIELD_SIZE]; FIELD_COUNT];
+        for field in &mut fields {
+            field.copy_from_slice(r.bytes(FIELD_SIZE)?);
+        }
+        Ok(FieldValues(fields))
+    }
+}
+
 impl fmt::Debug for FieldValues {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "FieldValues(")?;
@@ -196,6 +221,19 @@ impl Record {
     #[inline]
     pub const fn raw_size(&self) -> usize {
         RAW_RECORD_SIZE
+    }
+}
+
+impl Snap for Record {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.key);
+        w.put(&self.fields);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Record {
+            key: r.get()?,
+            fields: r.get()?,
+        })
     }
 }
 

@@ -1,0 +1,758 @@
+//! apm-snap: a versioned, dependency-free binary snapshot format.
+//!
+//! Long-horizon simulated runs (compaction-debt accumulation, hour-scale
+//! virtual time) are deterministic but expensive to replay from `t = 0`.
+//! This module defines the container every checkpoint is written into and
+//! the [`Snap`] encoding trait the kernel, the storage engines, the store
+//! models, and the benchmark driver implement so a run can be frozen at a
+//! virtual-time boundary and resumed byte-identically.
+//!
+//! ## Container layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "APMS"
+//! 4       2     format version (u16 LE)
+//! 6       var   scenario id (u64 LE length + UTF-8 bytes)
+//! ..      8     config fingerprint (u64 LE) — FNV-1a over the run config
+//! ..      1     feature flags (bit 0 = audit, bit 1 = trace)
+//! ..      4     checkpoint index (u32 LE)
+//! ..      8     virtual time of the checkpoint in ns (u64 LE)
+//! ..      8     body length (u64 LE)
+//! ..      var   body (Snap-encoded sections)
+//! end-8   8     FNV-1a 64 checksum over everything before it (u64 LE)
+//! ```
+//!
+//! All integers are little-endian. Floats are encoded via
+//! [`f64::to_bits`], so round-trips are bit-exact. Collections are
+//! length-prefixed (`u64` count); map/set entries are written in the
+//! container's own iteration order (`BTreeMap`/`BTreeSet` — i.e. sorted),
+//! never in hash order, so identical logical state always serializes to
+//! identical bytes.
+//!
+//! The encoding is deliberately schema-free: readers must consume fields
+//! in exactly the order writers produced them. Cross-version migration is
+//! out of scope — a [`SnapError::VersionMismatch`] tells the caller to
+//! regenerate the checkpoint, which a deterministic run can always do.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// First four bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"APMS";
+/// Current container format version.
+pub const VERSION: u16 = 1;
+
+/// Feature-flag bit recorded when the writer was built with `audit`.
+pub const FEATURE_AUDIT: u8 = 1 << 0;
+/// Feature-flag bit recorded when the writer was built with `trace`.
+pub const FEATURE_TRACE: u8 = 1 << 1;
+
+/// FNV-1a 64-bit hash — the checksum and fingerprint primitive used
+/// throughout the snapshot layer (same family the kernel auditor uses
+/// for its rolling fingerprint).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything that can go wrong opening or decoding a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapError {
+    /// The reader ran out of bytes mid-field.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        wanted: usize,
+        /// Bytes left in the buffer.
+        remaining: usize,
+    },
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The container was written by a different format version.
+    VersionMismatch {
+        /// Version stored in the container.
+        found: u16,
+        /// Version this build understands.
+        expected: u16,
+    },
+    /// An enum discriminant had no decoding.
+    BadTag {
+        /// Which type was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// The trailing FNV-1a checksum does not match the contents.
+    ChecksumMismatch {
+        /// Checksum stored in the container.
+        stored: u64,
+        /// Checksum recomputed from the bytes.
+        computed: u64,
+    },
+    /// A section decoder finished with bytes left over.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The snapshot was taken under different `audit`/`trace` features
+    /// than this build — fingerprints could not be compared.
+    FeatureMismatch {
+        /// Flags stored in the container.
+        stored: u8,
+        /// Flags of the running build.
+        active: u8,
+    },
+    /// The snapshot belongs to a different run configuration.
+    ConfigMismatch {
+        /// Fingerprint stored in the container.
+        stored: u64,
+        /// Fingerprint of the config being resumed.
+        active: u64,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::UnexpectedEof { wanted, remaining } => {
+                write!(f, "unexpected EOF: wanted {wanted} bytes, {remaining} left")
+            }
+            SnapError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot format v{found}, this build reads v{expected}")
+            }
+            SnapError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            SnapError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+            SnapError::BadUtf8 => write!(f, "invalid UTF-8 in snapshot string"),
+            SnapError::FeatureMismatch { stored, active } => write!(
+                f,
+                "snapshot features {stored:#04x} differ from build features {active:#04x}"
+            ),
+            SnapError::ConfigMismatch { stored, active } => write!(
+                f,
+                "snapshot config fingerprint {stored:#018x} differs from run config {active:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only byte sink for snapshot encoding.
+#[derive(Clone, Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` bit-exactly.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes any [`Snap`] value.
+    pub fn put<T: Snap>(&mut self, v: &T) {
+        v.snap(self);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes, borrowed.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Cursor over snapshot bytes for decoding.
+#[derive(Clone, Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::UnexpectedEof {
+                wanted: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, SnapError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("len 16"),
+        ))
+    }
+
+    /// Reads an `f64` bit-exactly.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let len = self.u64()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SnapError::BadUtf8)
+    }
+
+    /// Reads any [`Snap`] value.
+    pub fn get<T: Snap>(&mut self) -> Result<T, SnapError> {
+        T::restore(self)
+    }
+
+    /// Succeeds only when every byte was consumed.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Bit-exact binary encoding into a [`SnapWriter`] / out of a
+/// [`SnapReader`]. Implementations must encode deterministically:
+/// identical logical state ⇒ identical bytes.
+pub trait Snap: Sized {
+    /// Appends this value's encoding to `w`.
+    fn snap(&self, w: &mut SnapWriter);
+    /// Decodes one value from `r`.
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError>;
+}
+
+macro_rules! snap_int {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Snap for $ty {
+            fn snap(&self, w: &mut SnapWriter) {
+                w.$put(*self);
+            }
+            fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+snap_int!(u8, put_u8, u8);
+snap_int!(u16, put_u16, u16);
+snap_int!(u32, put_u32, u32);
+snap_int!(u64, put_u64, u64);
+snap_int!(u128, put_u128, u128);
+snap_int!(f64, put_f64, f64);
+
+impl Snap for usize {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(*self as u64);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(r.u64()? as usize)
+    }
+}
+
+impl Snap for bool {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(u8::from(*self));
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(SnapError::BadTag {
+                what: "bool",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl Snap for String {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_str(self);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        r.str()
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.snap(w);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::restore(r)?)),
+            tag => Err(SnapError::BadTag {
+                what: "Option",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let len = r.u64()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::restore(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let len = r.u64()? as usize;
+        let mut out = VecDeque::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push_back(T::restore(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.len() as u64);
+        for (k, v) in self {
+            k.snap(w);
+            v.snap(w);
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let len = r.u64()? as usize;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::restore(r)?;
+            let v = V::restore(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap + Ord> Snap for BTreeSet<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let len = r.u64()? as usize;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::restore(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok((A::restore(r)?, B::restore(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+        self.2.snap(w);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok((A::restore(r)?, B::restore(r)?, C::restore(r)?))
+    }
+}
+
+impl<const N: usize> Snap for [u8; N] {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_bytes(self);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(r.bytes(N)?.try_into().expect("exact length"))
+    }
+}
+
+/// Identifying metadata sealed into every snapshot container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Scenario/run identifier (free-form; the harness uses scenario ids).
+    pub scenario: String,
+    /// FNV-1a fingerprint of the run configuration, so a snapshot cannot
+    /// be resumed against a different config.
+    pub config_fingerprint: u64,
+    /// [`FEATURE_AUDIT`] | [`FEATURE_TRACE`] bits of the writing build.
+    pub features: u8,
+    /// Zero-based index of this checkpoint within its run.
+    pub checkpoint_index: u32,
+    /// Virtual time at which the checkpoint was taken, in nanoseconds.
+    pub virtual_time_ns: u64,
+}
+
+/// Seals `body` into a versioned, checksummed container.
+pub fn seal(header: &SnapshotHeader, body: &[u8]) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(VERSION);
+    w.put_str(&header.scenario);
+    w.put_u64(header.config_fingerprint);
+    w.put_u8(header.features);
+    w.put_u32(header.checkpoint_index);
+    w.put_u64(header.virtual_time_ns);
+    w.put_u64(body.len() as u64);
+    w.put_bytes(body);
+    let checksum = fnv1a64(w.bytes());
+    w.put_u64(checksum);
+    w.into_bytes()
+}
+
+/// Opens a sealed container: verifies magic, version and checksum, then
+/// returns the header and the body bytes.
+pub fn open(bytes: &[u8]) -> Result<(SnapshotHeader, &[u8]), SnapError> {
+    if bytes.len() < MAGIC.len() + 2 + 8 {
+        return Err(SnapError::UnexpectedEof {
+            wanted: MAGIC.len() + 2 + 8,
+            remaining: bytes.len(),
+        });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let (contents, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("len 8"));
+    let computed = fnv1a64(contents);
+    if stored != computed {
+        return Err(SnapError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = SnapReader::new(contents);
+    r.bytes(MAGIC.len())?;
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SnapError::VersionMismatch {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    let scenario = r.str()?;
+    let config_fingerprint = r.u64()?;
+    let features = r.u8()?;
+    let checkpoint_index = r.u32()?;
+    let virtual_time_ns = r.u64()?;
+    let body_len = r.u64()? as usize;
+    let body = r.bytes(body_len)?;
+    r.finish()?;
+    Ok((
+        SnapshotHeader {
+            scenario,
+            config_fingerprint,
+            features,
+            checkpoint_index,
+            virtual_time_ns,
+        },
+        body,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> SnapshotHeader {
+        SnapshotHeader {
+            scenario: "test-scenario".to_string(),
+            config_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            features: FEATURE_AUDIT | FEATURE_TRACE,
+            checkpoint_index: 3,
+            virtual_time_ns: 45_000_000_000,
+        }
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.put(&0xABu8);
+        w.put(&0xBEEFu16);
+        w.put(&0xDEAD_BEEFu32);
+        w.put(&u64::MAX);
+        w.put(&(u128::MAX - 1));
+        w.put(&usize::MAX);
+        w.put(&true);
+        w.put(&false);
+        w.put(&-0.0f64);
+        w.put(&f64::NAN);
+        w.put(&"héllo".to_string());
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.get::<u8>().unwrap(), 0xAB);
+        assert_eq!(r.get::<u16>().unwrap(), 0xBEEF);
+        assert_eq!(r.get::<u32>().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get::<u64>().unwrap(), u64::MAX);
+        assert_eq!(r.get::<u128>().unwrap(), u128::MAX - 1);
+        assert_eq!(r.get::<usize>().unwrap(), usize::MAX);
+        assert!(r.get::<bool>().unwrap());
+        assert!(!r.get::<bool>().unwrap());
+        assert_eq!(r.get::<f64>().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get::<f64>().unwrap().is_nan());
+        assert_eq!(r.get::<String>().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let vec = vec![1u64, 2, 3];
+        let deque: VecDeque<u32> = [9u32, 8, 7].into_iter().collect();
+        let map: BTreeMap<String, u64> = [("a".to_string(), 1u64), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
+        let set: BTreeSet<u64> = [5u64, 3, 8].into_iter().collect();
+        let opt_some = Some((1u64, 2u64, true));
+        let opt_none: Option<u64> = None;
+        let arr = [7u8; 25];
+        let mut w = SnapWriter::new();
+        w.put(&vec);
+        w.put(&deque);
+        w.put(&map);
+        w.put(&set);
+        w.put(&opt_some);
+        w.put(&opt_none);
+        w.put(&arr);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.get::<Vec<u64>>().unwrap(), vec);
+        assert_eq!(r.get::<VecDeque<u32>>().unwrap(), deque);
+        assert_eq!(r.get::<BTreeMap<String, u64>>().unwrap(), map);
+        assert_eq!(r.get::<BTreeSet<u64>>().unwrap(), set);
+        assert_eq!(r.get::<Option<(u64, u64, bool)>>().unwrap(), opt_some);
+        assert_eq!(r.get::<Option<u64>>().unwrap(), opt_none);
+        assert_eq!(r.get::<[u8; 25]>().unwrap(), arr);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_reports_eof() {
+        let mut w = SnapWriter::new();
+        w.put(&12345u64);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..4]);
+        assert_eq!(
+            r.get::<u64>(),
+            Err(SnapError::UnexpectedEof {
+                wanted: 8,
+                remaining: 4
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = SnapWriter::new();
+        w.put(&1u8);
+        w.put(&2u8);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let _ = r.get::<u8>().unwrap();
+        assert_eq!(r.finish(), Err(SnapError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn bad_enum_tags_are_rejected() {
+        let bytes = [7u8];
+        assert!(matches!(
+            SnapReader::new(&bytes).get::<bool>(),
+            Err(SnapError::BadTag { what: "bool", .. })
+        ));
+        assert!(matches!(
+            SnapReader::new(&bytes).get::<Option<u8>>(),
+            Err(SnapError::BadTag { what: "Option", .. })
+        ));
+    }
+
+    #[test]
+    fn container_seals_and_opens() {
+        let body = b"section bytes".to_vec();
+        let sealed = seal(&header(), &body);
+        let (h, b) = open(&sealed).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(b, &body[..]);
+    }
+
+    #[test]
+    fn container_rejects_bad_magic() {
+        let mut sealed = seal(&header(), b"x");
+        sealed[0] = b'Z';
+        assert_eq!(open(&sealed), Err(SnapError::BadMagic));
+    }
+
+    #[test]
+    fn container_rejects_version_mismatch() {
+        // Bump the version field and re-seal the checksum so only the
+        // version check can fail.
+        let mut sealed = seal(&header(), b"x");
+        let v = (VERSION + 1).to_le_bytes();
+        sealed[4] = v[0];
+        sealed[5] = v[1];
+        let len = sealed.len();
+        let checksum = fnv1a64(&sealed[..len - 8]).to_le_bytes();
+        sealed[len - 8..].copy_from_slice(&checksum);
+        assert_eq!(
+            open(&sealed),
+            Err(SnapError::VersionMismatch {
+                found: VERSION + 1,
+                expected: VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn container_detects_corruption() {
+        let mut sealed = seal(&header(), b"section bytes");
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 0x40;
+        assert!(matches!(
+            open(&sealed),
+            Err(SnapError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -7,6 +7,7 @@
 //! the bounded-throughput experiment (§5.6) and extensions.
 
 use crate::ops::OpKind;
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 
 /// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
@@ -137,6 +138,43 @@ impl Histogram {
     }
 }
 
+impl Snap for Histogram {
+    fn snap(&self, w: &mut SnapWriter) {
+        // Sparse encoding: most of the 1920 slots are empty in short runs.
+        let occupied: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        w.put(&occupied);
+        w.put_u64(self.total);
+        w.put_u128(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let occupied: Vec<(u64, u64)> = r.get()?;
+        let mut h = Histogram::new();
+        for (i, c) in occupied {
+            let slot = h
+                .counts
+                .get_mut(i as usize)
+                .ok_or(SnapError::BadTag {
+                    what: "Histogram slot",
+                    tag: i,
+                })?;
+            *slot = c;
+        }
+        h.total = r.u64()?;
+        h.sum = r.u128()?;
+        h.min = r.u64()?;
+        h.max = r.u64()?;
+        Ok(h)
+    }
+}
+
 /// Client-side resilience-policy activity over one benchmark run
 /// (retries, hedged reads, circuit-breaker transitions, load shedding).
 /// All zero when no policy is configured.
@@ -163,6 +201,25 @@ impl ResilienceCounters {
         self.hedge_wins += other.hedge_wins;
         self.breaker_transitions += other.breaker_transitions;
         self.shed += other.shed;
+    }
+}
+
+impl Snap for ResilienceCounters {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.retries);
+        w.put_u64(self.hedges);
+        w.put_u64(self.hedge_wins);
+        w.put_u64(self.breaker_transitions);
+        w.put_u64(self.shed);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ResilienceCounters {
+            retries: r.u64()?,
+            hedges: r.u64()?,
+            hedge_wins: r.u64()?,
+            breaker_transitions: r.u64()?,
+            shed: r.u64()?,
+        })
     }
 }
 
@@ -363,6 +420,29 @@ impl BenchStats {
     }
 }
 
+impl Snap for BenchStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.per_kind);
+        w.put(&self.rejected);
+        w.put(&self.errors);
+        w.put_u64(self.window_ns);
+        w.put(&self.timeline);
+        w.put(&self.error_timeline);
+        w.put(&self.resilience);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(BenchStats {
+            per_kind: r.get()?,
+            rejected: r.get()?,
+            errors: r.get()?,
+            window_ns: r.u64()?,
+            timeline: r.get()?,
+            error_timeline: r.get()?,
+            resilience: r.get()?,
+        })
+    }
+}
+
 /// Utilisation and queue depth of one resource class over one window.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ResourceSample {
@@ -370,6 +450,19 @@ pub struct ResourceSample {
     pub utilization: f64,
     /// Waiting requests (not in service) sampled at the window boundary.
     pub queue_depth: f64,
+}
+
+impl Snap for ResourceSample {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.utilization);
+        w.put_f64(self.queue_depth);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ResourceSample {
+            utilization: r.f64()?,
+            queue_depth: r.f64()?,
+        })
+    }
 }
 
 /// One telemetry window: op counts, a latency histogram, and per-class
@@ -440,6 +533,25 @@ impl TelemetryWindow {
     /// All resource classes sampled in this window, in key order.
     pub fn resource_classes(&self) -> impl Iterator<Item = &str> {
         self.resources.keys().map(String::as_str)
+    }
+}
+
+impl Snap for TelemetryWindow {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.ops);
+        w.put_u64(self.errors);
+        w.put_u64(self.rejected);
+        w.put(&self.latency);
+        w.put(&self.resources);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(TelemetryWindow {
+            ops: r.u64()?,
+            errors: r.u64()?,
+            rejected: r.u64()?,
+            latency: r.get()?,
+            resources: r.get()?,
+        })
     }
 }
 
@@ -539,6 +651,26 @@ impl Telemetry {
         } else {
             pairwise_sum(&samples) / samples.len() as f64
         }
+    }
+}
+
+impl Snap for Telemetry {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.window_ns);
+        w.put(&self.windows);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let window_ns = r.u64()?;
+        if window_ns == 0 {
+            return Err(SnapError::BadTag {
+                what: "Telemetry window_ns",
+                tag: 0,
+            });
+        }
+        Ok(Telemetry {
+            window_ns,
+            windows: r.get()?,
+        })
     }
 }
 
@@ -856,6 +988,48 @@ mod tests {
         // Rejections stay out of ops-based rates.
         assert!((t.ops_per_sec(0) - 1.0).abs() < 1e-12);
         assert!((t.windows()[0].error_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_and_telemetry_snapshot_round_trip() {
+        let mut stats = BenchStats::new();
+        for v in [10u64, 2_000, 3_000_000, u64::MAX / 2] {
+            stats.record(OpKind::Read, v);
+            stats.record_timeline(v % 7_000_000_000);
+        }
+        stats.record_rejection(OpKind::Insert);
+        stats.record_error(OpKind::Scan, 1_500_000_000);
+        stats.set_window_ns(60_000_000_000);
+        stats.resilience_mut().retries = 9;
+        let mut t = Telemetry::new(1_000_000_000);
+        t.record(100, 1_000_000);
+        t.record_error(2_600_000_000);
+        t.sample_resource(
+            1,
+            "disk",
+            ResourceSample {
+                utilization: 0.375,
+                queue_depth: 2.5,
+            },
+        );
+        let mut w = SnapWriter::new();
+        w.put(&stats);
+        w.put(&t);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let stats2: BenchStats = r.get().unwrap();
+        let t2: Telemetry = r.get().unwrap();
+        r.finish().unwrap();
+        // Re-encoding must be byte-identical (the property resume relies on).
+        let mut w2 = SnapWriter::new();
+        w2.put(&stats2);
+        w2.put(&t2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(stats2.total_ops(), stats.total_ops());
+        assert_eq!(stats2.quantile_latency_ms(OpKind::Read, 0.99), stats.quantile_latency_ms(OpKind::Read, 0.99));
+        assert_eq!(stats2.timeline(), stats.timeline());
+        assert_eq!(t2.windows().len(), t.windows().len());
+        assert_eq!(t2.windows()[1].resource("disk"), t.windows()[1].resource("disk"));
     }
 
     #[test]

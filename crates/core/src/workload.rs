@@ -16,6 +16,7 @@
 use crate::keyspace::{record_for_seq, KeyChooser, KeyDistribution, SplitRng};
 use crate::ops::{OpKind, Operation};
 use crate::record::MetricKey;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 
 /// The paper's fixed scan length (§3: "a scan-length of 50 records").
 pub const SCAN_LENGTH: usize = 50;
@@ -254,6 +255,26 @@ impl WorkloadGenerator {
     pub fn key_for(seq: u64) -> MetricKey {
         record_for_seq(seq).key
     }
+
+    /// Serializes the generator's mutable state (RNG streams, chooser
+    /// cache, sequence counters). The workload itself is configuration
+    /// and is re-derived from the run config on restore.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        self.chooser.snap_state(w);
+        w.put(&self.rng);
+        w.put(&self.next_seq);
+        w.put(&self.acked);
+    }
+
+    /// Restores state written by [`Self::snap_state`] into a generator
+    /// built from the same workload/seed configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.chooser.restore_state(r)?;
+        self.rng = r.get()?;
+        self.next_seq = r.u64()?;
+        self.acked = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Returns Table 1 as (name, read %, scan %, insert %) rows — used by the
@@ -370,6 +391,34 @@ mod tests {
         let mut b = WorkloadGenerator::new(Workload::r(), 1_000, 5);
         for _ in 0..1_000 {
             assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn generator_state_round_trips_mid_stream() {
+        for workload in [Workload::rsw(), Workload::rs()] {
+            let mut live = WorkloadGenerator::new(workload.clone(), 1_000, 11);
+            for _ in 0..500 {
+                if live.next_op().kind() == OpKind::Insert {
+                    live.ack_insert();
+                }
+            }
+            let mut w = SnapWriter::new();
+            live.snap_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut restored = WorkloadGenerator::new(workload, 1_000, 11);
+            let mut r = SnapReader::new(&bytes);
+            restored.restore_state(&mut r).unwrap();
+            r.finish().unwrap();
+            for _ in 0..500 {
+                let a = live.next_op();
+                let b = restored.next_op();
+                assert_eq!(a, b);
+                if a.kind() == OpKind::Insert {
+                    live.ack_insert();
+                    restored.ack_insert();
+                }
+            }
         }
     }
 

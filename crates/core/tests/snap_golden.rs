@@ -1,0 +1,112 @@
+//! Golden-file test pinning the apm-snap container format.
+//!
+//! The checked-in `tests/data/snap_golden.bin` was produced by this test
+//! (run with `SNAP_GOLDEN_UPDATE=1` to regenerate after an intentional
+//! format change — which must also bump `apm_core::snap::VERSION`). Any
+//! unintentional encoding drift fails the byte comparison.
+
+use apm_core::snap::{self, SnapError, SnapReader, SnapWriter, SnapshotHeader};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("snap_golden.bin")
+}
+
+/// A fixed structure exercising every primitive the format defines.
+fn golden_bytes() -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put(&0x42u8);
+    w.put(&0xBEEFu16);
+    w.put(&0xDEAD_BEEFu32);
+    w.put(&0x0123_4567_89AB_CDEFu64);
+    w.put(&(u128::from(u64::MAX) + 7));
+    w.put(&true);
+    w.put(&false);
+    w.put(&1.5f64);
+    w.put(&"snapshot".to_string());
+    w.put(&Some(99u64));
+    w.put(&None::<u64>);
+    w.put(&vec![3u64, 1, 4, 1, 5]);
+    w.put(&[9u32, 8, 7].into_iter().collect::<VecDeque<u32>>());
+    w.put(
+        &[("lsm".to_string(), 1u64), ("wal".to_string(), 2)]
+            .into_iter()
+            .collect::<BTreeMap<String, u64>>(),
+    );
+    let header = SnapshotHeader {
+        scenario: "golden".to_string(),
+        config_fingerprint: 0xF1F2_F3F4_F5F6_F7F8,
+        features: snap::FEATURE_AUDIT,
+        checkpoint_index: 2,
+        virtual_time_ns: 30_000_000_000,
+    };
+    snap::seal(&header, w.bytes())
+}
+
+#[test]
+fn container_bytes_match_the_golden_file() {
+    let produced = golden_bytes();
+    let path = golden_path();
+    if std::env::var_os("SNAP_GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+    }
+    let golden = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with SNAP_GOLDEN_UPDATE=1", path.display()));
+    assert_eq!(
+        produced, golden,
+        "snapshot encoding drifted from the golden file — if intentional, bump snap::VERSION and regenerate"
+    );
+}
+
+#[test]
+fn golden_file_still_opens_and_decodes() {
+    let golden = std::fs::read(golden_path()).expect("golden file present");
+    let (header, body) = snap::open(&golden).unwrap();
+    assert_eq!(header.scenario, "golden");
+    assert_eq!(header.checkpoint_index, 2);
+    assert_eq!(header.virtual_time_ns, 30_000_000_000);
+    let mut r = SnapReader::new(body);
+    assert_eq!(r.get::<u8>().unwrap(), 0x42);
+    assert_eq!(r.get::<u16>().unwrap(), 0xBEEF);
+    assert_eq!(r.get::<u32>().unwrap(), 0xDEAD_BEEF);
+    assert_eq!(r.get::<u64>().unwrap(), 0x0123_4567_89AB_CDEF);
+    assert_eq!(r.get::<u128>().unwrap(), u128::from(u64::MAX) + 7);
+    assert!(r.get::<bool>().unwrap());
+    assert!(!r.get::<bool>().unwrap());
+    assert_eq!(r.get::<f64>().unwrap(), 1.5);
+    assert_eq!(r.get::<String>().unwrap(), "snapshot");
+    assert_eq!(r.get::<Option<u64>>().unwrap(), Some(99));
+    assert_eq!(r.get::<Option<u64>>().unwrap(), None);
+    assert_eq!(r.get::<Vec<u64>>().unwrap(), vec![3, 1, 4, 1, 5]);
+    assert_eq!(
+        r.get::<VecDeque<u32>>().unwrap(),
+        [9u32, 8, 7].into_iter().collect::<VecDeque<u32>>()
+    );
+    let map: BTreeMap<String, u64> = r.get().unwrap();
+    assert_eq!(map.get("lsm"), Some(&1));
+    assert_eq!(map.get("wal"), Some(&2));
+    r.finish().unwrap();
+}
+
+#[test]
+fn version_bump_is_rejected() {
+    let mut bytes = golden_bytes();
+    let bumped = (snap::VERSION + 1).to_le_bytes();
+    bytes[4] = bumped[0];
+    bytes[5] = bumped[1];
+    let len = bytes.len();
+    let checksum = snap::fnv1a64(&bytes[..len - 8]).to_le_bytes();
+    bytes[len - 8..].copy_from_slice(&checksum);
+    assert_eq!(
+        snap::open(&bytes).unwrap_err(),
+        SnapError::VersionMismatch {
+            found: snap::VERSION + 1,
+            expected: snap::VERSION
+        }
+    );
+}

@@ -8,7 +8,7 @@
 //! repro fig3 --scale 0.02 --secs 20  # higher-fidelity run
 //! ```
 
-use apm_harness::experiment::ExperimentProfile;
+use apm_harness::experiment::{ExperimentProfile, StoreKind};
 use apm_harness::extensions::{all_extensions, generate_extension};
 use apm_harness::figures::{all_figures, figure_by_id, generate};
 use apm_harness::output::{
@@ -25,7 +25,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: repro <list | all | table1 | fig3..fig20 | ext-*>... [--scale F] [--secs S] [--warmup S] [--seed N] [--out DIR]\n       repro render <results.json>...   # merge result files and print EXPERIMENTS markdown"
+    "usage: repro <list | all | table1 | fig3..fig20 | ext-*>... [--scale F] [--secs S] [--warmup S] [--seed N] [--out DIR]\n       repro render <results.json>...   # merge result files and print EXPERIMENTS markdown\n       repro snapshot <store>           # run with checkpoints, write snap-<store>-<k>.bin\n       repro resume <snapshot.bin>      # resume a run from a sealed checkpoint\n       repro bisect <store>             # inject a divergence and localize its window"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -79,6 +79,136 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(Args { ids, profile, out })
 }
 
+fn store_arg(args: &Args) -> Result<StoreKind, String> {
+    let name = args
+        .ids
+        .get(1)
+        .ok_or_else(|| "expected a store name (cassandra, hbase, voldemort, voltdb, redis, mysql)".to_string())?;
+    StoreKind::by_name(name).ok_or_else(|| format!("unknown store {name:?}"))
+}
+
+/// `repro snapshot <store>` — run the canonical checkpointed scenario and
+/// write every sealed checkpoint as `snap-<store>-<k>.bin`.
+fn cmd_snapshot(args: &Args) -> ExitCode {
+    let kind = match store_arg(args) {
+        Ok(k) => k,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = apm_harness::snap::snapshot_run(kind, &args.profile);
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for cp in &run.result.checkpoints {
+        let path = dir.join(format!("snap-{}-{}.bin", kind.name(), cp.index));
+        if let Err(e) = std::fs::write(&path, &cp.bytes) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} (t = {:.3} s, state hash {:#018x})",
+            path.display(),
+            cp.at.0 as f64 / 1e9,
+            cp.state_hash()
+        );
+    }
+    println!(
+        "{}: {} checkpoints, final fingerprint {:#018x}",
+        kind.name(),
+        run.result.checkpoints.len(),
+        run.fingerprint
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro resume <snapshot.bin>` — reopen a sealed checkpoint, rebuild the
+/// scenario its header names, and run it to completion.
+fn cmd_resume(args: &Args) -> ExitCode {
+    let path = match args.ids.get(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("expected a snapshot file");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (header, _) = match apm_core::snap::open(&bytes) {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("{path} is not a valid snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kind = match StoreKind::by_name(&header.scenario) {
+        Some(k) => k,
+        None => {
+            eprintln!("snapshot names unknown scenario {:?}", header.scenario);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "resuming {} from checkpoint {} (t = {:.3} s)",
+        header.scenario,
+        header.checkpoint_index,
+        header.virtual_time_ns as f64 / 1e9
+    );
+    match apm_harness::snap::resume_run(kind, &args.profile, &bytes) {
+        Ok(run) => {
+            println!(
+                "{}: resumed run finished, final fingerprint {:#018x}",
+                kind.name(),
+                run.fingerprint
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro bisect <store>` — run the scenario clean and with an injected
+/// one-draw perturbation, then bisect the checkpoint streams to localize
+/// the first divergent virtual-time window.
+fn cmd_bisect(args: &Args) -> ExitCode {
+    let kind = match store_arg(args) {
+        Ok(k) => k,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let perturb_at = args.profile.measure_secs * 0.55;
+    let outcome = apm_harness::snap::bisect_run(kind, &args.profile, perturb_at);
+    println!(
+        "{}: {} common checkpoints (perturbation injected {perturb_at:.3} s after warm-up)",
+        kind.name(),
+        outcome.checkpoints
+    );
+    match (outcome.first_divergent, outcome.window_ns) {
+        (Some(k), Some((start, end))) => {
+            println!(
+                "first divergent checkpoint: {k}; divergence lies in ({:.3} s, {:.3} s]",
+                start as f64 / 1e9,
+                end as f64 / 1e9
+            );
+        }
+        _ => println!("no divergence detected"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -88,6 +218,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    match args.ids.first().map(String::as_str) {
+        Some("snapshot") => return cmd_snapshot(&args),
+        Some("resume") => return cmd_resume(&args),
+        Some("bisect") => return cmd_bisect(&args),
+        _ => {}
+    }
 
     if args.ids.first().map(String::as_str) == Some("render") {
         let mut merged = ResultsFile::default();

@@ -218,6 +218,7 @@ pub fn run_point_throttled(
         op_deadline: None,
         telemetry_window_secs: None,
         resilience: None,
+        checkpoints: None,
     };
     let result = run_benchmark(&mut engine, boxed.as_mut(), &config);
     Point {

@@ -39,6 +39,7 @@ pub fn all_extensions() -> Vec<(&'static str, &'static str)> {
         ("ext-res-hedge", "Extension: hedged reads vs a fail-slow node, rf=2 (Cassandra, workload R, 4 nodes)"),
         ("ext-res-breaker", "Extension: circuit breaker vs a partitioned shard (Redis, read-only, 4 nodes)"),
         ("ext-res-storm", "Extension: admission control vs an unbounded retry storm (Cassandra rf=1, workload R, 4 nodes)"),
+        ("ext-snap-resume", "Extension: snapshot/resume equivalence and divergence bisection (all stores, workload RW, 4 nodes)"),
     ]
 }
 
@@ -62,6 +63,7 @@ pub fn generate_extension(id: &str, profile: &ExperimentProfile) -> Option<Table
         "ext-res-hedge" => Some(crate::resilience::hedged_reads(profile)),
         "ext-res-breaker" => Some(crate::resilience::breaker_shedding(profile)),
         "ext-res-storm" => Some(crate::resilience::retry_storm(profile)),
+        "ext-snap-resume" => Some(crate::snap::snap_resume(profile)),
         _ => None,
     }
 }
@@ -94,6 +96,7 @@ fn run_cassandra(
         op_deadline: None,
         telemetry_window_secs: None,
         resilience: None,
+        checkpoints: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -341,6 +344,7 @@ pub fn mongodb_comparison(profile: &ExperimentProfile) -> Table {
                 op_deadline: None,
                 telemetry_window_secs: None,
                 resilience: None,
+                checkpoints: None,
             };
             let result = run_benchmark(&mut engine, &mut store, &config);
             let _ = store.name();
@@ -391,6 +395,7 @@ pub fn elasticity(profile: &ExperimentProfile) -> Table {
         op_deadline: None,
         telemetry_window_secs: None,
         resilience: None,
+        checkpoints: None,
     };
     let result = apm_stores::runner::run_benchmark(&mut engine, &mut store, &config);
     let mut table = Table::new(
@@ -482,6 +487,7 @@ mod tests {
             "ext-res-hedge",
             "ext-res-breaker",
             "ext-res-storm",
+            "ext-snap-resume",
         ];
         for (id, _) in all_extensions() {
             assert!(known.contains(&id), "unlisted extension {id}");

@@ -132,6 +132,7 @@ pub(crate) fn run_cassandra(
         op_deadline,
         telemetry_window_secs: Some(1.0),
         resilience,
+        checkpoints: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -169,6 +170,7 @@ pub(crate) fn run_hbase(
         op_deadline: None,
         telemetry_window_secs: Some(1.0),
         resilience: None,
+        checkpoints: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -203,6 +205,7 @@ pub(crate) fn run_redis(
         op_deadline,
         telemetry_window_secs: Some(1.0),
         resilience,
+        checkpoints: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }

@@ -23,6 +23,10 @@
 //!   (queue-wait vs. service per resource class) and the windowed
 //!   telemetry timeline, plus the Chrome trace exporter (`trace`
 //!   feature).
+//! * [`snap`] — checkpoint/resume equivalence and divergence bisection:
+//!   sealed mid-run snapshots, byte-identical resumption, and binary
+//!   search over checkpoint streams to localize a divergence
+//!   (`repro snapshot | resume | bisect`).
 //! * [`output`] — result persistence (JSON/CSV) and report rendering.
 //!
 //! The `repro` binary drives it all:
@@ -43,6 +47,7 @@ pub mod output;
 pub mod reference;
 pub mod resilience;
 pub mod shape;
+pub mod snap;
 
 pub use experiment::{ExperimentProfile, StoreKind};
 pub use figures::{all_figures, figure_by_id, FigureSpec};

@@ -107,6 +107,7 @@ fn run_instrumented(
         op_deadline: None,
         telemetry_window_secs,
         resilience: None,
+        checkpoints: None,
     };
     let result = run_benchmark(&mut engine, store.as_mut(), &config);
     (engine, result)
@@ -377,6 +378,7 @@ pub fn capture_trace_demo() -> (String, u64) {
         op_deadline: Some(apm_sim::SimDuration::from_millis(100)),
         telemetry_window_secs: None,
         resilience: None,
+        checkpoints: None,
     };
     let _ = run_benchmark(&mut engine, store.as_mut(), &config);
     let json = chrome::trace_to_json(&engine.tracer().events());

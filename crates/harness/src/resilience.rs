@@ -138,6 +138,7 @@ fn run_cassandra_throttled(
         op_deadline: None,
         telemetry_window_secs: Some(1.0),
         resilience,
+        checkpoints: None,
     };
     run_benchmark(&mut engine, &mut store, &run)
 }
@@ -341,6 +342,7 @@ pub fn retry_trace_fingerprint(profile: &ExperimentProfile) -> u64 {
             breaker: Some(BreakerPolicy::standard()),
             admission: Some(AdmissionPolicy::standard()),
         }),
+        checkpoints: None,
     };
     let _ = run_benchmark(&mut engine, &mut store, &run);
     engine.tracer().fingerprint()

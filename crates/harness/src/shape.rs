@@ -670,6 +670,57 @@ pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
                 ),
             ]
         }
+        "ext-snap-resume" => {
+            let stores: Vec<(String, f64, f64, Option<f64>)> = t
+                .rows
+                .iter()
+                .filter_map(|r| {
+                    Some((
+                        r.clone(),
+                        t.get(r, "checkpoints")?,
+                        t.get(r, "resume_match")?,
+                        t.get(r, "divergent_at"),
+                    ))
+                })
+                .collect();
+            if stores.is_empty() {
+                return vec![ShapeResult::of(
+                    "snap: at least one store row",
+                    false,
+                    "no rows".into(),
+                )];
+            }
+            vec![
+                ShapeResult::of(
+                    "snap: every store captures at least three checkpoints",
+                    stores.iter().all(|s| s.1 >= 3.0),
+                    format!(
+                        "checkpoint counts {:?}",
+                        stores.iter().map(|s| s.1).collect::<Vec<_>>()
+                    ),
+                ),
+                ShapeResult::of(
+                    "snap: resuming from a mid-run checkpoint is byte-identical for every store",
+                    stores.iter().all(|s| s.2 == 1.0),
+                    format!(
+                        "mismatches: {:?}",
+                        stores
+                            .iter()
+                            .filter(|s| s.2 != 1.0)
+                            .map(|s| s.0.as_str())
+                            .collect::<Vec<_>>()
+                    ),
+                ),
+                ShapeResult::of(
+                    "snap: bisection localizes the injected divergence to window 2 for every store",
+                    stores.iter().all(|s| s.3 == Some(2.0)),
+                    format!(
+                        "divergent_at {:?}",
+                        stores.iter().map(|s| s.3).collect::<Vec<_>>()
+                    ),
+                ),
+            ]
+        }
         _ => Vec::new(),
     }
 }

@@ -9,6 +9,7 @@
 //! seed yields byte-identical results.
 
 use crate::time::{SimDuration, SimTime};
+use apm_core::rng::SplitMix64;
 
 /// Client-visible latency of a connection-refused error from a crashed
 /// node (TCP reset plus client error handling).
@@ -185,46 +186,27 @@ impl FaultSchedule {
     ) -> FaultSchedule {
         assert!(nodes > 0, "need at least one node");
         assert!(start < end, "empty fault window");
-        let mut rng = Splitmix64::new(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut schedule = FaultSchedule::none();
         let span = end.as_nanos() - start.as_nanos();
         for _ in 0..count {
-            let node = (rng.next() % nodes as u64) as usize;
+            let node = (rng.next_u64() % nodes as u64) as usize;
             // Window: begins in the first 3/4 of the span, lasts 1/8–1/4.
-            let begin = start.as_nanos() + rng.next() % (span * 3 / 4).max(1);
-            let len = span / 8 + rng.next() % (span / 8).max(1);
+            let begin = start.as_nanos() + rng.next_u64() % (span * 3 / 4).max(1);
+            let len = span / 8 + rng.next_u64() % (span / 8).max(1);
             let at = SimTime(begin);
             let until = SimTime((begin + len).min(end.as_nanos()));
             if at >= until {
                 continue;
             }
-            schedule = match rng.next() % 4 {
+            schedule = match rng.next_u64() % 4 {
                 0 => schedule.crash(node, at, until),
-                1 => schedule.slow_disk(node, at, until, 2 + (rng.next() % 7) as u32),
+                1 => schedule.slow_disk(node, at, until, 2 + (rng.next_u64() % 7) as u32),
                 2 => schedule.partition(node, at, until),
-                _ => schedule.fail_slow(node, at, until, 2 + (rng.next() % 3) as u32),
+                _ => schedule.fail_slow(node, at, until, 2 + (rng.next_u64() % 3) as u32),
             };
         }
         schedule
-    }
-}
-
-/// Local splitmix64 so the simulator stays dependency-free.
-struct Splitmix64 {
-    state: u64,
-}
-
-impl Splitmix64 {
-    fn new(seed: u64) -> Splitmix64 {
-        Splitmix64 { state: seed }
-    }
-
-    fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
     }
 }
 

@@ -4,6 +4,7 @@
 //! and give the arithmetic saturating semantics (a simulation must never
 //! wrap).
 
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -93,6 +94,24 @@ impl SimDuration {
     #[inline]
     pub fn saturating_mul(self, factor: u64) -> Self {
         SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Snap for SimTime {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(SimTime(r.u64()?))
+    }
+}
+
+impl Snap for SimDuration {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(SimDuration(r.u64()?))
     }
 }
 

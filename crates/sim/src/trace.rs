@@ -23,6 +23,7 @@
 
 use crate::kernel::{Outcome, ResourceId, Token};
 use crate::time::SimTime;
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Default ring capacity: 64 Ki events ≈ 2 MiB.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
@@ -172,6 +173,94 @@ impl Tracer {
     /// Equal seeds must yield equal fingerprints across runs.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Serializes the tracer — ring contents, eviction cursor, counters,
+    /// and the rolling fingerprint — so a resumed run traces seamlessly.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.capacity);
+        w.put(&self.buf);
+        w.put(&self.head);
+        w.put_u64(self.recorded);
+        w.put_u64(self.dropped);
+        w.put_u64(self.fingerprint);
+    }
+
+    /// Rebuilds a tracer from [`Tracer::snap_state`] bytes.
+    pub fn restore_state(r: &mut SnapReader) -> Result<Tracer, SnapError> {
+        let capacity: usize = r.get()?;
+        let buf: Vec<TraceEvent> = r.get()?;
+        let head: usize = r.get()?;
+        if capacity == 0 || buf.len() > capacity || (head != 0 && head >= buf.len()) {
+            return Err(SnapError::BadTag {
+                what: "Tracer ring",
+                tag: head as u64,
+            });
+        }
+        let mut t = Tracer {
+            buf,
+            head,
+            recorded: r.u64()?,
+            dropped: r.u64()?,
+            fingerprint: r.u64()?,
+            capacity,
+        };
+        t.buf.reserve(capacity - t.buf.len());
+        Ok(t)
+    }
+}
+
+impl Snap for TraceEventKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            TraceEventKind::Submit => 1,
+            TraceEventKind::Enqueue => 2,
+            TraceEventKind::ServiceStart => 3,
+            TraceEventKind::ServiceEnd => 4,
+            TraceEventKind::Complete(Outcome::Ok) => 5,
+            TraceEventKind::Complete(Outcome::Failed) => 6,
+            TraceEventKind::Complete(Outcome::TimedOut) => 7,
+            TraceEventKind::ResourceDown => 8,
+            TraceEventKind::ResourceRestored => 9,
+            TraceEventKind::Slowdown => 10,
+            TraceEventKind::Complete(Outcome::Cancelled) => 11,
+        });
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            1 => Ok(TraceEventKind::Submit),
+            2 => Ok(TraceEventKind::Enqueue),
+            3 => Ok(TraceEventKind::ServiceStart),
+            4 => Ok(TraceEventKind::ServiceEnd),
+            5 => Ok(TraceEventKind::Complete(Outcome::Ok)),
+            6 => Ok(TraceEventKind::Complete(Outcome::Failed)),
+            7 => Ok(TraceEventKind::Complete(Outcome::TimedOut)),
+            8 => Ok(TraceEventKind::ResourceDown),
+            9 => Ok(TraceEventKind::ResourceRestored),
+            10 => Ok(TraceEventKind::Slowdown),
+            11 => Ok(TraceEventKind::Complete(Outcome::Cancelled)),
+            tag => Err(SnapError::BadTag {
+                what: "TraceEventKind",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl Snap for TraceEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.at);
+        w.put(&self.token);
+        w.put(&self.resource);
+        w.put(&self.kind);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(TraceEvent {
+            at: r.get()?,
+            token: r.get()?,
+            resource: r.get()?,
+            kind: r.get()?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! FNV-style hashes of the key bytes.
 
 use apm_core::record::MetricKey;
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// A fixed-size bloom filter keyed by [`MetricKey`].
 #[derive(Clone, Debug)]
@@ -78,6 +79,31 @@ impl Bloom {
     /// Size of the filter in bytes (contributes to SSTable disk size).
     pub fn size_bytes(&self) -> u64 {
         self.bits.len() as u64 * 8
+    }
+}
+
+impl Snap for Bloom {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.bits);
+        w.put_u64(self.mask);
+        w.put_u32(self.k);
+        w.put_u64(self.inserted);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let bits: Vec<u64> = r.get()?;
+        let mask = r.u64()?;
+        if bits.len() as u64 * 64 != mask + 1 {
+            return Err(SnapError::BadTag {
+                what: "Bloom mask",
+                tag: mask,
+            });
+        }
+        Ok(Bloom {
+            bits,
+            mask,
+            k: r.u32()?,
+            inserted: r.u64()?,
+        })
     }
 }
 

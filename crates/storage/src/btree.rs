@@ -9,6 +9,7 @@
 
 use crate::bufferpool::PageId;
 use apm_core::record::{FieldValues, MetricKey};
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Tree shape parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -277,6 +278,66 @@ impl BTree {
                 }
                 _ => return (out, trace),
             }
+        }
+    }
+
+    /// Serializes the page arena and tree shape (the config is re-supplied
+    /// at construction).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.nodes);
+        w.put(&self.root);
+        w.put_u64(self.len);
+        w.put_u32(self.depth);
+    }
+
+    /// Restores the state written by [`BTree::snap_state`] into a tree
+    /// built with the same config.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let nodes: Vec<Node> = r.get()?;
+        let root: usize = r.get()?;
+        if nodes.is_empty() || root >= nodes.len() {
+            return Err(SnapError::BadTag {
+                what: "BTree root",
+                tag: root as u64,
+            });
+        }
+        self.nodes = nodes;
+        self.root = root;
+        self.len = r.u64()?;
+        self.depth = r.u32()?;
+        Ok(())
+    }
+}
+
+impl Snap for Node {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Node::Internal { keys, children } => {
+                w.put_u8(0);
+                w.put(keys);
+                w.put(children);
+            }
+            Node::Leaf { entries, next } => {
+                w.put_u8(1);
+                w.put(entries);
+                w.put(next);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Node::Internal {
+                keys: r.get()?,
+                children: r.get()?,
+            }),
+            1 => Ok(Node::Leaf {
+                entries: r.get()?,
+                next: r.get()?,
+            }),
+            tag => Err(SnapError::BadTag {
+                what: "BTree node",
+                tag: u64::from(tag),
+            }),
         }
     }
 }

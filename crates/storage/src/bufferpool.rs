@@ -6,6 +6,7 @@
 //! the whole working set; on Cluster D (4 GB RAM, 10.5 GB data) it
 //! thrashes — which is exactly the regime change the paper's §5.8 shows.
 
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::HashMap;
 
 /// Identifies a page (the B-tree uses node ids as page ids).
@@ -158,6 +159,73 @@ impl BufferPool {
     /// Statistics so far.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Serializes the frame table, clock hand, and stats (the capacity is
+    /// re-supplied at construction; the page map is rebuilt on restore).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.frames);
+        w.put(&self.hand);
+        w.put(&self.stats);
+    }
+
+    /// Restores the state written by [`BufferPool::snap_state`] into a
+    /// pool built with the same capacity.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let frames: Vec<Frame> = r.get()?;
+        let hand: usize = r.get()?;
+        if frames.len() > self.capacity || (hand != 0 && hand >= self.capacity) {
+            return Err(SnapError::BadTag {
+                what: "BufferPool frames",
+                tag: frames.len() as u64,
+            });
+        }
+        self.map = frames.iter().enumerate().map(|(i, f)| (f.page, i)).collect();
+        self.frames = frames;
+        self.hand = hand;
+        self.stats = r.get()?;
+        Ok(())
+    }
+}
+
+impl Snap for PageId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(PageId(r.u64()?))
+    }
+}
+
+impl Snap for PoolStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.evictions);
+        w.put_u64(self.dirty_writebacks);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(PoolStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            evictions: r.u64()?,
+            dirty_writebacks: r.u64()?,
+        })
+    }
+}
+
+impl Snap for Frame {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.page);
+        w.put(&self.referenced);
+        w.put(&self.dirty);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Frame {
+            page: r.get()?,
+            referenced: r.get()?,
+            dirty: r.get()?,
+        })
     }
 }
 

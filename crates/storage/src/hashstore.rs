@@ -9,6 +9,7 @@
 
 use crate::receipt::CostReceipt;
 use apm_core::record::{FieldValues, MetricKey, FIELD_COUNT, KEY_SIZE, RAW_RECORD_SIZE};
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 
@@ -142,6 +143,33 @@ impl HashStore {
             Some(budget) if budget > 0 => self.mem_bytes as f64 / budget as f64,
             _ => 0.0,
         }
+    }
+
+    /// Serializes the contents in sorted key order (the memory budget is
+    /// re-supplied at construction).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.index.len() as u64);
+        for key in &self.index {
+            w.put(key);
+            w.put(self.map.get(key).expect("index entry has a hash entry"));
+        }
+        w.put_u64(self.mem_bytes);
+    }
+
+    /// Restores the state written by [`HashStore::snap_state`] into a
+    /// store built with the same memory budget.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let len = r.u64()? as usize;
+        self.map = HashMap::with_capacity(len);
+        self.index = BTreeSet::new();
+        for _ in 0..len {
+            let key: MetricKey = r.get()?;
+            let value: FieldValues = r.get()?;
+            self.map.insert(key, value);
+            self.index.insert(key);
+        }
+        self.mem_bytes = r.u64()?;
+        Ok(())
     }
 }
 

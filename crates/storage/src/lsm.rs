@@ -19,6 +19,7 @@ use crate::memtable::Memtable;
 use crate::receipt::CostReceipt;
 use crate::sstable::{SsTable, TableProbe};
 use apm_core::record::{FieldValues, MetricKey, RAW_RECORD_SIZE};
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::HashMap;
 
 /// Compaction strategy.
@@ -88,6 +89,42 @@ pub struct BackgroundJob {
     pub read_bytes: u64,
     /// Bytes the job writes to disk.
     pub write_bytes: u64,
+}
+
+impl Snap for JobKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            JobKind::Flush => 0,
+            JobKind::Compaction => 1,
+        });
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(JobKind::Flush),
+            1 => Ok(JobKind::Compaction),
+            tag => Err(SnapError::BadTag {
+                what: "JobKind",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+impl Snap for BackgroundJob {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        w.put(&self.kind);
+        w.put_u64(self.read_bytes);
+        w.put_u64(self.write_bytes);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(BackgroundJob {
+            id: r.u64()?,
+            kind: r.get()?,
+            read_bytes: r.u64()?,
+            write_bytes: r.u64()?,
+        })
+    }
 }
 
 /// Cumulative engine statistics.
@@ -389,6 +426,69 @@ impl LsmTree {
     /// Whether any background job is in flight.
     pub fn has_background_work(&self) -> bool {
         !self.flushing.is_empty() || !self.compacting_inputs.is_empty()
+    }
+
+    /// Serializes the tree's mutable state (the config is the caller's and
+    /// is re-supplied at construction). Hash maps are written in sorted
+    /// key order so equal trees always produce equal bytes.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.memtable);
+        w.put(&self.tables);
+        let mut flushing: Vec<(u64, u64)> = self.flushing.iter().map(|(k, v)| (*k, *v)).collect();
+        flushing.sort_unstable();
+        w.put(&flushing);
+        let mut compacting: Vec<(u64, Vec<u64>)> = self
+            .compacting_inputs
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        compacting.sort_unstable_by_key(|(k, _)| *k);
+        w.put(&compacting);
+        w.put_u64(self.next_table_id);
+        w.put_u64(self.next_job_id);
+        w.put(&self.stats);
+    }
+
+    /// Restores the mutable state written by [`LsmTree::snap_state`] into
+    /// a tree built with the same config.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.memtable = r.get()?;
+        self.tables = r.get()?;
+        let flushing: Vec<(u64, u64)> = r.get()?;
+        self.flushing = flushing.into_iter().collect();
+        let compacting: Vec<(u64, Vec<u64>)> = r.get()?;
+        self.compacting_inputs = compacting.into_iter().collect();
+        self.next_table_id = r.u64()?;
+        self.next_job_id = r.u64()?;
+        self.stats = r.get()?;
+        Ok(())
+    }
+}
+
+impl Snap for LsmStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.inserts);
+        w.put_u64(self.reads);
+        w.put_u64(self.scans);
+        w.put_u64(self.tables_consulted);
+        w.put_u64(self.bloom_skips);
+        w.put_u64(self.flushes);
+        w.put_u64(self.compactions);
+        w.put_u64(self.bytes_flushed);
+        w.put_u64(self.bytes_compacted);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(LsmStats {
+            inserts: r.u64()?,
+            reads: r.u64()?,
+            scans: r.u64()?,
+            tables_consulted: r.u64()?,
+            bloom_skips: r.u64()?,
+            flushes: r.u64()?,
+            compactions: r.u64()?,
+            bytes_flushed: r.u64()?,
+            bytes_compacted: r.u64()?,
+        })
     }
 }
 

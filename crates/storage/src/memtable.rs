@@ -6,6 +6,7 @@
 //! memtable return the actual stored bytes.
 
 use apm_core::record::{FieldValues, MetricKey, RAW_RECORD_SIZE};
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -67,6 +68,19 @@ impl Memtable {
     pub fn drain_sorted(&mut self) -> Vec<(MetricKey, FieldValues)> {
         self.bytes = 0;
         std::mem::take(&mut self.entries).into_iter().collect()
+    }
+}
+
+impl Snap for Memtable {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.entries);
+        w.put_u64(self.bytes);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Memtable {
+            entries: r.get()?,
+            bytes: r.u64()?,
+        })
     }
 }
 

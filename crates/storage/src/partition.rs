@@ -10,6 +10,7 @@
 
 use crate::receipt::CostReceipt;
 use apm_core::record::{FieldValues, MetricKey, RAW_RECORD_SIZE};
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -85,6 +86,15 @@ impl PartitionTable {
     /// Memory footprint estimate (rows + tree nodes).
     pub fn mem_bytes(&self) -> u64 {
         self.rows.len() as u64 * (RAW_RECORD_SIZE as u64 + 48)
+    }
+}
+
+impl Snap for PartitionTable {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.rows);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(PartitionTable { rows: r.get()? })
     }
 }
 

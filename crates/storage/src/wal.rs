@@ -15,6 +15,7 @@
 //! write must align to a group-commit epoch.
 
 use crate::receipt::DiskIo;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::SimDuration;
 
 /// Log sync discipline.
@@ -123,6 +124,23 @@ impl CommitLog {
     /// Number of appends.
     pub fn appends(&self) -> u64 {
         self.appends
+    }
+
+    /// Serializes the log counters (the policy and overhead are
+    /// re-supplied at construction).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.appended_bytes);
+        w.put_u64(self.appends);
+        w.put_u64(self.unflushed);
+    }
+
+    /// Restores the counters written by [`CommitLog::snap_state`] into a
+    /// log built with the same policy.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.appended_bytes = r.u64()?;
+        self.appends = r.u64()?;
+        self.unflushed = r.u64()?;
+        Ok(())
     }
 }
 

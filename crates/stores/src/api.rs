@@ -3,6 +3,7 @@
 
 use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::cluster::NodeResources;
 use apm_sim::kernel::Token;
 use apm_sim::{ClusterSpec, Engine, FailMode, FaultEvent, FaultKind, Plan, SimDuration, Step};
@@ -397,6 +398,24 @@ pub trait DistributedStore {
     /// memory-only stores (Redis, VoltDB — "do not store the data on
     /// disk", §5.7).
     fn disk_bytes_per_node(&self) -> Option<u64>;
+
+    /// Serializes all run-varying store state (data structures, background
+    /// job queues, failure bookkeeping) for a checkpoint. Configuration
+    /// that the constructor re-derives (topology sizes, budgets, cost
+    /// models) is *not* written. The default writes nothing — correct only
+    /// for stores whose state is fully reconstructed by `load`.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores the state written by [`DistributedStore::snap_state`] into
+    /// a freshly constructed *and loaded* store built from the same
+    /// config. Implementations must leave the store byte-equivalent to
+    /// the one that was snapshotted, including any topology grown mid-run.
+    fn restore_state(&mut self, r: &mut SnapReader, engine: &mut Engine) -> Result<(), SnapError> {
+        let _ = (r, engine);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! so runs are repeatable.
 
 use apm_core::keyspace::SplitRng;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_storage::receipt::DiskIo;
 
 /// Per-node page cache model.
@@ -50,6 +51,19 @@ impl PageCache {
     pub fn sample_hit(&mut self, data_bytes: u64) -> bool {
         let p = self.hit_probability(data_bytes);
         p >= 1.0 || self.rng.next_f64() < p
+    }
+
+    /// Serializes the sampling stream (the capacity is re-supplied at
+    /// construction).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.rng);
+    }
+
+    /// Restores the stream written by [`PageCache::snap_state`] into a
+    /// cache built with the same capacity.
+    pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng = r.get()?;
+        Ok(())
     }
 
     /// Filters a receipt's I/O list: cacheable reads are dropped when they

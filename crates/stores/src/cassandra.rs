@@ -22,6 +22,7 @@ use crate::cache::PageCache;
 use crate::routing::{TokenAssignment, TokenRing};
 use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::{Engine, Plan, SimDuration, Step};
 use apm_storage::encoding::{cassandra_format, StorageFormat};
 use apm_storage::lsm::{BackgroundJob, CompactionStrategy, JobKind, LsmConfig, LsmTree};
@@ -190,6 +191,25 @@ impl CassandraStore {
             stream_jobs: std::collections::BTreeSet::new(),
             streamed_bytes: 0,
             next_job: 1,
+        }
+    }
+
+    /// Builds an empty node shell from the store's config; the restore
+    /// path fills it from a snapshot.
+    fn fresh_node(&self, idx: usize) -> Node {
+        Node {
+            lsm: LsmTree::new(LsmConfig {
+                memtable_flush_bytes: self.flush_bytes,
+                strategy: self.strategy,
+                ..LsmConfig::default()
+            }),
+            log: CommitLog::new(
+                SyncPolicy::GroupCommit {
+                    window: COMMIT_WINDOW,
+                },
+                30,
+            ),
+            cache: PageCache::new(self.cache_bytes, self.ctx.seed ^ ((idx as u64) << 8)),
         }
     }
 
@@ -685,6 +705,55 @@ impl DistributedStore for CassandraStore {
         let total: u64 = (0..self.nodes.len()).map(|i| self.node_disk_bytes(i)).sum();
         Some(total / self.nodes.len() as u64)
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.ctx.servers);
+        w.put(&self.ring);
+        w.put_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            node.lsm.snap_state(w);
+            node.log.snap_state(w);
+            node.cache.snap_state(w);
+        }
+        w.put(&self.down);
+        w.put(&self.hints);
+        #[cfg(feature = "audit")]
+        w.put(&self.hint_audit);
+        w.put(&self.jobs);
+        w.put(&self.stream_jobs);
+        w.put_u64(self.streamed_bytes);
+        w.put_u64(self.next_job);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        self.ctx.servers = r.get()?;
+        self.ring = r.get()?;
+        // Bootstrap may have grown the cluster since the snapshot's run
+        // started; rebuild node shells before filling them.
+        let n = r.u64()? as usize;
+        while self.nodes.len() < n {
+            let idx = self.nodes.len();
+            let shell = self.fresh_node(idx);
+            self.nodes.push(shell);
+        }
+        self.nodes.truncate(n);
+        for node in &mut self.nodes {
+            node.lsm.restore_state(r)?;
+            node.log.restore_state(r)?;
+            node.cache.restore_state(r)?;
+        }
+        self.down = r.get()?;
+        self.hints = r.get()?;
+        #[cfg(feature = "audit")]
+        {
+            self.hint_audit = r.get()?;
+        }
+        self.jobs = r.get()?;
+        self.stream_jobs = r.get()?;
+        self.streamed_bytes = r.u64()?;
+        self.next_job = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -723,6 +792,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

@@ -23,6 +23,7 @@ use crate::hdfs::{Hdfs, HdfsConfig};
 use crate::routing::RegionMap;
 use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::{Engine, Plan, SimDuration, Step};
 use apm_storage::encoding::{hbase_format, StorageFormat};
 use apm_storage::lsm::{BackgroundJob, JobKind, LsmConfig, LsmTree};
@@ -413,6 +414,35 @@ impl DistributedStore for HbaseStore {
             .sum();
         Some(self.format.disk_usage(records) / self.servers_state.len() as u64)
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        for server in &self.servers_state {
+            server.lsm.snap_state(w);
+            server.wal.snap_state(w);
+            server.cache.snap_state(w);
+        }
+        w.put(&self.jobs);
+        w.put_u64(self.next_job);
+        w.put(&self.wal_backlog);
+        w.put(&self.down);
+        w.put(&self.reassigned);
+        w.put(&self.recovery_jobs);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        for server in &mut self.servers_state {
+            server.lsm.restore_state(r)?;
+            server.wal.restore_state(r)?;
+            server.cache.restore_state(r)?;
+        }
+        self.jobs = r.get()?;
+        self.next_job = r.u64()?;
+        self.wal_backlog = r.get()?;
+        self.down = r.get()?;
+        self.reassigned = r.get()?;
+        self.recovery_jobs = r.get()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +481,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

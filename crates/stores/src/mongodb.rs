@@ -27,6 +27,7 @@ use crate::api::{round_trip_plan, server_steps, CostModel, DistributedStore, Sto
 use crate::routing::RegionMap;
 use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::kernel::ResourceId;
 use apm_sim::{Engine, Plan, SimDuration, Step};
 use apm_storage::btree::{BTree, BTreeConfig, PageTrace};
@@ -271,6 +272,21 @@ impl DistributedStore for MongoStore {
         let records: u64 = self.shards.iter().map(|s| s.tree.len()).sum();
         Some(mongo_format().disk_usage(records) / self.shards.len() as u64)
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        for shard in &self.shards {
+            shard.tree.snap_state(w);
+            shard.pool.snap_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        for shard in &mut self.shards {
+            shard.tree.restore_state(r)?;
+            shard.pool.restore_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +325,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

@@ -27,6 +27,7 @@ use crate::api::{round_trip_plan, server_steps, CostModel, DistributedStore, Sto
 use crate::routing::RdbmsShards;
 use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::{Engine, Plan, SimDuration, SimTime, Step};
 use apm_storage::btree::{BTree, BTreeConfig, PageTrace};
 use apm_storage::bufferpool::{Access, BufferPool};
@@ -382,6 +383,31 @@ impl DistributedStore for MysqlStore {
         let records: u64 = self.shards.iter().map(|s| s.tree.len()).sum();
         Some(self.format.disk_usage(records) / self.shards.len() as u64)
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        for shard in &self.shards {
+            shard.tree.snap_state(w);
+            shard.pool.snap_state(w);
+            shard.log.snap_state(w);
+            w.put(&shard.rate_window_start);
+            w.put_u64(shard.rate_window_count);
+            w.put_f64(shard.insert_rate);
+            w.put(&shard.churning);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        for shard in &mut self.shards {
+            shard.tree.restore_state(r)?;
+            shard.pool.restore_state(r)?;
+            shard.log.restore_state(r)?;
+            shard.rate_window_start = r.get()?;
+            shard.rate_window_count = r.u64()?;
+            shard.insert_rate = r.f64()?;
+            shard.churning = r.get()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +446,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -501,6 +528,7 @@ mod tests {
                 op_deadline: None,
                 telemetry_window_secs: None,
                 resilience: None,
+                checkpoints: None,
             };
             run_benchmark(&mut engine, &mut s, &config)
         };

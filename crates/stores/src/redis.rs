@@ -25,6 +25,7 @@ use crate::api::{round_trip_plan, CostModel, DistributedStore, StoreCtx};
 use crate::routing::{JedisHash, JedisRing};
 use apm_core::ops::{OpOutcome, Operation, RejectReason};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::kernel::ResourceId;
 use apm_sim::{Engine, Plan, SimDuration, Step};
 use apm_storage::hashstore::HashStore;
@@ -361,6 +362,21 @@ impl DistributedStore for RedisStore {
         // §5.7: "Redis and VoltDB do not store the data on disk".
         None
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        for instance in &self.instances {
+            instance.store.snap_state(w);
+        }
+        w.put_u64(self.load_rejections);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        for instance in &mut self.instances {
+            instance.store.restore_state(r)?;
+        }
+        self.load_rejections = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +415,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }
@@ -485,6 +502,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(
@@ -517,6 +535,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         let result = run_benchmark(&mut engine, &mut s, &config);
         assert!(s.load_rejections() > 0, "overfilled load must reject");

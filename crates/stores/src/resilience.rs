@@ -27,6 +27,7 @@
 //! legacy path untouched and byte-identical.
 
 use apm_core::ops::OpKind;
+use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use apm_core::stats::Histogram;
 use apm_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -387,28 +388,71 @@ pub struct ResiliencePolicy {
 
 /// Seeded SplitMix64 stream for the policies' jitter draws (the same
 /// generator `apm_sim::fault` uses for random schedules).
-#[derive(Clone, Debug)]
-pub struct JitterRng {
-    state: u64,
+pub type JitterRng = apm_core::rng::SplitMix64;
+
+impl Snap for HedgeTracker {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.latencies);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(HedgeTracker {
+            latencies: r.get()?,
+        })
+    }
 }
 
-impl JitterRng {
-    /// A stream seeded from the run seed.
-    pub fn new(seed: u64) -> JitterRng {
-        JitterRng { state: seed }
+impl Snap for BreakerState {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        });
     }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(BreakerState::Closed),
+            1 => Ok(BreakerState::Open),
+            2 => Ok(BreakerState::HalfOpen),
+            tag => Err(SnapError::BadTag {
+                what: "BreakerState",
+                tag: u64::from(tag),
+            }),
+        }
     }
+}
 
-    /// Next jitter fraction in `[0, 1)`.
-    pub fn next_frac(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+impl Snap for Breaker {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.state);
+        w.put(&self.outcomes);
+        w.put(&(self.errors_in_window as u64));
+        w.put(&self.opened_at);
+        w.put(&self.probe_in_flight);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(Breaker {
+            state: r.get()?,
+            outcomes: r.get()?,
+            errors_in_window: r.u64()? as usize,
+            opened_at: r.get()?,
+            probe_in_flight: r.get()?,
+        })
+    }
+}
+
+impl Snap for AdmissionBudget {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.credit_micros);
+        w.put_u64(self.cap_micros);
+        w.put_u64(self.ratio_micros);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(AdmissionBudget {
+            credit_micros: r.u64()?,
+            cap_micros: r.u64()?,
+            ratio_micros: r.u64()?,
+        })
     }
 }
 

@@ -18,6 +18,9 @@ use crate::resilience::{
 use apm_core::driver::ClientConfig;
 use apm_core::keyspace::record_for_seq;
 use apm_core::ops::{OpKind, OpOutcome, Operation};
+use apm_core::snap::{
+    self, fnv1a64, Snap, SnapError, SnapReader, SnapWriter, SnapshotHeader,
+};
 use apm_core::stats::{pairwise_sum, BenchStats, ResilienceCounters, ResourceSample, Telemetry};
 use apm_core::workload::{Workload, WorkloadGenerator};
 use apm_sim::kernel::{PlanHandle, ResourceId, Token};
@@ -56,6 +59,98 @@ pub struct RunConfig {
     /// admission control). `None` (the default) runs the legacy driver
     /// loop byte-identically.
     pub resilience: Option<ResiliencePolicy>,
+    /// Checkpoint schedule. `None` (the default) captures nothing and
+    /// leaves the driver loop byte-identical to a checkpoint-free run.
+    pub checkpoints: Option<CheckpointSpec>,
+}
+
+/// Schedule for capturing snapshots during the transaction phase.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Capture a checkpoint every this many virtual seconds after the
+    /// warm-up ends (checkpoint `k` covers `warmup_end + every·(k+1)`).
+    pub every_secs: f64,
+    /// Burn one extra workload draw at this offset from warm-up end —
+    /// an injected divergence, used to validate bisection. The clock of
+    /// the perturbation is virtual, so the clean and perturbed runs stay
+    /// byte-identical up to it and differ everywhere after.
+    pub perturb_at_secs: Option<f64>,
+}
+
+impl CheckpointSpec {
+    /// Checkpoints every `every_secs` virtual seconds, no perturbation.
+    pub fn every(every_secs: f64) -> CheckpointSpec {
+        CheckpointSpec {
+            every_secs,
+            perturb_at_secs: None,
+        }
+    }
+}
+
+/// One captured checkpoint: a sealed [`snap`] container holding the
+/// store, kernel, and driver state at a virtual-time boundary.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Zero-based index within the run.
+    pub index: u32,
+    /// Virtual time at which the checkpoint was captured.
+    pub at: SimTime,
+    /// The sealed container ([`snap::seal`]); feed to
+    /// [`resume_benchmark`] or write to disk verbatim.
+    pub bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// FNV-1a fingerprint of the container *body* (store + kernel +
+    /// driver state). Headers are excluded so a clean and a perturbed
+    /// run — whose config fingerprints necessarily differ — still hash
+    /// equal while their states agree; bisection compares these.
+    pub fn state_hash(&self) -> u64 {
+        let (_, body) = snap::open(&self.bytes).expect("own checkpoint is well-formed");
+        fnv1a64(body)
+    }
+
+    /// The sealed header (scenario, fingerprint, index, virtual time).
+    pub fn header(&self) -> SnapshotHeader {
+        snap::open(&self.bytes)
+            .expect("own checkpoint is well-formed")
+            .0
+    }
+}
+
+/// Fingerprint binding a snapshot to the exact run configuration that
+/// produced it. `Debug` formatting of the config is deterministic, and
+/// every divergence-relevant knob (workload, seed, faults, policies)
+/// participates in it.
+pub fn config_fingerprint(scenario: &str, config: &RunConfig) -> u64 {
+    fnv1a64(format!("{scenario}|{config:?}").as_bytes())
+}
+
+/// Locates the first checkpoint window where two runs diverge, by
+/// binary search over the monotone predicate "prefixes agree". Returns
+/// `None` when the runs agree on every common checkpoint; otherwise the
+/// index `k` of the first divergent checkpoint — the divergence lies in
+/// the virtual-time window `(checkpoint k-1, checkpoint k]`.
+pub fn bisect_divergence(a: &[Checkpoint], b: &[Checkpoint]) -> Option<u32> {
+    let common = a.len().min(b.len());
+    if common == 0 {
+        return None;
+    }
+    // Determinism makes divergence sticky: once states differ they never
+    // re-converge, so "a[k] == b[k]" is monotone in k and bisectable.
+    if a[common - 1].state_hash() == b[common - 1].state_hash() {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, common - 1); // hi: known divergent
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if a[mid].state_hash() == b[mid].state_hash() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(a[lo].index)
 }
 
 /// Result of one benchmark run.
@@ -70,6 +165,9 @@ pub struct RunResult {
     /// Windowed telemetry over the measurement window, when
     /// [`RunConfig::telemetry_window_secs`] was set.
     pub telemetry: Option<Telemetry>,
+    /// Checkpoints captured on the [`RunConfig::checkpoints`] schedule,
+    /// in virtual-time order (empty when no schedule was set).
+    pub checkpoints: Vec<Checkpoint>,
 }
 
 impl RunResult {
@@ -92,6 +190,23 @@ struct ClientSlot {
     missing: bool,
     /// Next scheduled issue time under throttling.
     next_issue: SimTime,
+}
+
+impl Snap for ClientSlot {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.kind);
+        w.put(&self.ok);
+        w.put(&self.missing);
+        w.put(&self.next_issue);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ClientSlot {
+            kind: r.get()?,
+            ok: r.get()?,
+            missing: r.get()?,
+            next_issue: r.get()?,
+        })
+    }
 }
 
 /// Resource class (`cpu` / `disk` / `net`) of a *server* resource name;
@@ -171,6 +286,24 @@ impl TelemetrySampler {
         }
     }
 
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.telemetry);
+        w.put(&self.window);
+        w.put(&self.warmup_end);
+        w.put_u64(self.boundary);
+        w.put(&self.prev_busy);
+    }
+
+    fn restore_state(r: &mut SnapReader) -> Result<TelemetrySampler, SnapError> {
+        Ok(TelemetrySampler {
+            telemetry: r.get()?,
+            window: r.get()?,
+            warmup_end: r.get()?,
+            boundary: r.u64()?,
+            prev_busy: r.get()?,
+        })
+    }
+
     fn sample_window(&mut self, engine: &Engine, index: usize) {
         let mut utils: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
         let mut queues: BTreeMap<&'static str, f64> = BTreeMap::new();
@@ -218,8 +351,156 @@ pub fn run_benchmark(
         // byte-identical when no policy is configured.
         return run_transactions_resilient(engine, store, config, total_records);
     }
+    run_transactions_legacy(engine, store, config, total_records)
+}
 
-    // ---- Transaction phase.
+/// Resumes the transaction phase from a sealed checkpoint, continuing
+/// to the end of the measurement window. The engine and store must be
+/// freshly constructed against the *same* `config` that produced the
+/// snapshot (the fingerprint in the header enforces this); the load
+/// phase reruns here, then the snapshot overwrites every piece of
+/// mutable state, so the continuation is byte-identical to the portion
+/// of the from-scratch run after the checkpoint.
+pub fn resume_benchmark(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    snapshot: &[u8],
+) -> Result<RunResult, SnapError> {
+    let (header, body) = snap::open(snapshot)?;
+    if header.features != Engine::snap_features() {
+        return Err(SnapError::FeatureMismatch {
+            stored: header.features,
+            active: Engine::snap_features(),
+        });
+    }
+    let active = config_fingerprint(store.name(), config);
+    if header.config_fingerprint != active {
+        return Err(SnapError::ConfigMismatch {
+            stored: header.config_fingerprint,
+            active,
+        });
+    }
+
+    // The restore contract: stores restore into a freshly loaded self.
+    let total_records = config.records_per_node * u64::from(config.nodes);
+    for seq in 0..total_records {
+        store.load(&record_for_seq(seq));
+    }
+    store.finish_load();
+
+    let mut r = SnapReader::new(body);
+    store.restore_state(&mut r, engine)?;
+    engine.restore_state(&mut r)?;
+    let mode = r.u8()?;
+    let mut checkpoints = Vec::new();
+    match (mode, config.resilience.is_some()) {
+        (MODE_LEGACY, false) => {
+            let mut d = LegacyDriver::restore_state(config, total_records, &mut r)?;
+            r.finish()?;
+            drive_legacy(engine, store, config, &mut d, &mut checkpoints);
+            Ok(finalize_legacy(engine, store, d, checkpoints))
+        }
+        (MODE_RESILIENT, true) => {
+            let policy = config.resilience.clone().expect("checked above");
+            let mut d =
+                ResilientDriver::restore_state(config, policy, total_records, store, &mut r)?;
+            r.finish()?;
+            drive_resilient(engine, store, config, &mut d, &mut checkpoints);
+            Ok(finalize_resilient(engine, store, d, checkpoints))
+        }
+        (tag, _) => Err(SnapError::BadTag {
+            what: "driver mode",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+/// Driver-mode discriminant in the snapshot body (after kernel state).
+const MODE_LEGACY: u8 = 0;
+/// See [`MODE_LEGACY`].
+const MODE_RESILIENT: u8 = 1;
+
+/// Loop state of the legacy (policy-free) driver — everything the event
+/// loop mutates, extracted so a checkpoint can serialize it and a
+/// resumed run can re-enter [`drive_legacy`] mid-window.
+struct LegacyDriver {
+    generator: WorkloadGenerator,
+    slots: Vec<ClientSlot>,
+    stats: BenchStats,
+    sampler: Option<TelemetrySampler>,
+    issued: u64,
+    warmup_end: SimTime,
+    measure_end: SimTime,
+    event_at: Option<SimTime>,
+    /// Index of the next checkpoint to capture.
+    next_checkpoint: u32,
+}
+
+impl LegacyDriver {
+    fn snap_state(&self, w: &mut SnapWriter) {
+        self.generator.snap_state(w);
+        w.put(&self.slots);
+        w.put(&self.stats);
+        match &self.sampler {
+            Some(sampler) => {
+                w.put_u8(1);
+                sampler.snap_state(w);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u64(self.issued);
+        w.put(&self.warmup_end);
+        w.put(&self.measure_end);
+        w.put(&self.event_at);
+        w.put_u32(self.next_checkpoint);
+    }
+
+    fn restore_state(
+        config: &RunConfig,
+        total_records: u64,
+        r: &mut SnapReader,
+    ) -> Result<LegacyDriver, SnapError> {
+        let mut generator =
+            WorkloadGenerator::new(config.workload.clone(), total_records, config.seed);
+        generator.restore_state(r)?;
+        Ok(LegacyDriver {
+            generator,
+            slots: r.get()?,
+            stats: r.get()?,
+            sampler: match r.u8()? {
+                0 => None,
+                1 => Some(TelemetrySampler::restore_state(r)?),
+                tag => {
+                    return Err(SnapError::BadTag {
+                        what: "sampler option",
+                        tag: u64::from(tag),
+                    })
+                }
+            },
+            issued: r.u64()?,
+            warmup_end: r.get()?,
+            measure_end: r.get()?,
+            event_at: r.get()?,
+            next_checkpoint: r.u32()?,
+        })
+    }
+
+    /// Virtual time of the next checkpoint boundary.
+    fn checkpoint_due(&self, every: SimDuration) -> SimTime {
+        self.warmup_end
+            + SimDuration::from_nanos(every.as_nanos() * (u64::from(self.next_checkpoint) + 1))
+    }
+}
+
+/// Fresh transaction phase of the legacy driver: arm faults, prime the
+/// connections, then enter the shared event loop.
+fn run_transactions_legacy(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    total_records: u64,
+) -> RunResult {
     let mut generator = WorkloadGenerator::new(config.workload.clone(), total_records, config.seed);
     let connections = match store.connection_cap() {
         Some(cap) => config.client.connections.min(cap),
@@ -241,8 +522,7 @@ pub fn run_benchmark(
             next_issue: engine.now(),
         })
         .collect();
-    let mut stats = BenchStats::new();
-    let mut sampler = config
+    let sampler = config
         .telemetry_window_secs
         .map(|secs| TelemetrySampler::new(engine, secs, warmup_end));
     let mut issued: u64 = 0;
@@ -286,23 +566,76 @@ pub fn run_benchmark(
         );
     }
 
-    let mut event_at = config
+    let event_at = config
         .event_at_secs
         .map(|secs| warmup_end + SimDuration::from_secs_f64(secs));
 
-    // Event loop: consume completions, reissue, stop at the window end.
+    let mut d = LegacyDriver {
+        generator,
+        slots,
+        stats: BenchStats::new(),
+        sampler,
+        issued,
+        warmup_end,
+        measure_end,
+        event_at,
+        next_checkpoint: 0,
+    };
+    let mut checkpoints = Vec::new();
+    drive_legacy(engine, store, config, &mut d, &mut checkpoints);
+    finalize_legacy(engine, store, d, checkpoints)
+}
+
+/// The legacy event loop: consume completions, record, reissue, capture
+/// checkpoints, stop at the window end. Both a fresh run and a resumed
+/// one enter here; all mutable state lives in the driver, the kernel,
+/// or the store — each of which snapshots — so the loop itself is
+/// oblivious to which entry path it came from.
+fn drive_legacy(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    d: &mut LegacyDriver,
+    checkpoints: &mut Vec<Checkpoint>,
+) {
+    let issue_interval = config
+        .client
+        .issue_interval_secs()
+        .map(SimDuration::from_secs_f64);
+    let every = config
+        .checkpoints
+        .as_ref()
+        .map(|spec| SimDuration::from_secs_f64(spec.every_secs));
+    // The perturbation is derived, never serialized: a resumed run
+    // recomputes whether it still lies ahead, so pre-perturbation
+    // checkpoints of a clean and a perturbed run stay byte-identical.
+    let mut perturb_at = config
+        .checkpoints
+        .as_ref()
+        .and_then(|spec| spec.perturb_at_secs)
+        .map(|secs| d.warmup_end + SimDuration::from_secs_f64(secs))
+        .filter(|&at| engine.now() < at);
+
     while let Some(completion) = engine.next_completion() {
         let now = completion.finished;
-        if let Some(sampler) = sampler.as_mut() {
-            sampler.advance_to(engine, now.min(measure_end));
+        if let Some(sampler) = d.sampler.as_mut() {
+            sampler.advance_to(engine, now.min(d.measure_end));
         }
-        if now > measure_end {
+        if now > d.measure_end {
             break;
         }
-        if let Some(at) = event_at {
+        if let Some(at) = d.event_at {
             if now >= at {
-                event_at = None;
+                d.event_at = None;
                 store.on_timed_event(engine);
+            }
+        }
+        if let Some(at) = perturb_at {
+            if now >= at {
+                perturb_at = None;
+                // Injected divergence: burn one draw, shifting every
+                // subsequent op in the stream.
+                let _ = d.generator.next_op();
             }
         }
         let (is_fault, fault_index) = split_fault_token(completion.token);
@@ -317,71 +650,128 @@ pub fn run_benchmark(
             continue;
         }
         let client = id as u32;
-        let slot = &slots[client as usize];
+        let slot = &d.slots[client as usize];
         let failed = !completion.outcome.is_ok();
-        if now > warmup_end {
-            let offset_ns = now.since(warmup_end).as_nanos();
+        if now > d.warmup_end {
+            let offset_ns = now.since(d.warmup_end).as_nanos();
             if failed || slot.missing {
                 // Kernel-level failure (node down, timeout) or lost data.
-                stats.record_error(slot.kind, offset_ns);
-                if let Some(sampler) = sampler.as_mut() {
+                d.stats.record_error(slot.kind, offset_ns);
+                if let Some(sampler) = d.sampler.as_mut() {
                     sampler.telemetry.record_error(offset_ns);
                 }
             } else {
                 if slot.ok {
-                    stats.record(slot.kind, completion.latency().as_nanos());
-                    if let Some(sampler) = sampler.as_mut() {
+                    d.stats.record(slot.kind, completion.latency().as_nanos());
+                    if let Some(sampler) = d.sampler.as_mut() {
                         sampler
                             .telemetry
                             .record(offset_ns, completion.latency().as_nanos());
                     }
                 } else {
-                    stats.record_rejection(slot.kind);
-                    if let Some(sampler) = sampler.as_mut() {
+                    d.stats.record_rejection(slot.kind);
+                    if let Some(sampler) = d.sampler.as_mut() {
                         sampler.telemetry.record_rejection(offset_ns);
                     }
                 }
-                stats.record_timeline(offset_ns);
+                d.stats.record_timeline(offset_ns);
             }
         }
+        let slot = &d.slots[client as usize];
         if slot.kind == OpKind::Insert && slot.ok && !failed {
-            generator.ack_insert();
+            d.generator.ack_insert();
         }
         // Schedule the next op for this connection.
         let at = match issue_interval {
             Some(interval) => {
-                let scheduled = slots[client as usize].next_issue + interval;
-                slots[client as usize].next_issue = if scheduled >= now { scheduled } else { now };
-                slots[client as usize].next_issue
+                let scheduled = d.slots[client as usize].next_issue + interval;
+                d.slots[client as usize].next_issue =
+                    if scheduled >= now { scheduled } else { now };
+                d.slots[client as usize].next_issue
             }
             None => now,
         };
-        if at < measure_end {
+        if at < d.measure_end {
             issue_op(
                 engine,
                 store,
-                &mut generator,
-                &mut slots,
+                &mut d.generator,
+                &mut d.slots,
                 client,
                 at,
                 config.op_deadline,
-                &mut issued,
+                &mut d.issued,
             );
         }
+        // Capture every checkpoint boundary crossed by this completion.
+        // The bottom of the iteration is a consistent cut: the completion
+        // is fully absorbed and the follow-up op submitted.
+        if let Some(every) = every {
+            while d.checkpoint_due(every) <= now {
+                let index = d.next_checkpoint;
+                d.next_checkpoint += 1;
+                capture_checkpoint(engine, store, config, MODE_LEGACY, index, checkpoints, |w| {
+                    d.snap_state(w)
+                });
+            }
+        }
     }
+}
 
-    stats.set_window_ns(measure_end.since(warmup_end).as_nanos());
+fn finalize_legacy(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    mut d: LegacyDriver,
+    checkpoints: Vec<Checkpoint>,
+) -> RunResult {
+    d.stats
+        .set_window_ns(d.measure_end.since(d.warmup_end).as_nanos());
     // Flush the final boundary (the loop stops at the first completion
     // past the window, which may itself lie beyond it).
-    if let Some(sampler) = sampler.as_mut() {
-        sampler.advance_to(engine, measure_end);
+    if let Some(sampler) = d.sampler.as_mut() {
+        sampler.advance_to(engine, d.measure_end);
     }
     RunResult {
-        stats,
-        issued,
+        stats: d.stats,
+        issued: d.issued,
         disk_bytes_per_node: store.disk_bytes_per_node(),
-        telemetry: sampler.map(|s| s.telemetry),
+        telemetry: d.sampler.map(|s| s.telemetry),
+        checkpoints,
     }
+}
+
+/// Seals one checkpoint: store state, kernel state, the driver-mode
+/// byte, then the driver state written by `snap_driver`. The caller
+/// advances the driver's checkpoint counter *before* serializing, so
+/// the stored counter already points past this checkpoint — exactly
+/// what a resumed run needs to continue the numbering.
+#[allow(clippy::too_many_arguments)]
+fn capture_checkpoint(
+    engine: &Engine,
+    store: &dyn DistributedStore,
+    config: &RunConfig,
+    mode: u8,
+    index: u32,
+    checkpoints: &mut Vec<Checkpoint>,
+    snap_driver: impl FnOnce(&mut SnapWriter),
+) {
+    let mut w = SnapWriter::new();
+    store.snap_state(&mut w);
+    engine.snap_state(&mut w);
+    w.put_u8(mode);
+    snap_driver(&mut w);
+    let header = SnapshotHeader {
+        scenario: store.name().to_string(),
+        config_fingerprint: config_fingerprint(store.name(), config),
+        features: Engine::snap_features(),
+        checkpoint_index: index,
+        virtual_time_ns: engine.now().0,
+    };
+    checkpoints.push(Checkpoint {
+        index,
+        at: engine.now(),
+        bytes: snap::seal(&header, w.bytes()),
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -454,6 +844,45 @@ impl ResilientSlot {
     }
 }
 
+impl Snap for ResilientSlot {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.op);
+        w.put(&self.ok);
+        w.put(&self.missing);
+        w.put(&self.next_issue);
+        w.put_u64(self.epoch);
+        w.put(&self.logical_start);
+        w.put_u32(self.retries_used);
+        w.put_f64(self.jitter);
+        w.put(&self.target);
+        w.put(&self.was_probe);
+        w.put(&self.shed);
+        w.put(&self.hedge_used);
+        w.put(&self.primary);
+        w.put(&self.hedge);
+        w.put(&self.trigger);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ResilientSlot {
+            op: r.get()?,
+            ok: r.get()?,
+            missing: r.get()?,
+            next_issue: r.get()?,
+            epoch: r.u64()?,
+            logical_start: r.get()?,
+            retries_used: r.u32()?,
+            jitter: r.f64()?,
+            target: r.get()?,
+            was_probe: r.get()?,
+            shed: r.get()?,
+            hedge_used: r.get()?,
+            primary: r.get()?,
+            hedge: r.get()?,
+            trigger: r.get()?,
+        })
+    }
+}
+
 /// Mutable policy-engine state shared by all connections.
 struct PolicyState {
     policy: ResiliencePolicy,
@@ -502,6 +931,108 @@ impl PolicyState {
             None => true,
         }
     }
+
+    /// The policy itself is config, re-supplied at construction; only
+    /// the mutable engine state serializes. The breaker vector carries
+    /// its own length, so topology growth mid-run survives a round trip.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rng.state());
+        w.put(&self.tracker);
+        w.put(&self.breakers);
+        w.put(&self.budget);
+        w.put(&self.counters);
+        #[cfg(feature = "audit")]
+        w.put(&self.auditor);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng = JitterRng::from_state(r.u64()?);
+        self.tracker = r.get()?;
+        self.breakers = r.get()?;
+        self.budget = r.get()?;
+        self.counters = r.get()?;
+        #[cfg(feature = "audit")]
+        {
+            self.auditor = r.get()?;
+        }
+        Ok(())
+    }
+}
+
+/// Loop state of the resilient driver — [`LegacyDriver`] plus the
+/// policy engine, extracted for the same checkpoint/resume reasons.
+struct ResilientDriver {
+    generator: WorkloadGenerator,
+    slots: Vec<ResilientSlot>,
+    stats: BenchStats,
+    sampler: Option<TelemetrySampler>,
+    issued: u64,
+    warmup_end: SimTime,
+    measure_end: SimTime,
+    event_at: Option<SimTime>,
+    next_checkpoint: u32,
+    ps: PolicyState,
+}
+
+impl ResilientDriver {
+    fn snap_state(&self, w: &mut SnapWriter) {
+        self.generator.snap_state(w);
+        w.put(&self.slots);
+        w.put(&self.stats);
+        match &self.sampler {
+            Some(sampler) => {
+                w.put_u8(1);
+                sampler.snap_state(w);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u64(self.issued);
+        w.put(&self.warmup_end);
+        w.put(&self.measure_end);
+        w.put(&self.event_at);
+        w.put_u32(self.next_checkpoint);
+        self.ps.snap_state(w);
+    }
+
+    fn restore_state(
+        config: &RunConfig,
+        policy: ResiliencePolicy,
+        total_records: u64,
+        store: &dyn DistributedStore,
+        r: &mut SnapReader,
+    ) -> Result<ResilientDriver, SnapError> {
+        let mut generator =
+            WorkloadGenerator::new(config.workload.clone(), total_records, config.seed);
+        generator.restore_state(r)?;
+        let mut d = ResilientDriver {
+            generator,
+            slots: r.get()?,
+            stats: r.get()?,
+            sampler: match r.u8()? {
+                0 => None,
+                1 => Some(TelemetrySampler::restore_state(r)?),
+                tag => {
+                    return Err(SnapError::BadTag {
+                        what: "sampler option",
+                        tag: u64::from(tag),
+                    })
+                }
+            },
+            issued: r.u64()?,
+            warmup_end: r.get()?,
+            measure_end: r.get()?,
+            event_at: r.get()?,
+            next_checkpoint: r.u32()?,
+            ps: PolicyState::new(policy, config.seed, store.ctx().servers.len()),
+        };
+        d.ps.restore_state(r)?;
+        Ok(d)
+    }
+
+    fn checkpoint_due(&self, every: SimDuration) -> SimTime {
+        self.warmup_end
+            + SimDuration::from_nanos(every.as_nanos() * (u64::from(self.next_checkpoint) + 1))
+    }
 }
 
 fn run_transactions_resilient(
@@ -546,8 +1077,7 @@ fn run_transactions_resilient(
             trigger: None,
         })
         .collect();
-    let mut stats = BenchStats::new();
-    let mut sampler = config
+    let sampler = config
         .telemetry_window_secs
         .map(|secs| TelemetrySampler::new(engine, secs, warmup_end));
     let mut issued: u64 = 0;
@@ -589,22 +1119,67 @@ fn run_transactions_resilient(
         );
     }
 
-    let mut event_at = config
+    let event_at = config
         .event_at_secs
         .map(|secs| warmup_end + SimDuration::from_secs_f64(secs));
 
+    let mut d = ResilientDriver {
+        generator,
+        slots,
+        stats: BenchStats::new(),
+        sampler,
+        issued,
+        warmup_end,
+        measure_end,
+        event_at,
+        next_checkpoint: 0,
+        ps,
+    };
+    let mut checkpoints = Vec::new();
+    drive_resilient(engine, store, config, &mut d, &mut checkpoints);
+    finalize_resilient(engine, store, d, checkpoints)
+}
+
+fn drive_resilient(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    d: &mut ResilientDriver,
+    checkpoints: &mut Vec<Checkpoint>,
+) {
+    let issue_interval = config
+        .client
+        .issue_interval_secs()
+        .map(SimDuration::from_secs_f64);
+    let every = config
+        .checkpoints
+        .as_ref()
+        .map(|spec| SimDuration::from_secs_f64(spec.every_secs));
+    let mut perturb_at = config
+        .checkpoints
+        .as_ref()
+        .and_then(|spec| spec.perturb_at_secs)
+        .map(|secs| d.warmup_end + SimDuration::from_secs_f64(secs))
+        .filter(|&at| engine.now() < at);
+
     while let Some(completion) = engine.next_completion() {
         let now = completion.finished;
-        if let Some(sampler) = sampler.as_mut() {
-            sampler.advance_to(engine, now.min(measure_end));
+        if let Some(sampler) = d.sampler.as_mut() {
+            sampler.advance_to(engine, now.min(d.measure_end));
         }
-        if now > measure_end {
+        if now > d.measure_end {
             break;
         }
-        if let Some(at) = event_at {
+        if let Some(at) = d.event_at {
             if now >= at {
-                event_at = None;
+                d.event_at = None;
                 store.on_timed_event(engine);
+            }
+        }
+        if let Some(at) = perturb_at {
+            if now >= at {
+                perturb_at = None;
+                let _ = d.generator.next_op();
             }
         }
         let (is_fault, fault_index) = split_fault_token(completion.token);
@@ -619,7 +1194,7 @@ fn run_transactions_resilient(
             continue;
         }
         let (client, epoch, attempt_kind) = split_attempt_token(completion.token);
-        if epoch != slots[client as usize].epoch || completion.outcome == Outcome::Cancelled {
+        if epoch != d.slots[client as usize].epoch || completion.outcome == Outcome::Cancelled {
             // A cancelled loser, a stale trigger, or a straggler from a
             // superseded attempt: never recorded, so a hedged op can
             // never double-count in the stats.
@@ -629,12 +1204,12 @@ fn run_transactions_resilient(
             launch_hedge(
                 engine,
                 store,
-                &mut slots,
-                &mut ps,
+                &mut d.slots,
+                &mut d.ps,
                 client,
                 epoch,
                 config.op_deadline,
-                &mut issued,
+                &mut d.issued,
             );
             continue;
         }
@@ -642,7 +1217,7 @@ fn run_transactions_resilient(
         // ---- The current attempt resolved: settle the race first.
         let failed = !completion.outcome.is_ok();
         {
-            let slot = &mut slots[client as usize];
+            let slot = &mut d.slots[client as usize];
             let (winner_was_hedge, loser) = match attempt_kind {
                 AttemptKind::Hedge => (true, slot.primary.take()),
                 _ => (false, slot.hedge.take()),
@@ -656,133 +1231,158 @@ fn run_transactions_resilient(
             slot.primary = None;
             slot.hedge = None;
             if winner_was_hedge && !failed {
-                ps.counters.hedge_wins += 1;
+                d.ps.counters.hedge_wins += 1;
             }
         }
 
         // Feed the breaker and the hedge-latency tracker (shed attempts
         // never touched the target, so they are invisible to both).
-        let slot_shed = slots[client as usize].shed;
+        let slot_shed = d.slots[client as usize].shed;
         if !slot_shed {
             if let (Some(bp), Some(target)) =
-                (ps.policy.breaker.clone(), slots[client as usize].target)
+                (d.ps.policy.breaker.clone(), d.slots[client as usize].target)
             {
-                let was_probe = slots[client as usize].was_probe;
-                let transition = ps.breakers[target].on_outcome(now, !failed, was_probe, &bp);
-                ps.note_transition(transition);
+                let was_probe = d.slots[client as usize].was_probe;
+                let transition = d.ps.breakers[target].on_outcome(now, !failed, was_probe, &bp);
+                d.ps.note_transition(transition);
             }
-            let slot = &slots[client as usize];
+            let slot = &d.slots[client as usize];
             if !failed && slot.ok && !slot.missing && slot.kind() == OpKind::Read {
-                ps.tracker.record(completion.latency().as_nanos());
+                d.ps.tracker.record(completion.latency().as_nanos());
             }
         }
 
         // Retry kernel-level failures within budget and admission.
         if failed && !slot_shed {
-            if let Some(rp) = ps.policy.retry.clone() {
-                let kind = slots[client as usize].kind();
-                let used = slots[client as usize].retries_used;
+            if let Some(rp) = d.ps.policy.retry.clone() {
+                let kind = d.slots[client as usize].kind();
+                let used = d.slots[client as usize].retries_used;
                 if used < rp.budget(kind) {
-                    let re_at = now + backoff_delay(&rp, used, slots[client as usize].jitter);
-                    if re_at < measure_end {
-                        if ps.try_extra() {
-                            slots[client as usize].retries_used = used + 1;
-                            ps.counters.retries += 1;
+                    let re_at = now + backoff_delay(&rp, used, d.slots[client as usize].jitter);
+                    if re_at < d.measure_end {
+                        if d.ps.try_extra() {
+                            d.slots[client as usize].retries_used = used + 1;
+                            d.ps.counters.retries += 1;
                             #[cfg(feature = "audit")]
-                            ps.auditor.on_retry(used + 1, rp.budget(kind));
+                            d.ps.auditor.on_retry(used + 1, rp.budget(kind));
                             issue_attempt(
                                 engine,
                                 store,
-                                &mut slots,
-                                &mut ps,
+                                &mut d.slots,
+                                &mut d.ps,
                                 client,
                                 re_at,
                                 config.op_deadline,
-                                &mut issued,
+                                &mut d.issued,
                             );
                             continue;
                         }
                         // Admission control declined: the storm stops here.
-                        ps.counters.shed += 1;
+                        d.ps.counters.shed += 1;
                     }
                 }
             }
         }
 
         // ---- Final resolution of the logical op.
-        if now > warmup_end {
-            let offset_ns = now.since(warmup_end).as_nanos();
-            let slot = &slots[client as usize];
+        if now > d.warmup_end {
+            let offset_ns = now.since(d.warmup_end).as_nanos();
+            let slot = &d.slots[client as usize];
             let kind = slot.kind();
             if slot.shed {
                 // Breaker fast-fail: a client-side rejection.
-                stats.record_rejection(kind);
-                stats.record_timeline(offset_ns);
-                if let Some(sampler) = sampler.as_mut() {
+                d.stats.record_rejection(kind);
+                d.stats.record_timeline(offset_ns);
+                if let Some(sampler) = d.sampler.as_mut() {
                     sampler.telemetry.record_rejection(offset_ns);
                 }
             } else if failed || slot.missing {
-                stats.record_error(kind, offset_ns);
-                if let Some(sampler) = sampler.as_mut() {
+                d.stats.record_error(kind, offset_ns);
+                if let Some(sampler) = d.sampler.as_mut() {
                     sampler.telemetry.record_error(offset_ns);
                 }
             } else if slot.ok {
                 // End-to-end latency: backoff and retries count against
                 // the op, exactly as a real client would experience.
                 let latency = now.since(slot.logical_start).as_nanos();
-                stats.record(kind, latency);
-                if let Some(sampler) = sampler.as_mut() {
+                d.stats.record(kind, latency);
+                if let Some(sampler) = d.sampler.as_mut() {
                     sampler.telemetry.record(offset_ns, latency);
                 }
-                stats.record_timeline(offset_ns);
+                d.stats.record_timeline(offset_ns);
             } else {
-                stats.record_rejection(kind);
-                stats.record_timeline(offset_ns);
-                if let Some(sampler) = sampler.as_mut() {
+                d.stats.record_rejection(kind);
+                d.stats.record_timeline(offset_ns);
+                if let Some(sampler) = d.sampler.as_mut() {
                     sampler.telemetry.record_rejection(offset_ns);
                 }
             }
         }
         {
-            let slot = &slots[client as usize];
+            let slot = &d.slots[client as usize];
             if slot.kind() == OpKind::Insert && slot.ok && !failed && !slot.shed {
-                generator.ack_insert();
+                d.generator.ack_insert();
             }
         }
         // Schedule the next logical op for this connection.
         let at = match issue_interval {
             Some(interval) => {
-                let scheduled = slots[client as usize].next_issue + interval;
-                slots[client as usize].next_issue = if scheduled >= now { scheduled } else { now };
-                slots[client as usize].next_issue
+                let scheduled = d.slots[client as usize].next_issue + interval;
+                d.slots[client as usize].next_issue =
+                    if scheduled >= now { scheduled } else { now };
+                d.slots[client as usize].next_issue
             }
             None => now,
         };
-        if at < measure_end {
+        if at < d.measure_end {
             issue_logical_op(
                 engine,
                 store,
-                &mut generator,
-                &mut slots,
-                &mut ps,
+                &mut d.generator,
+                &mut d.slots,
+                &mut d.ps,
                 client,
                 at,
                 config.op_deadline,
-                &mut issued,
+                &mut d.issued,
             );
         }
+        if let Some(every) = every {
+            while d.checkpoint_due(every) <= now {
+                let index = d.next_checkpoint;
+                d.next_checkpoint += 1;
+                capture_checkpoint(
+                    engine,
+                    store,
+                    config,
+                    MODE_RESILIENT,
+                    index,
+                    checkpoints,
+                    |w| d.snap_state(w),
+                );
+            }
+        }
     }
+}
 
-    stats.set_window_ns(measure_end.since(warmup_end).as_nanos());
-    *stats.resilience_mut() = ps.counters;
-    if let Some(sampler) = sampler.as_mut() {
-        sampler.advance_to(engine, measure_end);
+fn finalize_resilient(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    mut d: ResilientDriver,
+    checkpoints: Vec<Checkpoint>,
+) -> RunResult {
+    d.stats
+        .set_window_ns(d.measure_end.since(d.warmup_end).as_nanos());
+    *d.stats.resilience_mut() = d.ps.counters;
+    if let Some(sampler) = d.sampler.as_mut() {
+        sampler.advance_to(engine, d.measure_end);
     }
     RunResult {
-        stats,
-        issued,
+        stats: d.stats,
+        issued: d.issued,
         disk_bytes_per_node: store.disk_bytes_per_node(),
-        telemetry: sampler.map(|s| s.telemetry),
+        telemetry: d.sampler.map(|s| s.telemetry),
+        checkpoints,
     }
 }
 
@@ -1038,6 +1638,19 @@ mod tests {
         fn disk_bytes_per_node(&self) -> Option<u64> {
             None
         }
+
+        fn snap_state(&self, w: &mut SnapWriter) {
+            w.put(&self.data);
+        }
+
+        fn restore_state(
+            &mut self,
+            r: &mut SnapReader,
+            _engine: &mut Engine,
+        ) -> Result<(), SnapError> {
+            self.data = r.get()?;
+            Ok(())
+        }
     }
 
     fn quick_config(workload: Workload) -> RunConfig {
@@ -1052,6 +1665,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         }
     }
 
@@ -1430,6 +2044,188 @@ mod tests {
         assert!(
             budgeted.stats.resilience().shed > 0,
             "no retries were shed by the admission budget"
+        );
+    }
+
+    /// Everything a run reports, snap-encoded — byte equality of two
+    /// sigs means the runs were observationally identical.
+    fn result_sig(r: &RunResult) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put(&r.stats);
+        w.put_u64(r.issued);
+        w.put(&r.disk_bytes_per_node);
+        w.put(&r.telemetry);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn checkpoints_are_captured_on_schedule() {
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let mut cfg = quick_config(Workload::rw());
+        cfg.telemetry_window_secs = Some(0.5);
+        cfg.checkpoints = Some(CheckpointSpec::every(0.5));
+        let result = run_benchmark(&mut engine, &mut store, &cfg);
+        // Warm-up 0.5 s + 2 s window at 0.5 s cadence: boundaries at
+        // 1.0/1.5/2.0/2.5 s; the last coincides with the window end and
+        // only lands if a completion hits it exactly.
+        assert!(
+            result.checkpoints.len() == 3 || result.checkpoints.len() == 4,
+            "unexpected checkpoint count: {}",
+            result.checkpoints.len()
+        );
+        for (i, cp) in result.checkpoints.iter().enumerate() {
+            assert_eq!(cp.index, i as u32);
+            let header = cp.header();
+            assert_eq!(header.scenario, "fixture");
+            assert_eq!(header.checkpoint_index, cp.index);
+            assert_eq!(header.virtual_time_ns, cp.at.0);
+            assert_eq!(header.config_fingerprint, config_fingerprint("fixture", &cfg));
+            if i > 0 {
+                assert!(cp.at > result.checkpoints[i - 1].at);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_is_byte_identical() {
+        let mut cfg = quick_config(Workload::rw());
+        cfg.telemetry_window_secs = Some(0.5);
+        cfg.checkpoints = Some(CheckpointSpec::every(0.5));
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let straight = run_benchmark(&mut engine, &mut store, &cfg);
+        assert!(straight.checkpoints.len() >= 3);
+        for cp in &straight.checkpoints {
+            let mut engine2 = Engine::new();
+            let mut store2 = FixtureStore::new(&mut engine2, 100);
+            let resumed = resume_benchmark(&mut engine2, &mut store2, &cfg, &cp.bytes)
+                .expect("resume succeeds");
+            assert_eq!(
+                result_sig(&resumed),
+                result_sig(&straight),
+                "resume from checkpoint {} drifted",
+                cp.index
+            );
+            // The continuation recaptures the straight run's later
+            // checkpoints byte-for-byte, containers included.
+            let later: Vec<&Checkpoint> = straight
+                .checkpoints
+                .iter()
+                .filter(|later| later.index > cp.index)
+                .collect();
+            assert_eq!(resumed.checkpoints.len(), later.len());
+            for (a, b) in resumed.checkpoints.iter().zip(later) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.bytes, b.bytes, "checkpoint {} not re-captured", b.index);
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_resume_is_byte_identical() {
+        let mut cfg = quick_config(Workload::rw());
+        cfg.faults = FaultSchedule::none().crash(0, SimTime(300_000_000), SimTime(700_000_000));
+        cfg.op_deadline = Some(SimDuration::from_millis(250));
+        cfg.resilience = Some(ResiliencePolicy {
+            retry: Some(RetryPolicy::standard()),
+            hedge: Some(HedgePolicy {
+                delay_quantile: 0.95,
+                min_delay: SimDuration::from_micros(500),
+                warmup_samples: 50,
+            }),
+            breaker: Some(BreakerPolicy::standard()),
+            admission: Some(AdmissionPolicy::standard()),
+        });
+        cfg.checkpoints = Some(CheckpointSpec::every(0.5));
+        let build = || {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            store.hedged = true;
+            (engine, store)
+        };
+        let (mut engine, mut store) = build();
+        let straight = run_benchmark(&mut engine, &mut store, &cfg);
+        assert!(!straight.checkpoints.is_empty());
+        for cp in &straight.checkpoints {
+            let (mut engine2, mut store2) = build();
+            let resumed = resume_benchmark(&mut engine2, &mut store2, &cfg, &cp.bytes)
+                .expect("resume succeeds");
+            assert_eq!(
+                result_sig(&resumed),
+                result_sig(&straight),
+                "resilient resume from checkpoint {} drifted",
+                cp.index
+            );
+            assert_eq!(resumed.stats.resilience(), straight.stats.resilience());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_config() {
+        let mut cfg = quick_config(Workload::rw());
+        cfg.checkpoints = Some(CheckpointSpec::every(0.5));
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let straight = run_benchmark(&mut engine, &mut store, &cfg);
+        let cp = &straight.checkpoints[0];
+
+        let mut other = cfg.clone();
+        other.seed = 43;
+        let mut engine2 = Engine::new();
+        let mut store2 = FixtureStore::new(&mut engine2, 100);
+        match resume_benchmark(&mut engine2, &mut store2, &other, &cp.bytes) {
+            Err(SnapError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+
+        // A corrupted container never reaches the restore path.
+        let mut bytes = cp.bytes.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let mut engine3 = Engine::new();
+        let mut store3 = FixtureStore::new(&mut engine3, 100);
+        match resume_benchmark(&mut engine3, &mut store3, &cfg, &bytes) {
+            Err(SnapError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bisect_localizes_an_injected_divergence() {
+        let run = |perturb_at_secs: Option<f64>| {
+            let mut engine = Engine::new();
+            let mut store = FixtureStore::new(&mut engine, 100);
+            let mut cfg = quick_config(Workload::rw());
+            cfg.checkpoints = Some(CheckpointSpec {
+                every_secs: 0.25,
+                perturb_at_secs,
+            });
+            run_benchmark(&mut engine, &mut store, &cfg)
+        };
+        let clean = run(None);
+        let twin = run(None);
+        let perturbed = run(Some(1.1));
+
+        // Identical runs: no divergence at any common checkpoint.
+        assert_eq!(bisect_divergence(&clean.checkpoints, &twin.checkpoints), None);
+        assert_eq!(bisect_divergence(&clean.checkpoints, &clean.checkpoints), None);
+
+        // The perturbation burns one workload draw 1.1 s after warm-up:
+        // inside checkpoint window 4 (boundaries every 0.25 s, checkpoint
+        // k at 0.25·(k+1); 1.1 s lies in (1.0, 1.25]).
+        let first = bisect_divergence(&clean.checkpoints, &perturbed.checkpoints);
+        assert_eq!(first, Some(4), "divergence localized to the wrong window");
+        for k in 0..4 {
+            assert_eq!(
+                clean.checkpoints[k].state_hash(),
+                perturbed.checkpoints[k].state_hash(),
+                "pre-perturbation checkpoint {k} diverged"
+            );
+        }
+        assert_ne!(
+            clean.checkpoints[4].state_hash(),
+            perturbed.checkpoints[4].state_hash()
         );
     }
 

@@ -30,6 +30,7 @@ use crate::routing::PartitionMap;
 use apm_core::keyspace::SplitRng;
 use apm_core::ops::{OpOutcome, Operation, RejectReason};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::{Engine, Plan, SimDuration};
 use apm_storage::btree::{BTree, BTreeConfig, PageTrace};
 use apm_storage::bufferpool::{Access, BufferPool};
@@ -325,6 +326,29 @@ impl DistributedStore for VoldemortStore {
         let records: u64 = self.nodes.iter().map(|n| n.tree.len()).sum();
         Some(self.format.disk_usage(records) / self.nodes.len() as u64)
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        for node in &self.nodes {
+            node.tree.snap_state(w);
+            node.pool.snap_state(w);
+            node.log.snap_state(w);
+            w.put(&node.rng);
+        }
+        w.put(&self.jobs);
+        w.put_u64(self.next_job);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        for node in &mut self.nodes {
+            node.tree.restore_state(r)?;
+            node.pool.restore_state(r)?;
+            node.log.restore_state(r)?;
+            node.rng = r.get()?;
+        }
+        self.jobs = r.get()?;
+        self.next_job = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +387,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

@@ -20,6 +20,7 @@ use crate::api::{round_trip_plan, CostModel, DistributedStore, StoreCtx};
 use crate::routing::SiteMap;
 use apm_core::ops::{OpOutcome, Operation};
 use apm_core::record::Record;
+use apm_core::snap::{SnapError, SnapReader, SnapWriter};
 use apm_sim::kernel::ResourceId;
 use apm_sim::{Engine, Plan, SimDuration, Step};
 use apm_storage::partition::PartitionTable;
@@ -231,6 +232,15 @@ impl DistributedStore for VoltDbStore {
         // In-memory store (§5.7 omits it from the disk usage figure).
         None
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.put(&self.partitions);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader, _engine: &mut Engine) -> Result<(), SnapError> {
+        self.partitions = r.get()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +275,7 @@ mod tests {
             op_deadline: None,
             telemetry_window_secs: None,
             resilience: None,
+            checkpoints: None,
         };
         run_benchmark(&mut engine, &mut s, &config)
     }

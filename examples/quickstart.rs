@@ -48,6 +48,7 @@ fn main() {
         op_deadline: None,
         telemetry_window_secs: None,
         resilience: None,
+        checkpoints: None,
     };
     let result = run_benchmark(&mut engine, &mut store, &config);
 

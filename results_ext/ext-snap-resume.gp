@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title "Extension: snapshot/resume equivalence and divergence bisection (workload RW, 4 nodes)"
+set xlabel 'store'
+set ylabel 'count | 0/1 | index'
+set term pngcairo size 900,540
+set output 'ext-snap-resume.png'
+set style data linespoints
+plot 'ext-snap-resume.csv' using 2:xtic(1) with linespoints title 'checkpoints', \
+     'ext-snap-resume.csv' using 3:xtic(1) with linespoints title 'resume_match', \
+     'ext-snap-resume.csv' using 4:xtic(1) with linespoints title 'divergent_at'
