@@ -1,0 +1,615 @@
+//! Shared diagnostics core: rendering, baseline suppression, exit policy.
+//!
+//! Everything downstream of the rules lives here so the CLI, CI, and the
+//! golden-file tests all consume one representation:
+//!
+//! * [`Format`] — `human` (editor-style `file:line:` lines), `json`
+//!   (stable machine-readable report, schema below), `github`
+//!   (`::error file=,line=` workflow commands that annotate PRs inline).
+//! * [`Baseline`] — a committed `audit-baseline.json` of suppressions.
+//!   A suppression matches on exact `(rule, file, message)` — line
+//!   numbers are deliberately excluded because they drift with every
+//!   edit. A suppression that matches nothing is *stale* and fails the
+//!   run, so the baseline can only shrink or be consciously regenerated
+//!   via `--update-baseline`.
+//!
+//! JSON report schema (version 1):
+//!
+//! ```json
+//! {
+//!   "tool": "apm-audit",
+//!   "version": 1,
+//!   "summary": {"files": 0, "errors": 0, "warnings": 0, "suppressed": 0},
+//!   "findings": [
+//!     {"file": "...", "line": 1, "rule": "...", "severity": "error", "message": "..."}
+//!   ]
+//! }
+//! ```
+//!
+//! The JSON is emitted and parsed by hand (the crate is dependency-free
+//! by design); the parser accepts exactly the subset the renderer
+//! produces plus arbitrary whitespace.
+
+use crate::rules::{severity, Severity, Violation};
+
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `file:line: error: [rule] message` — the default, for humans.
+    Human,
+    /// Stable machine-readable report (schema in the module docs).
+    Json,
+    /// GitHub Actions workflow commands (`::error file=,line=`).
+    Github,
+}
+
+impl Format {
+    /// Parse a `--format` argument value.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "human" => Some(Format::Human),
+            "json" => Some(Format::Json),
+            "github" => Some(Format::Github),
+            _ => None,
+        }
+    }
+}
+
+/// A finding with its effective severity resolved (after `--deny-all`).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// Resolve raw violations to findings under the given severity policy.
+pub fn resolve(violations: &[Violation], deny_all: bool) -> Vec<Finding> {
+    violations
+        .iter()
+        .map(|v| Finding {
+            file: v.file.clone(),
+            line: v.line,
+            rule: v.rule,
+            severity: if deny_all {
+                Severity::Deny
+            } else {
+                severity(v.rule)
+            },
+            message: v.message.clone(),
+        })
+        .collect()
+}
+
+/// Aggregate counts for the report footer / JSON summary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    pub files: usize,
+    pub errors: usize,
+    pub warnings: usize,
+    pub suppressed: usize,
+}
+
+impl Summary {
+    pub fn tally(findings: &[Finding], files: usize, suppressed: usize) -> Summary {
+        let errors = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count();
+        Summary {
+            files,
+            errors,
+            warnings: findings.len() - errors,
+            suppressed,
+        }
+    }
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+/// Render findings in the requested format. The returned string is the
+/// full stdout payload including the trailing newline (empty only when
+/// there is nothing at all to say, which never happens: the human and
+/// json formats always carry a summary).
+pub fn render(format: Format, findings: &[Finding], summary: Summary) -> String {
+    match format {
+        Format::Human => {
+            let mut out = String::new();
+            for f in findings {
+                out.push_str(&format!(
+                    "{}:{}: {}: [{}] {}\n",
+                    f.file,
+                    f.line,
+                    severity_str(f.severity),
+                    f.rule,
+                    f.message
+                ));
+            }
+            out.push_str(&format!(
+                "apm-audit: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed\n",
+                summary.files, summary.errors, summary.warnings, summary.suppressed
+            ));
+            out
+        }
+        Format::Json => render_json(findings, summary),
+        Format::Github => {
+            let mut out = String::new();
+            for f in findings {
+                // Workflow-command data must not contain raw newlines or
+                // `::`; the rules never emit either, but escape anyway.
+                let cmd = match f.severity {
+                    Severity::Deny => "error",
+                    Severity::Warn => "warning",
+                };
+                out.push_str(&format!(
+                    "::{cmd} file={},line={},title=apm-audit {}::{}\n",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    gh_escape(&f.message)
+                ));
+            }
+            out.push_str(&format!(
+                "apm-audit: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed\n",
+                summary.files, summary.errors, summary.warnings, summary.suppressed
+            ));
+            out
+        }
+    }
+}
+
+/// Escape the message payload of a GitHub workflow command.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Render the version-1 JSON report.
+pub fn render_json(findings: &[Finding], summary: Summary) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"apm-audit\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"files\": {}, \"errors\": {}, \"warnings\": {}, \"suppressed\": {}}},\n",
+        summary.files, summary.errors, summary.warnings, summary.suppressed
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(severity_str(f.severity)),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Serialize a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// One committed suppression. Matches findings on exact
+/// `(rule, file, message)`; line numbers are excluded because they move
+/// with every unrelated edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub rule: String,
+    pub file: String,
+    pub message: String,
+}
+
+/// The parsed `audit-baseline.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Result of applying a baseline to a set of findings.
+pub struct Applied {
+    /// Findings not matched by any suppression — these are reported.
+    pub remaining: Vec<Finding>,
+    /// Number of findings swallowed by the baseline.
+    pub suppressed: usize,
+    /// Suppressions that matched nothing: the baseline is stale and the
+    /// run fails until it is regenerated with `--update-baseline`.
+    pub stale: Vec<Suppression>,
+}
+
+impl Baseline {
+    /// Partition findings into reported / suppressed and detect stale
+    /// suppressions.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut used = vec![false; self.suppressions.len()];
+        let mut remaining = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let hit = self
+                .suppressions
+                .iter()
+                .position(|s| s.rule == f.rule && s.file == f.file && s.message == f.message);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => remaining.push(f),
+            }
+        }
+        let stale = self
+            .suppressions
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(s, _)| s.clone())
+            .collect();
+        Applied {
+            remaining,
+            suppressed,
+            stale,
+        }
+    }
+
+    /// Build a baseline that suppresses exactly the given findings
+    /// (deduplicated) — the `--update-baseline` payload.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut suppressions: Vec<Suppression> = Vec::new();
+        for f in findings {
+            let s = Suppression {
+                rule: f.rule.to_string(),
+                file: f.file.clone(),
+                message: f.message.clone(),
+            };
+            if !suppressions.contains(&s) {
+                suppressions.push(s);
+            }
+        }
+        Baseline { suppressions }
+    }
+
+    /// Render as `audit-baseline.json`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"suppressions\": [");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"message\": {}}}",
+                json_str(&s.rule),
+                json_str(&s.file),
+                json_str(&s.message)
+            ));
+        }
+        if !self.suppressions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse `audit-baseline.json`. Accepts the subset of JSON the
+    /// renderer produces (objects, arrays, strings, integers) with any
+    /// whitespace; rejects everything else with a position-tagged error.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let v = Json::parse(src)?;
+        let obj = v.as_object().ok_or("baseline root must be an object")?;
+        match obj.iter().find(|(k, _)| k == "version").map(|(_, v)| v) {
+            Some(Json::Num(1)) => {}
+            Some(_) => return Err("unsupported baseline version".into()),
+            None => return Err("baseline missing \"version\"".into()),
+        }
+        let mut out = Baseline::default();
+        let Some(sups) = obj
+            .iter()
+            .find(|(k, _)| k == "suppressions")
+            .map(|(_, v)| v)
+        else {
+            return Ok(out);
+        };
+        let arr = sups.as_array().ok_or("\"suppressions\" must be an array")?;
+        for (i, entry) in arr.iter().enumerate() {
+            let e = entry
+                .as_object()
+                .ok_or_else(|| format!("suppression #{i} must be an object"))?;
+            let field = |name: &str| -> Result<String, String> {
+                e.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("suppression #{i} missing string \"{name}\""))
+            };
+            out.suppressions.push(Suppression {
+                rule: field("rule")?,
+                file: field("file")?,
+                message: field("message")?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser (baseline input only)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure for the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(i64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn parse(src: &str) -> Result<Json, String> {
+        let bytes: Vec<char> = src.chars().collect();
+        let mut pos = 0usize;
+        let v = parse_value(&bytes, &mut pos)?;
+        skip_ws(&bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at offset {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(src: &[char], pos: &mut usize) {
+    while *pos < src.len() && src[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(src: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(src, pos);
+    if src.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{c}' at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(src: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(src, pos);
+    match src.get(*pos) {
+        Some('"') => parse_string(src, pos).map(Json::Str),
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(src, pos);
+            if src.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, pos)?);
+                skip_ws(src, pos);
+                match src.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(src, pos);
+            if src.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(src, pos);
+                let key = parse_string(src, pos)?;
+                expect(src, pos, ':')?;
+                let val = parse_value(src, pos)?;
+                fields.push((key, val));
+                skip_ws(src, pos);
+                match src.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == '-' => {
+            let start = *pos;
+            if src[*pos] == '-' {
+                *pos += 1;
+            }
+            while *pos < src.len() && src[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            let text: String = src[start..*pos].iter().collect();
+            text.parse::<i64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number at offset {start}: {e}"))
+        }
+        _ => Err(format!("unexpected input at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(src: &[char], pos: &mut usize) -> Result<String, String> {
+    if src.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = src.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = src
+                    .get(*pos)
+                    .copied()
+                    .ok_or("unterminated escape in string")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'u' => {
+                        let hex: String = src
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("unsupported escape '\\{other}'")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            severity: Severity::Deny,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_baseline_parser() {
+        let base = Baseline {
+            suppressions: vec![Suppression {
+                rule: "clock".into(),
+                file: "crates/bench/src/runner.rs".into(),
+                message: "wall-clock `Instant::now()` with \"quotes\"".into(),
+            }],
+        };
+        let text = base.render();
+        let back = Baseline::parse(&text).expect("parse rendered baseline");
+        assert_eq!(base, back);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips() {
+        let base = Baseline::default();
+        let back = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(base, back);
+    }
+
+    #[test]
+    fn baseline_apply_partitions_and_flags_stale() {
+        let base = Baseline {
+            suppressions: vec![
+                Suppression {
+                    rule: "clock".into(),
+                    file: "a.rs".into(),
+                    message: "m1".into(),
+                },
+                Suppression {
+                    rule: "clock".into(),
+                    file: "gone.rs".into(),
+                    message: "m2".into(),
+                },
+            ],
+        };
+        let applied = base.apply(vec![
+            finding("clock", "a.rs", 3, "m1"),
+            finding("unwrap", "b.rs", 9, "m3"),
+        ]);
+        assert_eq!(applied.suppressed, 1);
+        assert_eq!(applied.remaining.len(), 1);
+        assert_eq!(applied.remaining[0].file, "b.rs");
+        assert_eq!(applied.stale.len(), 1);
+        assert_eq!(applied.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn github_format_escapes_payload() {
+        let f = vec![finding("clock", "a.rs", 3, "bad%\nthing")];
+        let out = render(Format::Github, &f, Summary::tally(&f, 1, 0));
+        assert!(out.contains("::error file=a.rs,line=3,title=apm-audit clock::bad%25%0Athing"));
+    }
+
+    #[test]
+    fn json_report_escapes_strings() {
+        let f = vec![finding("clock", "a.rs", 3, "say \"hi\"\\")];
+        let out = render_json(&f, Summary::tally(&f, 1, 0));
+        assert!(out.contains(r#""message": "say \"hi\"\\""#), "{out}");
+        // The report must itself parse with the baseline JSON parser.
+        Json::parse(&out).expect("report is valid JSON");
+    }
+}

@@ -1,14 +1,19 @@
 //! apm-audit — dependency-free determinism & invariant auditor.
 //!
 //! Static half of the audit story (the dynamic half is the
-//! `KernelAuditor` behind apm-sim's `audit` feature): a token-level
+//! `KernelAuditor` behind apm-sim's `audit` feature): a structural
 //! lint pass over the workspace sources enforcing the determinism
-//! rules catalogued in DESIGN.md §8. Run it with
-//! `cargo run -p apm-audit -- --deny-all`.
+//! rules catalogued in DESIGN.md §8. The pipeline is
+//! `lexer` (tokens + cfg/test regions) → `items` (structs, impls,
+//! matches) → `rules` (D1–D5 token rules, S1–S3 structural rules) →
+//! `diag` (human/JSON/GitHub rendering + baseline suppression). Run it
+//! with `cargo run -p apm-audit -- --deny-all`.
 //!
 //! The crate is a library + thin binary so the fixture tests in
 //! `tests/fixtures.rs` can drive the rules over inline snippets.
 
+pub mod diag;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod walk;

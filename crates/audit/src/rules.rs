@@ -1,17 +1,44 @@
-//! The project-specific lint rules (D1–D5).
+//! The project-specific lint rules: token-level D1–D5 and structural
+//! S1–S3.
 //!
-//! Each rule walks the token stream from [`crate::lexer`] — no AST. The
-//! rules are deliberately scoped by crate (derived from the file path)
-//! so that, e.g., the wall-clock ban applies to the deterministic
-//! simulation layers but not to `bench`, which times real hardware.
+//! The D rules walk the raw token stream from [`crate::lexer`]; the S
+//! rules walk the item structure recovered by [`crate::items`] (structs
+//! with fields and feature gates, impl blocks with method bodies, match
+//! arms) — still no `syn`. Rules are deliberately scoped by crate
+//! (derived from the file path); `bench` joined the D1/D2 net with this
+//! revision — it times real hardware, so its wall-clock reads carry
+//! explicit `audit:allow(clock)` justifications instead of a blanket
+//! exemption.
 //!
-//! | rule             | issue | scope                                 | default |
-//! |------------------|-------|---------------------------------------|---------|
-//! | `clock`          | D1    | sim, stores, storage + obs/snap mods  | deny    |
-//! | `hash-order`     | D2    | sim, stores + obs/snap modules        | deny    |
-//! | `unwrap`         | D3    | all non-test library code             | warn    |
-//! | `float-sum`      | D4    | core::stats, core::timeseries        | warn    |
-//! | `shape-coverage` | D5    | harness extensions vs shape           | deny    |
+//! | rule               | issue | scope                                  | default |
+//! |--------------------|-------|----------------------------------------|---------|
+//! | `clock`            | D1    | sim, stores, storage, bench + obs/snap | deny    |
+//! | `hash-order`       | D2    | sim, stores, bench + obs/snap modules  | deny    |
+//! | `unwrap`           | D3    | all non-test library code              | warn    |
+//! | `float-sum`        | D4    | core::stats, core::timeseries         | warn    |
+//! | `shape-coverage`   | D5    | harness extensions vs shape            | deny    |
+//! | `snap-drift`       | S1    | every file with a Snap codec pair      | deny    |
+//! | `feature-symmetry` | S2    | every file with feature-gated fields   | deny    |
+//! | `wildcard-match`   | S3    | all non-test, non-bin library code     | deny    |
+//!
+//! **S1 `snap-drift`** — for a `impl Snap for T` (`snap`/`restore`) or a
+//! `snap_state`/`restore_state` pair whose target struct is defined in
+//! the same file, every named field of the struct must be referenced in
+//! both the encode and the decode body, and the decode must first-mention
+//! fields in declaration order. A field added to `Engine` but not to its
+//! codec is a CI failure here, not a divergence hunt three days into a
+//! resumed run.
+//!
+//! **S2 `feature-symmetry`** — a field gated `#[cfg(feature = "...")]`
+//! may only be accessed (`.field`) from code carrying the same gate, and
+//! a feature-gated region inside a snapshot codec body must sit in a
+//! function that consults the feature-bits header (`snap_features` /
+//! `FEATURE_*`), protecting the default-off byte-identity invariant.
+//!
+//! **S3 `wildcard-match`** — no `_` arm in a `match` whose patterns name
+//! one of the tree's semantic enums ([`PROTECTED_ENUMS`]): a new
+//! `OpOutcome`/fault/breaker/plan-step variant must fail compilation at
+//! every dispatch site rather than be silently swallowed.
 //!
 //! The *obs modules* — `core/src/stats.rs` (windowed telemetry),
 //! `harness/src/obs.rs` (profiler + trace exporter), and
@@ -27,6 +54,7 @@
 //! `--deny-all` promotes warnings to errors. Any rule is silenced on a
 //! line with `// audit:allow(<rule>)` on that line or the line above.
 
+use crate::items::{self, Items};
 use crate::lexer::{LexedFile, Tok};
 
 /// One source file ready for auditing.
@@ -104,6 +132,10 @@ pub fn audit_files(files: &[SourceFile]) -> Vec<Violation> {
         rule_hash_order(f, &mut out);
         rule_unwrap(f, &mut out);
         rule_float_sum(f, &mut out);
+        let parsed = items::parse(&f.lexed);
+        rule_snap_drift(f, &parsed, &mut out);
+        rule_feature_symmetry(f, &parsed, &mut out);
+        rule_wildcard_match(f, &parsed, &mut out);
     }
     rule_shape_coverage(files, &mut out);
     out.retain(|v| {
@@ -116,10 +148,14 @@ pub fn audit_files(files: &[SourceFile]) -> Vec<Violation> {
 
 /// D1 `clock`: no wall-clock or ambient randomness in the deterministic
 /// layers. Flags `Instant::now`, `SystemTime`, `thread_rng`, and argless
-/// `rand()`/`random()` calls in sim/stores/storage — tests included,
-/// since event-ordering tests must replay identically too.
+/// `rand()`/`random()` calls in sim/stores/storage/bench — tests
+/// included, since event-ordering tests must replay identically too.
+/// `bench` measures real hardware, so its intentional wall-clock reads
+/// carry per-line `audit:allow(clock)` justifications rather than a
+/// blanket crate exemption.
 fn rule_clock(f: &SourceFile, out: &mut Vec<Violation>) {
-    if !matches!(crate_of(&f.path), "sim" | "stores" | "storage") && !is_obs_path(&f.path) {
+    if !matches!(crate_of(&f.path), "sim" | "stores" | "storage" | "bench") && !is_obs_path(&f.path)
+    {
         return;
     }
     let toks = &f.lexed.tokens;
@@ -148,12 +184,14 @@ fn rule_clock(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// D2 `hash-order`: no `HashMap`/`HashSet` in the sim and stores crates.
-/// Iteration order over hashed collections varies run-to-run, which
-/// silently breaks event-ordering determinism — use `BTreeMap`/`BTreeSet`
-/// (or sort before iterating and annotate the line).
+/// D2 `hash-order`: no `HashMap`/`HashSet` in the sim, stores, and bench
+/// crates. Iteration order over hashed collections varies run-to-run,
+/// which silently breaks event-ordering determinism — use
+/// `BTreeMap`/`BTreeSet` (or sort before iterating and annotate the
+/// line). `bench` is covered because its emitted artifacts
+/// (`BENCH_*.json`) must serialize identically across runs.
 fn rule_hash_order(f: &SourceFile, out: &mut Vec<Violation>) {
-    if !matches!(crate_of(&f.path), "sim" | "stores") && !is_obs_path(&f.path) {
+    if !matches!(crate_of(&f.path), "sim" | "stores" | "bench") && !is_obs_path(&f.path) {
         return;
     }
     for t in &f.lexed.tokens {
@@ -292,6 +330,271 @@ fn rule_shape_coverage(files: &[SourceFile], out: &mut Vec<Violation>) {
     }
 }
 
+/// The encode/decode method-name pairs S1 recognizes as a snapshot
+/// codec: the `Snap` trait's own pair, and the `snap_state` /
+/// `restore_state` convention used by the kernel, the stores, the
+/// storage engines, and the drivers.
+const CODEC_PAIRS: [(&str, &str); 2] = [("snap", "restore"), ("snap_state", "restore_state")];
+
+/// S1 `snap-drift`: every named field of a snapshotted struct must be
+/// referenced in both halves of its codec, and the decode half must
+/// first-mention fields in declaration order. Catches the "added a field
+/// to `Engine`, forgot the codec" class of resume divergence at lint
+/// time. The struct definition must live in the same file as the codec
+/// (true throughout this tree); impls whose target is defined elsewhere
+/// are skipped rather than guessed at.
+fn rule_snap_drift(f: &SourceFile, parsed: &Items, out: &mut Vec<Violation>) {
+    let toks = &f.lexed.tokens;
+    for imp in parsed.impls.iter().filter(|i| !i.in_test) {
+        let pair = CODEC_PAIRS.iter().find(|(enc, dec)| {
+            let ok_trait = match &imp.trait_name {
+                // `impl Snap for T` carries the pair as trait methods.
+                Some(t) => t == "Snap" && *enc == "snap",
+                // Inherent/store-trait impls use the *_state convention.
+                None => *enc == "snap_state",
+            };
+            ok_trait
+                && imp.fns.iter().any(|m| m.name == *enc && !m.body.is_empty())
+                && imp.fns.iter().any(|m| m.name == *dec && !m.body.is_empty())
+        });
+        // `snap_state` pairs also appear inside trait impls (e.g. the
+        // stores' `DistributedStore`); accept the pair wherever it lives.
+        let pair = pair.or_else(|| {
+            CODEC_PAIRS.iter().find(|(enc, dec)| {
+                *enc == "snap_state"
+                    && imp.fns.iter().any(|m| m.name == *enc && !m.body.is_empty())
+                    && imp.fns.iter().any(|m| m.name == *dec && !m.body.is_empty())
+            })
+        });
+        let Some((enc_name, dec_name)) = pair else {
+            continue;
+        };
+        let Some(def) = parsed
+            .structs
+            .iter()
+            .find(|s| s.named && !s.in_test && s.name == imp.target)
+        else {
+            continue;
+        };
+        let enc = imp
+            .fns
+            .iter()
+            .find(|m| m.name == *enc_name)
+            .expect("pair matched above");
+        let dec = imp
+            .fns
+            .iter()
+            .find(|m| m.name == *dec_name)
+            .expect("pair matched above");
+        let mentions = |body: &std::ops::Range<usize>, name: &str| {
+            toks[body.clone()]
+                .iter()
+                .position(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+        };
+        let mut dec_order: Vec<(usize, &str, u32)> = Vec::new();
+        for field in &def.fields {
+            // Fields absent from the encode stream (justified config that
+            // restore re-derives) don't constrain decode order — restore
+            // may consult them for validation at any point.
+            let mut streamed = true;
+            if mentions(&enc.body, &field.name).is_none() {
+                streamed = false;
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: field.line,
+                    rule: "snap-drift",
+                    message: format!(
+                        "field `{}` of `{}` is never referenced in `{}` — \
+                         state that isn't snapshotted silently diverges on resume",
+                        field.name, def.name, enc_name
+                    ),
+                });
+            }
+            match mentions(&dec.body, &field.name) {
+                None => out.push(Violation {
+                    file: f.path.clone(),
+                    line: field.line,
+                    rule: "snap-drift",
+                    message: format!(
+                        "field `{}` of `{}` is never referenced in `{}` — \
+                         the decoder cannot rebuild it",
+                        field.name, def.name, dec_name
+                    ),
+                }),
+                Some(pos) if streamed => {
+                    let line = toks[dec.body.start + pos].line;
+                    dec_order.push((pos, &field.name, line));
+                }
+                Some(_) => {}
+            }
+        }
+        // Decode first-mention order must match declaration order — a
+        // schema-free byte stream is only readable in write order.
+        for w in dec_order.windows(2) {
+            let ((a_pos, a_name, _), (b_pos, b_name, b_line)) = (&w[0], &w[1]);
+            if b_pos < a_pos {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: *b_line,
+                    rule: "snap-drift",
+                    message: format!(
+                        "`{}` decodes `{}` before `{}`, but `{}` declares them in the \
+                         opposite order — decode order must match the struct declaration",
+                        dec_name, b_name, a_name, def.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Guard identifiers S2 accepts as "this codec consults the feature-bits
+/// header": `Engine::snap_features()` and the `FEATURE_*` /
+/// `SNAP_FEATURE_*` constants of `core::snap`.
+fn is_feature_guard(name: &str) -> bool {
+    name == "snap_features" || name.starts_with("FEATURE_") || name.starts_with("SNAP_FEATURE_")
+}
+
+/// S2 `feature-symmetry`: (a) a struct field gated behind
+/// `#[cfg(feature = "...")]` may only be accessed from code carrying the
+/// same gate — asymmetric access either breaks the default-off build or
+/// hides feature-on-only behavior in shared paths; (b) a feature-gated
+/// region inside a snapshot codec body must live in a function that
+/// consults the feature-bits header (`snap_features` / `FEATURE_*`), so
+/// optional observer bytes can never be read into a build that didn't
+/// write them.
+fn rule_feature_symmetry(f: &SourceFile, parsed: &Items, out: &mut Vec<Violation>) {
+    let toks = &f.lexed.tokens;
+    // (a) gated-field access symmetry, same-file scope.
+    for s in parsed.structs.iter().filter(|s| !s.in_test) {
+        for field in s.fields.iter().filter(|fd| !fd.cfg.is_empty()) {
+            for (i, t) in toks.iter().enumerate() {
+                let Tok::Ident(name) = &t.tok else { continue };
+                if name != &field.name || t.in_test || i == 0 || !punct_at(toks, i - 1, '.') {
+                    continue;
+                }
+                let missing: Vec<&str> = field
+                    .cfg
+                    .iter()
+                    .filter(|g| !t.cfg_features.contains(g))
+                    .map(String::as_str)
+                    .collect();
+                if !missing.is_empty() {
+                    out.push(Violation {
+                        file: f.path.clone(),
+                        line: t.line,
+                        rule: "feature-symmetry",
+                        message: format!(
+                            "`.{}` is gated behind feature \"{}\" on `{}` but this access \
+                             is not under the same `#[cfg(feature = ...)]` gate",
+                            field.name,
+                            missing.join("\", \""),
+                            s.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // (b) feature-gated snapshot bytes need the feature-bits header.
+    for imp in parsed.impls.iter().filter(|i| !i.in_test) {
+        for m in &imp.fns {
+            if !CODEC_PAIRS
+                .iter()
+                .any(|(enc, dec)| m.name == *enc || m.name == *dec)
+                || m.body.is_empty()
+            {
+                continue;
+            }
+            let body = &toks[m.body.clone()];
+            // The fn's own baseline gate (a wholly feature-gated impl or
+            // module) is not a *mixed* stream; only gates opening inside
+            // the body count.
+            let baseline = &toks[m.body.start].cfg_features;
+            let gated = body
+                .iter()
+                .find(|t| t.cfg_features.iter().any(|g| !baseline.contains(g)) && !t.in_test);
+            let Some(gated) = gated else { continue };
+            let guarded = body
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if is_feature_guard(s)));
+            if !guarded {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: gated.line,
+                    rule: "feature-symmetry",
+                    message: format!(
+                        "`{}` writes/reads feature-gated snapshot bytes but never consults \
+                         the feature-bits header (`snap_features`/`FEATURE_*`) — a build \
+                         without the feature would mis-parse the stream (annotate if the \
+                         container header already carries the bits)",
+                        m.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The semantic enums S3 protects: op outcomes, kernel completion
+/// outcomes and fault modes, fault kinds, plan steps, breaker states and
+/// decisions, rejection reasons, attempt kinds, LSM background-job
+/// kinds, and the observer event kinds. A `_` arm over any of these
+/// swallows future variants silently.
+pub const PROTECTED_ENUMS: [&str; 12] = [
+    "OpOutcome",
+    "Outcome",
+    "FaultKind",
+    "FailMode",
+    "Step",
+    "BreakerState",
+    "BreakerDecision",
+    "RejectReason",
+    "AttemptKind",
+    "JobKind",
+    "HintEventKind",
+    "TraceEventKind",
+];
+
+/// S3 `wildcard-match`: no `_` catch-all arms in matches over the
+/// protected semantic enums. The enum is identified by `Path::Variant`
+/// mentions in the arms themselves (token level — the scrutinee's type
+/// is invisible), so `use Enum::*`-style matches escape; the tree
+/// doesn't use that style.
+fn rule_wildcard_match(f: &SourceFile, parsed: &Items, out: &mut Vec<Violation>) {
+    if is_bin(&f.path) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for m in parsed.matches.iter().filter(|m| !m.in_test) {
+        let mut named: Option<&str> = None;
+        for arm in &m.arms {
+            for i in arm.pat.clone() {
+                let Tok::Ident(name) = &toks[i].tok else {
+                    continue;
+                };
+                if punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':') {
+                    if let Some(p) = PROTECTED_ENUMS.iter().find(|p| *p == name) {
+                        named = Some(p);
+                    }
+                }
+            }
+        }
+        let Some(enum_name) = named else { continue };
+        for arm in m.arms.iter().filter(|a| a.wildcard) {
+            out.push(Violation {
+                file: f.path.clone(),
+                line: arm.line,
+                rule: "wildcard-match",
+                message: format!(
+                    "`_` arm in a match over `{enum_name}` — a new variant would be \
+                     silently swallowed; enumerate the variants (or justify the catch-all)"
+                ),
+            });
+        }
+    }
+}
+
 /// True when tokens after `i` match the given idents/punct pattern.
 /// Pattern entries of length 1 that aren't alphanumeric match puncts.
 fn follows(toks: &[crate::lexer::Token], i: usize, pattern: &[&str]) -> bool {
@@ -330,15 +633,18 @@ mod tests {
 
     #[test]
     fn clock_rule_scoped_to_deterministic_crates() {
+        // bench joined the determinism net; core (pure data structures,
+        // no clocks to misuse) stays outside it.
         let bad = file("crates/sim/src/x.rs", "fn f() { let t = Instant::now(); }");
-        let ok = file(
+        let bad_bench = file(
             "crates/bench/src/x.rs",
             "fn f() { let t = Instant::now(); }",
         );
-        let v = audit_files(&[bad, ok]);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "clock");
-        assert_eq!(v[0].file, "crates/sim/src/x.rs");
+        let ok = file("crates/core/src/x.rs", "fn f() { let t = Instant::now(); }");
+        let v = audit_files(&[bad, bad_bench, ok]);
+        let files: Vec<&str> = v.iter().map(|x| x.file.as_str()).collect();
+        assert_eq!(files, ["crates/bench/src/x.rs", "crates/sim/src/x.rs"]);
+        assert!(v.iter().all(|x| x.rule == "clock"));
     }
 
     #[test]

@@ -158,13 +158,10 @@ impl Snap for Histogram {
         let occupied: Vec<(u64, u64)> = r.get()?;
         let mut h = Histogram::new();
         for (i, c) in occupied {
-            let slot = h
-                .counts
-                .get_mut(i as usize)
-                .ok_or(SnapError::BadTag {
-                    what: "Histogram slot",
-                    tag: i,
-                })?;
+            let slot = h.counts.get_mut(i as usize).ok_or(SnapError::BadTag {
+                what: "Histogram slot",
+                tag: i,
+            })?;
             *slot = c;
         }
         h.total = r.u64()?;
@@ -1026,10 +1023,16 @@ mod tests {
         w2.put(&t2);
         assert_eq!(bytes, w2.into_bytes());
         assert_eq!(stats2.total_ops(), stats.total_ops());
-        assert_eq!(stats2.quantile_latency_ms(OpKind::Read, 0.99), stats.quantile_latency_ms(OpKind::Read, 0.99));
+        assert_eq!(
+            stats2.quantile_latency_ms(OpKind::Read, 0.99),
+            stats.quantile_latency_ms(OpKind::Read, 0.99)
+        );
         assert_eq!(stats2.timeline(), stats.timeline());
         assert_eq!(t2.windows().len(), t.windows().len());
-        assert_eq!(t2.windows()[1].resource("disk"), t.windows()[1].resource("disk"));
+        assert_eq!(
+            t2.windows()[1].resource("disk"),
+            t.windows()[1].resource("disk")
+        );
     }
 
     #[test]

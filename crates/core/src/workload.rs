@@ -170,7 +170,8 @@ impl Workload {
 /// matches YCSB's global acknowledged-insert counter.
 #[derive(Clone, Debug)]
 pub struct WorkloadGenerator {
-    workload: Workload,
+    /// Construction-time config; not part of the snapshot stream.
+    workload: Workload, // audit:allow(snap-drift)
     chooser: KeyChooser,
     rng: SplitRng,
     /// Sequence number of the next insert.

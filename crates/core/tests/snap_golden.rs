@@ -55,8 +55,12 @@ fn container_bytes_match_the_golden_file() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &produced).unwrap();
     }
-    let golden = std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with SNAP_GOLDEN_UPDATE=1", path.display()));
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with SNAP_GOLDEN_UPDATE=1",
+            path.display()
+        )
+    });
     assert_eq!(
         produced, golden,
         "snapshot encoding drifted from the golden file — if intentional, bump snap::VERSION and regenerate"

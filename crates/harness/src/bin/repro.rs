@@ -80,10 +80,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn store_arg(args: &Args) -> Result<StoreKind, String> {
-    let name = args
-        .ids
-        .get(1)
-        .ok_or_else(|| "expected a store name (cassandra, hbase, voldemort, voltdb, redis, mysql)".to_string())?;
+    let name = args.ids.get(1).ok_or_else(|| {
+        "expected a store name (cassandra, hbase, voldemort, voltdb, redis, mysql)".to_string()
+    })?;
     StoreKind::by_name(name).ok_or_else(|| format!("unknown store {name:?}"))
 }
 

@@ -316,6 +316,9 @@ pub mod chrome {
                     let name = match e.kind {
                         TraceEventKind::ResourceDown => "fault:down",
                         TraceEventKind::ResourceRestored => "fault:restored",
+                        // The enclosing arm constrains `kind` to the three
+                        // fault transitions, so this catch-all is Slowdown.
+                        // audit:allow(wildcard-match)
                         _ => "fault:slowdown",
                     };
                     let tid = e.resource.map_or(0, |r| u64::from(r.0));

@@ -213,8 +213,7 @@ mod tests {
             straight.result.checkpoints.len()
         );
         for cp in &straight.result.checkpoints {
-            let resumed =
-                resume_run(StoreKind::Cassandra, &profile(), &cp.bytes).expect("resume");
+            let resumed = resume_run(StoreKind::Cassandra, &profile(), &cp.bytes).expect("resume");
             assert_eq!(
                 resumed.fingerprint, straight.fingerprint,
                 "resume from checkpoint {} drifted",

@@ -1777,7 +1777,10 @@ mod tests {
         let drive = |e: &mut Engine| {
             let mut out = e.run_until(SimTime(40_000));
             e.restore_resource(ResourceId(1));
-            e.submit(Plan::build().acquire(ResourceId(0), us(3)).finish(), Token(30));
+            e.submit(
+                Plan::build().acquire(ResourceId(0), us(3)).finish(),
+                Token(30),
+            );
             out.extend(e.run_to_idle());
             (out, e.now())
         };

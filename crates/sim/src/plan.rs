@@ -61,7 +61,7 @@ impl Plan {
                 Step::Join { branches, .. } => {
                     1 + branches.iter().map(Plan::total_steps).sum::<usize>()
                 }
-                _ => 1,
+                Step::Acquire { .. } | Step::Delay(_) | Step::AlignTo { .. } => 1,
             })
             .sum()
     }

@@ -85,6 +85,9 @@ pub struct TraceEvent {
 /// embedded in [`crate::Engine`] behind the `trace` feature.
 #[derive(Clone, Debug)]
 pub struct Tracer {
+    // Declaration order is the snapshot stream order (audited by S1).
+    /// Ring size; `buf` never grows past it.
+    capacity: usize,
     /// Ring storage, pre-allocated to `capacity`.
     buf: Vec<TraceEvent>,
     /// Index of the next write when the ring is full.
@@ -95,7 +98,6 @@ pub struct Tracer {
     dropped: u64,
     /// FNV-style rolling hash over every recorded event.
     fingerprint: u64,
-    capacity: usize,
 }
 
 impl Default for Tracer {

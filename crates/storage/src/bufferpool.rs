@@ -62,9 +62,11 @@ struct Frame {
 /// The buffer pool.
 #[derive(Clone, Debug)]
 pub struct BufferPool {
-    capacity: usize,
+    /// Construction-time config; restore only validates against it.
+    capacity: usize, // audit:allow(snap-drift)
     frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
+    /// Derived index; rebuilt from `frames` on restore.
+    map: HashMap<PageId, usize>, // audit:allow(snap-drift)
     hand: usize,
     stats: PoolStats,
 }
@@ -180,7 +182,11 @@ impl BufferPool {
                 tag: frames.len() as u64,
             });
         }
-        self.map = frames.iter().enumerate().map(|(i, f)| (f.page, i)).collect();
+        self.map = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.page, i))
+            .collect();
         self.frames = frames;
         self.hand = hand;
         self.stats = r.get()?;

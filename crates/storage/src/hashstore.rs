@@ -46,7 +46,8 @@ pub struct HashStore {
     /// Sorted-set index over keys, maintained for scans.
     index: BTreeSet<MetricKey>,
     mem_bytes: u64,
-    max_memory: Option<u64>,
+    /// Construction-time config; not part of the snapshot stream.
+    max_memory: Option<u64>, // audit:allow(snap-drift)
 }
 
 impl HashStore {

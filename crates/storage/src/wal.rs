@@ -47,9 +47,10 @@ pub struct WalReceipt {
 /// An append-only commit log with byte accounting.
 #[derive(Clone, Debug)]
 pub struct CommitLog {
-    policy: SyncPolicy,
+    /// Construction-time config; not part of the snapshot stream.
+    policy: SyncPolicy, // audit:allow(snap-drift)
     /// Per-record log entry overhead (framing, checksum, mutation header).
-    entry_overhead: u64,
+    entry_overhead: u64, // audit:allow(snap-drift)
     appended_bytes: u64,
     appends: u64,
     /// Bytes accumulated since the last background flush (Deferred mode).

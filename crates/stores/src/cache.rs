@@ -19,7 +19,8 @@ use apm_storage::receipt::DiskIo;
 /// Per-node page cache model.
 #[derive(Clone, Debug)]
 pub struct PageCache {
-    capacity_bytes: u64,
+    /// Construction-time config; not part of the snapshot stream.
+    capacity_bytes: u64, // audit:allow(snap-drift)
     rng: SplitRng,
 }
 

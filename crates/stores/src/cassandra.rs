@@ -120,13 +120,15 @@ struct Node {
 pub struct CassandraStore {
     ctx: StoreCtx,
     ring: TokenRing,
-    format: StorageFormat,
-    replication: usize,
-    compression: bool,
-    bootstrap_on_event: bool,
-    flush_bytes: u64,
-    cache_bytes: u64,
-    strategy: CompactionStrategy,
+    // Construction-time config below; not part of the snapshot stream
+    // (`ctx.servers` and the ring, which bootstrap mutates, are).
+    format: StorageFormat,        // audit:allow(snap-drift)
+    replication: usize,           // audit:allow(snap-drift)
+    compression: bool,            // audit:allow(snap-drift)
+    bootstrap_on_event: bool,     // audit:allow(snap-drift)
+    flush_bytes: u64,             // audit:allow(snap-drift)
+    cache_bytes: u64,             // audit:allow(snap-drift)
+    strategy: CompactionStrategy, // audit:allow(snap-drift)
     nodes: Vec<Node>,
     /// Per-node crash flag: a down node takes no reads, writes, or hints.
     down: Vec<bool>,
@@ -683,7 +685,14 @@ impl DistributedStore for CassandraStore {
                 self.hint_audit
                     .assert_drained(event.node, self.hints[event.node].len());
             }
-            _ => {}
+            // Slowdowns and partitions are applied uniformly by
+            // `apply_node_fault` above; no Cassandra-specific bookkeeping.
+            apm_sim::FaultKind::DiskSlow { .. }
+            | apm_sim::FaultKind::DiskRestore
+            | apm_sim::FaultKind::PartitionStart
+            | apm_sim::FaultKind::PartitionEnd
+            | apm_sim::FaultKind::FailSlow { .. }
+            | apm_sim::FaultKind::FailSlowEnd => {}
         }
     }
 
@@ -717,7 +726,9 @@ impl DistributedStore for CassandraStore {
         }
         w.put(&self.down);
         w.put(&self.hints);
-        #[cfg(feature = "audit")]
+        // The sealed container's feature byte (checked in `open`) rejects
+        // cross-feature streams before this codec runs.
+        #[cfg(feature = "audit")] // audit:allow(feature-symmetry)
         w.put(&self.hint_audit);
         w.put(&self.jobs);
         w.put(&self.stream_jobs);
@@ -744,7 +755,8 @@ impl DistributedStore for CassandraStore {
         }
         self.down = r.get()?;
         self.hints = r.get()?;
-        #[cfg(feature = "audit")]
+        // Container feature byte guards this read; see `snap_state`.
+        #[cfg(feature = "audit")] // audit:allow(feature-symmetry)
         {
             self.hint_audit = r.get()?;
         }

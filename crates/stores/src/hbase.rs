@@ -78,18 +78,20 @@ struct Server {
 
 /// The store.
 pub struct HbaseStore {
-    ctx: StoreCtx,
-    regions: RegionMap,
-    hdfs: Hdfs,
-    format: StorageFormat,
+    // Construction-time config/topology below; not part of the snapshot
+    // stream (region layout and the HDFS model are static for a run).
+    ctx: StoreCtx,         // audit:allow(snap-drift)
+    regions: RegionMap,    // audit:allow(snap-drift)
+    hdfs: Hdfs,            // audit:allow(snap-drift)
+    format: StorageFormat, // audit:allow(snap-drift)
     servers_state: Vec<Server>,
     jobs: BTreeMap<u64, (usize, BackgroundJob)>,
     next_job: u64,
     /// Pending deferred-WAL bytes per server (flushed with memstores).
     wal_backlog: Vec<u64>,
     /// Block-cache budget per server (kept to rebuild a cold cache after
-    /// a crash).
-    cache_bytes: u64,
+    /// a crash). Construction-time config.
+    cache_bytes: u64, // audit:allow(snap-drift)
     /// Crashed region servers (no requests served until reassignment).
     down: Vec<bool>,
     /// Regions of a dead server re-opened on a substitute: dead → host.
@@ -375,7 +377,14 @@ impl DistributedStore for HbaseStore {
                 #[cfg(feature = "audit")]
                 crate::audit::assert_region_reassignment_bijection(&self.reassigned, &self.down);
             }
-            _ => {}
+            // Slowdowns and partitions are applied uniformly by
+            // `apply_node_fault`; no HBase-specific bookkeeping.
+            apm_sim::FaultKind::DiskSlow { .. }
+            | apm_sim::FaultKind::DiskRestore
+            | apm_sim::FaultKind::PartitionStart
+            | apm_sim::FaultKind::PartitionEnd
+            | apm_sim::FaultKind::FailSlow { .. }
+            | apm_sim::FaultKind::FailSlowEnd => {}
         }
     }
 

@@ -77,13 +77,15 @@ struct Instance {
 
 /// The store.
 pub struct RedisStore {
-    ctx: StoreCtx,
-    ring: JedisRing,
-    hash: JedisHash,
+    // Construction-time config/topology; not part of the snapshot stream
+    // (sharded Jedis has no rebalancing — the ring never changes).
+    ctx: StoreCtx,   // audit:allow(snap-drift)
+    ring: JedisRing, // audit:allow(snap-drift)
+    hash: JedisHash, // audit:allow(snap-drift)
     instances: Vec<Instance>,
     /// Hard allocation limit per instance (kept to rebuild a wiped
-    /// instance after a crash).
-    hard_limit: u64,
+    /// instance after a crash). Construction-time config.
+    hard_limit: u64, // audit:allow(snap-drift)
     /// Load-phase inserts refused by a full instance (the §5.1 incident).
     load_rejections: u64,
 }
@@ -343,7 +345,13 @@ impl DistributedStore for RedisStore {
             FaultKind::FailSlowEnd => {
                 engine.set_resource_slowdown(event_loop, 1);
             }
-            _ => {}
+            // Disk faults and partitions touch only the node-level
+            // resources, which `apply_node_fault` already covered; the
+            // event loop itself is unaffected.
+            FaultKind::DiskSlow { .. }
+            | FaultKind::DiskRestore
+            | FaultKind::PartitionStart
+            | FaultKind::PartitionEnd => {}
         }
     }
 

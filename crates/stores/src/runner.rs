@@ -18,9 +18,7 @@ use crate::resilience::{
 use apm_core::driver::ClientConfig;
 use apm_core::keyspace::record_for_seq;
 use apm_core::ops::{OpKind, OpOutcome, Operation};
-use apm_core::snap::{
-    self, fnv1a64, Snap, SnapError, SnapReader, SnapWriter, SnapshotHeader,
-};
+use apm_core::snap::{self, fnv1a64, Snap, SnapError, SnapReader, SnapWriter, SnapshotHeader};
 use apm_core::stats::{pairwise_sum, BenchStats, ResilienceCounters, ResourceSample, Telemetry};
 use apm_core::workload::{Workload, WorkloadGenerator};
 use apm_sim::kernel::{PlanHandle, ResourceId, Token};
@@ -710,9 +708,15 @@ fn drive_legacy(
             while d.checkpoint_due(every) <= now {
                 let index = d.next_checkpoint;
                 d.next_checkpoint += 1;
-                capture_checkpoint(engine, store, config, MODE_LEGACY, index, checkpoints, |w| {
-                    d.snap_state(w)
-                });
+                capture_checkpoint(
+                    engine,
+                    store,
+                    config,
+                    MODE_LEGACY,
+                    index,
+                    checkpoints,
+                    |w| d.snap_state(w),
+                );
             }
         }
     }
@@ -885,7 +889,8 @@ impl Snap for ResilientSlot {
 
 /// Mutable policy-engine state shared by all connections.
 struct PolicyState {
-    policy: ResiliencePolicy,
+    /// Config, re-supplied at construction (see `snap_state` docs).
+    policy: ResiliencePolicy, // audit:allow(snap-drift)
     rng: JitterRng,
     tracker: HedgeTracker,
     breakers: Vec<Breaker>,
@@ -941,7 +946,9 @@ impl PolicyState {
         w.put(&self.breakers);
         w.put(&self.budget);
         w.put(&self.counters);
-        #[cfg(feature = "audit")]
+        // The sealed container's feature byte (checked in `open`) rejects
+        // cross-feature streams before this codec runs.
+        #[cfg(feature = "audit")] // audit:allow(feature-symmetry)
         w.put(&self.auditor);
     }
 
@@ -951,7 +958,8 @@ impl PolicyState {
         self.breakers = r.get()?;
         self.budget = r.get()?;
         self.counters = r.get()?;
-        #[cfg(feature = "audit")]
+        // Container feature byte guards this read; see `snap_state`.
+        #[cfg(feature = "audit")] // audit:allow(feature-symmetry)
         {
             self.auditor = r.get()?;
         }
@@ -1220,7 +1228,9 @@ fn drive_resilient(
             let slot = &mut d.slots[client as usize];
             let (winner_was_hedge, loser) = match attempt_kind {
                 AttemptKind::Hedge => (true, slot.primary.take()),
-                _ => (false, slot.hedge.take()),
+                // HedgeTrigger completions return early above, so only a
+                // primary can reach here; keep the arm for exhaustiveness.
+                AttemptKind::Primary | AttemptKind::HedgeTrigger => (false, slot.hedge.take()),
             };
             if let Some(handle) = loser {
                 engine.cancel(handle);
@@ -2080,7 +2090,10 @@ mod tests {
             assert_eq!(header.scenario, "fixture");
             assert_eq!(header.checkpoint_index, cp.index);
             assert_eq!(header.virtual_time_ns, cp.at.0);
-            assert_eq!(header.config_fingerprint, config_fingerprint("fixture", &cfg));
+            assert_eq!(
+                header.config_fingerprint,
+                config_fingerprint("fixture", &cfg)
+            );
             if i > 0 {
                 assert!(cp.at > result.checkpoints[i - 1].at);
             }
@@ -2208,8 +2221,14 @@ mod tests {
         let perturbed = run(Some(1.1));
 
         // Identical runs: no divergence at any common checkpoint.
-        assert_eq!(bisect_divergence(&clean.checkpoints, &twin.checkpoints), None);
-        assert_eq!(bisect_divergence(&clean.checkpoints, &clean.checkpoints), None);
+        assert_eq!(
+            bisect_divergence(&clean.checkpoints, &twin.checkpoints),
+            None
+        );
+        assert_eq!(
+            bisect_divergence(&clean.checkpoints, &clean.checkpoints),
+            None
+        );
 
         // The perturbation burns one workload draw 1.1 s after warm-up:
         // inside checkpoint window 4 (boundaries every 0.25 s, checkpoint
