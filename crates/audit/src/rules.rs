@@ -12,8 +12,8 @@
 //!
 //! | rule               | issue | scope                                  | default |
 //! |--------------------|-------|----------------------------------------|---------|
-//! | `clock`            | D1    | sim, stores, storage, bench + obs/snap | deny    |
-//! | `hash-order`       | D2    | sim, stores, bench + obs/snap modules  | deny    |
+//! | `clock`            | D1    | sim, stores, storage, bench + obs/snap/chaos | deny |
+//! | `hash-order`       | D2    | sim, stores, bench + obs/snap/chaos    | deny    |
 //! | `unwrap`           | D3    | all non-test library code              | warn    |
 //! | `float-sum`        | D4    | core::stats, core::timeseries         | warn    |
 //! | `shape-coverage`   | D5    | harness extensions vs shape            | deny    |
@@ -49,7 +49,12 @@
 //! (the sealed snapshot container and Snap codec) and
 //! `harness/src/snap.rs` (checkpoint/resume/bisect experiments) —
 //! join them: a snapshot byte stream that varies run-to-run breaks
-//! resume byte-identity outright.
+//! resume byte-identity outright. The *chaos modules* —
+//! `core/src/chaos.rs` (the campaign report model) and
+//! `harness/src/chaos.rs` (generator, oracles, shrinker) — join for
+//! the same reason: a campaign report must be a pure function of its
+//! seed, and a shrinker probe that replays differently cannot
+//! minimize anything.
 //!
 //! `--deny-all` promotes warnings to errors. Any rule is silenced on a
 //! line with `// audit:allow(<rule>)` on that line or the line above.
@@ -107,6 +112,7 @@ fn is_obs_path(path: &str) -> bool {
         || path.ends_with("harness/src/obs.rs")
         || path.ends_with("harness/src/resilience.rs")
         || is_snap_path(path)
+        || is_chaos_path(path)
 }
 
 /// Snapshot modules: the codec and the checkpoint/resume harness. Both
@@ -114,6 +120,13 @@ fn is_obs_path(path: &str) -> bool {
 /// the same determinism obligations as the simulation crates.
 fn is_snap_path(path: &str) -> bool {
     path.ends_with("core/src/snap.rs") || path.ends_with("harness/src/snap.rs")
+}
+
+/// Chaos modules: the campaign report model and the search harness.
+/// A campaign report must be a pure function of its seed — generator,
+/// oracles and shrinker all inherit the determinism rules.
+fn is_chaos_path(path: &str) -> bool {
+    path.ends_with("core/src/chaos.rs") || path.ends_with("harness/src/chaos.rs")
 }
 
 fn is_bin(path: &str) -> bool {
@@ -539,9 +552,10 @@ fn rule_feature_symmetry(f: &SourceFile, parsed: &Items, out: &mut Vec<Violation
 /// The semantic enums S3 protects: op outcomes, kernel completion
 /// outcomes and fault modes, fault kinds, plan steps, breaker states and
 /// decisions, rejection reasons, attempt kinds, LSM background-job
-/// kinds, and the observer event kinds. A `_` arm over any of these
-/// swallows future variants silently.
-pub const PROTECTED_ENUMS: [&str; 12] = [
+/// kinds, the observer event kinds, and the chaos oracle/outcome
+/// kinds. A `_` arm over any of these swallows future variants
+/// silently.
+pub const PROTECTED_ENUMS: [&str; 14] = [
     "OpOutcome",
     "Outcome",
     "FaultKind",
@@ -554,6 +568,8 @@ pub const PROTECTED_ENUMS: [&str; 12] = [
     "JobKind",
     "HintEventKind",
     "TraceEventKind",
+    "OracleKind",
+    "ScheduleOutcome",
 ];
 
 /// S3 `wildcard-match`: no `_` catch-all arms in matches over the

@@ -92,6 +92,25 @@ fn d1_snap_harness_trips_clock() {
 }
 
 #[test]
+fn d1_chaos_modules_trip_clock() {
+    // A campaign report must be a pure function of its seed — no
+    // wall-clock reads anywhere in the chaos search stack.
+    let model = file(
+        "crates/core/src/chaos.rs",
+        "fn stamp() -> u64 { SystemTime::now().elapsed().as_nanos() as u64 }",
+    );
+    let harness = file(
+        "crates/harness/src/chaos.rs",
+        "fn jitter() { let t = Instant::now(); }",
+    );
+    let v = audit_files(&[model, harness]);
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v
+        .iter()
+        .all(|x| x.rule == "clock" && x.file.contains("/chaos.rs")));
+}
+
+#[test]
 fn d1_allow_escape_passes() {
     let f = file(
         "crates/sim/src/ok.rs",
@@ -160,6 +179,17 @@ fn d2_snap_modules_trip_hash_order() {
     assert!(v
         .iter()
         .all(|v| v.rule == "hash-order" && v.file.contains("/snap.rs")));
+}
+
+#[test]
+fn d2_chaos_modules_trip_hash_order() {
+    // The shrinker memoizes probe verdicts by subset; a hashed map
+    // there would reorder probe execution between runs.
+    let f = file(
+        "crates/harness/src/chaos.rs",
+        "fn f() { let m: std::collections::HashMap<u64, u64> = Default::default(); }",
+    );
+    assert_eq!(rules_hit(&[f]), ["hash-order"]);
 }
 
 #[test]
@@ -609,6 +639,34 @@ fn s3_wildcard_guard_arm_trips_too() {
 ";
     assert_eq!(
         rules_hit(&[file("crates/sim/src/m.rs", src)]),
+        ["wildcard-match"]
+    );
+}
+
+#[test]
+fn s3_chaos_enums_are_protected() {
+    // A `_` over the oracle or outcome kinds would let a new oracle be
+    // added without every report/CLI dispatch site seeing it.
+    let oracle = "fn f(k: OracleKind) -> u32 {
+    match k {
+        OracleKind::Durability => 1,
+        _ => 0,
+    }
+}
+";
+    let outcome = "fn g(o: ScheduleOutcome) -> u32 {
+    match o {
+        ScheduleOutcome::Pass => 1,
+        _ => 0,
+    }
+}
+";
+    assert_eq!(
+        rules_hit(&[file("crates/harness/src/chaos.rs", oracle)]),
+        ["wildcard-match"]
+    );
+    assert_eq!(
+        rules_hit(&[file("crates/core/src/chaos.rs", outcome)]),
         ["wildcard-match"]
     );
 }

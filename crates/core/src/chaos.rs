@@ -1,0 +1,208 @@
+//! Campaign report containers for the chaos-search harness.
+//!
+//! The chaos subsystem (generator, oracles, shrinker) lives in the
+//! harness crate; this module holds only the *data model* of a search
+//! campaign — which schedules were tried, which correctness oracles
+//! fired, and what the minimized reproducers look like — so the repro
+//! CLI and the experiment tables can consume results without pulling in
+//! the simulator. Everything here is plain data with deterministic
+//! ordering: serialising the same campaign twice yields identical bytes.
+
+/// Version stamp written into every serialized campaign report. Bump on
+/// any structural change so downstream consumers can reject reports
+/// they do not understand.
+pub const CAMPAIGN_FORMAT_VERSION: u32 = 1;
+
+/// The correctness invariants evaluated over each chaos run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OracleKind {
+    /// Every client-acknowledged insert is readable after all
+    /// recoveries complete (requires the runner's acked-write ledger).
+    Durability,
+    /// Logical-operation accounting balances: every issued op resolves
+    /// at most once and the in-flight residue is bounded by the client
+    /// population.
+    Conservation,
+    /// Availability over the whole run stays above a lenient floor —
+    /// faults may dent throughput but must not zero it.
+    AvailabilityFloor,
+    /// After the last fault event the per-second throughput returns to
+    /// within a band of the fault-free baseline.
+    RecoveryConvergence,
+}
+
+impl OracleKind {
+    /// All oracles, in evaluation order.
+    pub const ALL: [OracleKind; 4] = [
+        OracleKind::Durability,
+        OracleKind::Conservation,
+        OracleKind::AvailabilityFloor,
+        OracleKind::RecoveryConvergence,
+    ];
+
+    /// Stable identifier used in reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Durability => "durability",
+            OracleKind::Conservation => "conservation",
+            OracleKind::AvailabilityFloor => "availability-floor",
+            OracleKind::RecoveryConvergence => "recovery-convergence",
+        }
+    }
+}
+
+/// One oracle's verdict over one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleVerdict {
+    pub kind: OracleKind,
+    pub pass: bool,
+    /// Human-readable evidence (counts, ratios, offending keys).
+    pub detail: String,
+}
+
+/// How one sampled schedule resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleOutcome {
+    /// Every oracle held.
+    Pass,
+    /// At least one oracle fired; a minimized reproducer was attempted.
+    Violation,
+    /// Two identical replays of the schedule disagreed — a determinism
+    /// bug in the stack itself. Shrinking is skipped and the divergence
+    /// is localized by checkpoint bisection instead.
+    NonDeterministic,
+}
+
+impl ScheduleOutcome {
+    /// Stable identifier used in reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleOutcome::Pass => "pass",
+            ScheduleOutcome::Violation => "violation",
+            ScheduleOutcome::NonDeterministic => "non-deterministic",
+        }
+    }
+}
+
+/// One fault event of a schedule, flattened to plain data (the
+/// simulator's `FaultEvent` is not visible from this crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosEventRecord {
+    /// Offset from the start of the measurement window, nanoseconds.
+    pub at_ns: u64,
+    /// Target node index (for cluster-wide storms, each node's event is
+    /// recorded separately).
+    pub node: usize,
+    /// Stable name of the fault kind, e.g. `crash` or `fail-slow(x8)`.
+    pub kind: String,
+}
+
+/// One schedule tried by the campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleRecord {
+    /// Zero-based index within the campaign.
+    pub index: u32,
+    /// The flattened fault events, in dispatch order.
+    pub events: Vec<ChaosEventRecord>,
+    pub outcome: ScheduleOutcome,
+    /// Verdicts in [`OracleKind::ALL`] order (oracles the configuration
+    /// disabled are simply absent).
+    pub verdicts: Vec<OracleVerdict>,
+}
+
+/// A minimized failing reproducer produced by the delta-debugging
+/// shrinker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinimizedRepro {
+    /// Index of the originating [`ScheduleRecord`].
+    pub schedule_index: u32,
+    /// Event count of the original failing schedule.
+    pub original_events: usize,
+    /// Event count after shrinking.
+    pub minimized_events: usize,
+    /// The minimal failing schedule's events, in dispatch order.
+    pub events: Vec<ChaosEventRecord>,
+    /// Probe runs the shrinker spent.
+    pub probes: u32,
+    /// Of those, probes that resumed from a pre-divergence checkpoint
+    /// instead of replaying from t=0.
+    pub resumed_probes: u32,
+    /// Oracles that still fire on the minimized schedule.
+    pub failing_oracles: Vec<OracleKind>,
+    /// For [`ScheduleOutcome::NonDeterministic`] schedules: the first
+    /// divergent checkpoint window located by bisection (no shrinking
+    /// was performed).
+    pub divergent_checkpoint: Option<u32>,
+}
+
+/// A full search campaign over one store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// [`CAMPAIGN_FORMAT_VERSION`] at serialisation time.
+    pub version: u32,
+    /// Store legend name (`cassandra`, `redis`, …).
+    pub store: String,
+    /// Campaign seed; the whole report is a pure function of it.
+    pub seed: u64,
+    /// Schedules sampled.
+    pub budget: u32,
+    /// Whether a resilience policy was composed under test.
+    pub resilient: bool,
+    /// One record per sampled schedule, in sample order.
+    pub schedules: Vec<ScheduleRecord>,
+    /// One minimized reproducer per non-passing schedule.
+    pub minimized: Vec<MinimizedRepro>,
+}
+
+impl CampaignReport {
+    /// Number of schedules whose outcome was not a clean pass.
+    pub fn violations(&self) -> usize {
+        self.schedules
+            .iter()
+            .filter(|s| s.outcome != ScheduleOutcome::Pass)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_are_stable_and_distinct() {
+        let names: Vec<&str> = OracleKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "durability",
+                "conservation",
+                "availability-floor",
+                "recovery-convergence"
+            ]
+        );
+    }
+
+    #[test]
+    fn violations_counts_non_passing_schedules() {
+        let schedule = |index, outcome| ScheduleRecord {
+            index,
+            events: Vec::new(),
+            outcome,
+            verdicts: Vec::new(),
+        };
+        let report = CampaignReport {
+            version: CAMPAIGN_FORMAT_VERSION,
+            store: "fixture".into(),
+            seed: 7,
+            budget: 3,
+            resilient: false,
+            schedules: vec![
+                schedule(0, ScheduleOutcome::Pass),
+                schedule(1, ScheduleOutcome::Violation),
+                schedule(2, ScheduleOutcome::NonDeterministic),
+            ],
+            minimized: Vec::new(),
+        };
+        assert_eq!(report.violations(), 2);
+    }
+}

@@ -15,6 +15,7 @@
 //! consume [`ops::Operation`]s produced by [`workload::WorkloadGenerator`]
 //! and report latencies into [`stats::BenchStats`].
 
+pub mod chaos;
 pub mod driver;
 pub mod keyspace;
 pub mod metric;

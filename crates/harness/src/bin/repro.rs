@@ -22,16 +22,20 @@ struct Args {
     ids: Vec<String>,
     profile: ExperimentProfile,
     out: Option<PathBuf>,
+    budget: u32,
+    resilient: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: repro <list | all | table1 | fig3..fig20 | ext-*>... [--scale F] [--secs S] [--warmup S] [--seed N] [--out DIR]\n       repro render <results.json>...   # merge result files and print EXPERIMENTS markdown\n       repro snapshot <store>           # run with checkpoints, write snap-<store>-<k>.bin\n       repro resume <snapshot.bin>      # resume a run from a sealed checkpoint\n       repro bisect <store>             # inject a divergence and localize its window"
+    "usage: repro <list | all | table1 | fig3..fig20 | ext-*>... [--scale F] [--secs S] [--warmup S] [--seed N] [--out DIR]\n       repro render <results.json>...   # merge result files and print EXPERIMENTS markdown\n       repro snapshot <store>           # run with checkpoints, write snap-<store>-<k>.bin\n       repro resume <snapshot.bin>      # resume a run from a sealed checkpoint\n       repro bisect <store>             # inject a divergence and localize its window\n       repro chaos <store | broken-cassandra> [--budget N] [--resilient] [--seed S] [--out DIR]\n                                        # seeded chaos campaign: oracles + schedule shrinking,\n                                        # writes chaos-<store>.json"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut ids = Vec::new();
     let mut profile = ExperimentProfile::quick();
     let mut out = None;
+    let mut budget = apm_harness::chaos::DEFAULT_BUDGET;
+    let mut resilient = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,6 +73,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
             }
+            "--budget" => {
+                budget = it
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+                if budget == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+            }
+            "--resilient" => resilient = true,
             "--help" | "-h" => return Err(usage().to_string()),
             id => ids.push(id.to_string()),
         }
@@ -76,7 +91,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if ids.is_empty() {
         return Err(usage().to_string());
     }
-    Ok(Args { ids, profile, out })
+    Ok(Args {
+        ids,
+        profile,
+        out,
+        budget,
+        resilient,
+    })
 }
 
 fn store_arg(args: &Args) -> Result<StoreKind, String> {
@@ -208,6 +229,119 @@ fn cmd_bisect(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro chaos <store | broken-cassandra>` — run a seeded chaos-search
+/// campaign, print per-schedule verdicts, and write the machine-readable
+/// report as `chaos-<store>.json` (byte-identical for the same seed).
+fn cmd_chaos(args: &Args) -> ExitCode {
+    use apm_harness::chaos::{report_to_json, run_campaign, ChaosOptions, ChaosTarget};
+
+    let name = match args.ids.get(1) {
+        Some(n) => n.as_str(),
+        None => {
+            eprintln!(
+                "expected a store name (cassandra, hbase, voldemort, voltdb, redis, mysql) \
+                 or the broken-cassandra fixture"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let target = if name == "broken-cassandra" {
+        ChaosTarget::broken_cassandra(&args.profile)
+    } else {
+        match StoreKind::by_name(name) {
+            Some(kind) => ChaosTarget::store(kind, &args.profile),
+            None => {
+                eprintln!("unknown store {name:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let opts = ChaosOptions {
+        seed: args.profile.seed,
+        budget: args.budget,
+        resilient: args.resilient,
+    };
+    println!(
+        "chaos campaign: {} — budget {}, seed {:#x}, resilience {}",
+        target.label(),
+        opts.budget,
+        opts.seed,
+        if opts.resilient { "on" } else { "off" }
+    );
+    let outcome = run_campaign(&target, &args.profile, &opts);
+    for schedule in &outcome.report.schedules {
+        let failed: Vec<&str> = schedule
+            .verdicts
+            .iter()
+            .filter(|v| !v.pass)
+            .map(|v| v.kind.name())
+            .collect();
+        match failed.is_empty() {
+            true => println!(
+                "  schedule {}: {} events, pass",
+                schedule.index,
+                schedule.events.len()
+            ),
+            false => println!(
+                "  schedule {}: {} events, {} ({})",
+                schedule.index,
+                schedule.events.len(),
+                schedule.outcome.name().to_uppercase(),
+                failed.join(", ")
+            ),
+        }
+    }
+    for m in &outcome.report.minimized {
+        match m.divergent_checkpoint {
+            Some(k) => println!(
+                "  schedule {}: non-deterministic replay, first divergent checkpoint {k}",
+                m.schedule_index
+            ),
+            None => println!(
+                "  schedule {}: minimized {} -> {} events in {} probes ({} resumed)",
+                m.schedule_index, m.original_events, m.minimized_events, m.probes, m.resumed_probes
+            ),
+        }
+    }
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = dir.join(format!("chaos-{}.json", target.label()));
+    let json = report_to_json(&outcome.report).to_pretty();
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    let violations = outcome.report.violations();
+    // The broken fixture is *supposed* to trip its oracle; a campaign
+    // against a healthy store must come back clean.
+    let expect_violations = name == "broken-cassandra";
+    let ok = if expect_violations {
+        violations > 0
+    } else {
+        violations == 0
+    };
+    let mark = if ok { "PASS" } else { "FAIL" };
+    println!(
+        "  [{mark}] {} of {} schedules violated an oracle{}",
+        violations,
+        outcome.report.schedules.len(),
+        if expect_violations {
+            " (fixture: expected at least one)"
+        } else {
+            ""
+        }
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -222,6 +356,7 @@ fn main() -> ExitCode {
         Some("snapshot") => return cmd_snapshot(&args),
         Some("resume") => return cmd_resume(&args),
         Some("bisect") => return cmd_bisect(&args),
+        Some("chaos") => return cmd_chaos(&args),
         _ => {}
     }
 

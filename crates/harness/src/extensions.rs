@@ -40,6 +40,8 @@ pub fn all_extensions() -> Vec<(&'static str, &'static str)> {
         ("ext-res-breaker", "Extension: circuit breaker vs a partitioned shard (Redis, read-only, 4 nodes)"),
         ("ext-res-storm", "Extension: admission control vs an unbounded retry storm (Cassandra rf=1, workload R, 4 nodes)"),
         ("ext-snap-resume", "Extension: snapshot/resume equivalence and divergence bisection (all stores, workload RW, 4 nodes)"),
+        ("ext-chaos-campaign", "Extension: chaos search campaign, 3 seeded schedules per store (workload RW, 4 nodes)"),
+        ("ext-chaos-shrink", "Extension: durability-bug shrink, Cassandra rf=2 with hint replay disabled (workload RW, 4 nodes)"),
     ]
 }
 
@@ -64,6 +66,8 @@ pub fn generate_extension(id: &str, profile: &ExperimentProfile) -> Option<Table
         "ext-res-breaker" => Some(crate::resilience::breaker_shedding(profile)),
         "ext-res-storm" => Some(crate::resilience::retry_storm(profile)),
         "ext-snap-resume" => Some(crate::snap::snap_resume(profile)),
+        "ext-chaos-campaign" => Some(crate::chaos::chaos_campaign(profile)),
+        "ext-chaos-shrink" => Some(crate::chaos::chaos_shrink(profile)),
         _ => None,
     }
 }
@@ -488,6 +492,8 @@ mod tests {
             "ext-res-breaker",
             "ext-res-storm",
             "ext-snap-resume",
+            "ext-chaos-campaign",
+            "ext-chaos-shrink",
         ];
         for (id, _) in all_extensions() {
             assert!(known.contains(&id), "unlisted extension {id}");

@@ -27,6 +27,11 @@
 //!   sealed mid-run snapshots, byte-identical resumption, and binary
 //!   search over checkpoint streams to localize a divergence
 //!   (`repro snapshot | resume | bisect`).
+//! * [`chaos`] — deterministic chaos search: seeded fault-schedule
+//!   generation, correctness oracles (durability, conservation,
+//!   availability, recovery-convergence), and a delta-debugging
+//!   shrinker whose probes resume from `snap` checkpoints
+//!   (`repro chaos`).
 //! * [`output`] — result persistence (JSON/CSV) and report rendering.
 //!
 //! The `repro` binary drives it all:
@@ -37,6 +42,7 @@
 //! repro table1                 # print the workload table
 //! ```
 
+pub mod chaos;
 pub mod experiment;
 pub mod extensions;
 pub mod faults;

@@ -721,6 +721,94 @@ pub fn checks_for(figure: &str, t: &Table) -> Vec<ShapeResult> {
                 ),
             ]
         }
+        "ext-chaos-campaign" => {
+            let stores: Vec<(String, f64, f64, f64)> = t
+                .rows
+                .iter()
+                .filter_map(|r| {
+                    Some((
+                        r.clone(),
+                        t.get(r, "schedules")?,
+                        t.get(r, "violations")?,
+                        t.get(r, "deterministic")?,
+                    ))
+                })
+                .collect();
+            if stores.is_empty() {
+                return vec![ShapeResult::of(
+                    "chaos: at least one store row",
+                    false,
+                    "no rows".into(),
+                )];
+            }
+            vec![
+                ShapeResult::of(
+                    "chaos: every store's campaign completes its full schedule budget",
+                    stores.iter().all(|s| s.1 >= 3.0),
+                    format!(
+                        "schedule counts {:?}",
+                        stores.iter().map(|s| s.1).collect::<Vec<_>>()
+                    ),
+                ),
+                ShapeResult::of(
+                    "chaos: no healthy store violates any correctness oracle",
+                    stores.iter().all(|s| s.2 == 0.0),
+                    format!(
+                        "violators: {:?}",
+                        stores
+                            .iter()
+                            .filter(|s| s.2 != 0.0)
+                            .map(|s| s.0.as_str())
+                            .collect::<Vec<_>>()
+                    ),
+                ),
+                ShapeResult::of(
+                    "chaos: every schedule replays deterministically for every store",
+                    stores.iter().all(|s| s.3 == 1.0),
+                    format!(
+                        "deterministic flags {:?}",
+                        stores.iter().map(|s| s.3).collect::<Vec<_>>()
+                    ),
+                ),
+            ]
+        }
+        "ext-chaos-shrink" => vec![
+            ratio_check(
+                "chaos: the campaign finds the seeded skip-hint-replay durability bug",
+                cell(t, "skip-hint-replay", "violations"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "chaos: the shrinker reduces the failing schedule to one crash window (2 events)",
+                cell(t, "skip-hint-replay", "min_events"),
+                Some(1.0),
+                1.0,
+                2.0,
+            ),
+            ratio_check(
+                "chaos: shrinking does real search work (at least one probe run)",
+                cell(t, "skip-hint-replay", "probes"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "chaos: at least one probe resumes from a pre-divergence checkpoint",
+                cell(t, "skip-hint-replay", "resumed_probes"),
+                Some(1.0),
+                1.0,
+                f64::INFINITY,
+            ),
+            ratio_check(
+                "chaos: the minimized schedule still fails when re-executed from scratch",
+                cell(t, "skip-hint-replay", "still_fails"),
+                Some(1.0),
+                1.0,
+                1.0,
+            ),
+        ],
         _ => Vec::new(),
     }
 }

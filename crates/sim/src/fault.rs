@@ -173,6 +173,40 @@ impl FaultSchedule {
         self
     }
 
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Merges another schedule into this one, keeping the combined list
+    /// time-sorted (ties keep `self`'s events first, then `other`'s in
+    /// order — the same stable rule as [`FaultSchedule::push`]). This is
+    /// how composed scenarios are built: sample independent fault
+    /// windows, then merge them into one schedule.
+    pub fn merge(mut self, other: FaultSchedule) -> FaultSchedule {
+        for event in other.events {
+            self.push(event);
+        }
+        self
+    }
+
+    /// A cluster-wide "deadline storm": every one of `nodes` fail-slows
+    /// to `factor`× between `at` and `until` simultaneously. Paired with
+    /// a client-side op deadline, the storm surfaces as a burst of
+    /// timeouts rather than a partial slowdown.
+    pub fn storm(
+        mut self,
+        nodes: usize,
+        at: SimTime,
+        until: SimTime,
+        factor: u32,
+    ) -> FaultSchedule {
+        for node in 0..nodes {
+            self = self.fail_slow(node, at, until, factor);
+        }
+        self
+    }
+
     /// A seeded random schedule: `count` fault windows drawn uniformly
     /// over `(start, end)` and over `nodes`, mixing crashes, disk
     /// slowdowns, partitions, and fail-slow episodes. Deterministic in
@@ -274,5 +308,43 @@ mod tests {
     #[should_panic(expected = "precede")]
     fn inverted_crash_window_panics() {
         let _ = FaultSchedule::none().crash(0, secs(20), secs(10));
+    }
+
+    #[test]
+    fn merge_interleaves_and_stays_sorted() {
+        let a = FaultSchedule::none().crash(0, secs(10), secs(20));
+        let b = FaultSchedule::none().partition(1, secs(5), secs(15));
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 4);
+        let times: Vec<u64> = merged
+            .events()
+            .iter()
+            .map(|e| e.at.as_nanos() / 1_000_000_000)
+            .collect();
+        assert_eq!(times, vec![5, 10, 15, 20]);
+        // Merging is order-sensitive only for exact ties; disjoint
+        // windows commute.
+        let a2 = FaultSchedule::none().crash(0, secs(10), secs(20));
+        let b2 = FaultSchedule::none().partition(1, secs(5), secs(15));
+        assert_eq!(merged, b2.merge(a2));
+    }
+
+    #[test]
+    fn storm_degrades_every_node_in_lockstep() {
+        let schedule = FaultSchedule::none().storm(3, secs(10), secs(12), 16);
+        assert_eq!(schedule.len(), 6);
+        let starts: Vec<usize> = schedule
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::FailSlow { factor: 16 })
+            .map(|e| e.node)
+            .collect();
+        assert_eq!(starts, vec![0, 1, 2]);
+        let ends = schedule
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::FailSlowEnd)
+            .count();
+        assert_eq!(ends, 3);
     }
 }

@@ -657,6 +657,10 @@ impl Engine {
                     }
                     return;
                 }
+                Step::Fail { latency } => {
+                    self.abort_exec(exec, Outcome::Failed, latency);
+                    return;
+                }
             }
         }
     }

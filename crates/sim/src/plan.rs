@@ -36,6 +36,12 @@ pub enum Step {
     /// completed. Remaining branches keep running (and keep occupying
     /// resources) in the background — quorum semantics.
     Join { branches: Vec<Plan>, need: usize },
+    /// Unconditional failure: the plan aborts with a failed outcome after
+    /// `latency`. Stores use this when the refusal decision was already
+    /// made at plan time (e.g. every replica was down when the request
+    /// was routed), so the result cannot be undone by resources coming
+    /// back between planning and execution.
+    Fail { latency: SimDuration },
 }
 
 /// A sequence of steps executed in order.
@@ -61,7 +67,10 @@ impl Plan {
                 Step::Join { branches, .. } => {
                     1 + branches.iter().map(Plan::total_steps).sum::<usize>()
                 }
-                Step::Acquire { .. } | Step::Delay(_) | Step::AlignTo { .. } => 1,
+                Step::Acquire { .. }
+                | Step::Delay(_)
+                | Step::AlignTo { .. }
+                | Step::Fail { .. } => 1,
             })
             .sum()
     }
@@ -88,6 +97,8 @@ impl Plan {
                         durations[(*need).min(durations.len()) - 1]
                     }
                 }
+                // The abort ends the plan after its error latency.
+                Step::Fail { latency } => return total + *latency,
             };
         }
         total
@@ -116,6 +127,10 @@ impl Snap for Step {
                 w.put(branches);
                 w.put(need);
             }
+            Step::Fail { latency } => {
+                w.put_u8(4);
+                w.put(latency);
+            }
         }
     }
     fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
@@ -133,6 +148,7 @@ impl Snap for Step {
                 branches: r.get()?,
                 need: r.get()?,
             }),
+            4 => Ok(Step::Fail { latency: r.get()? }),
             tag => Err(SnapError::BadTag {
                 what: "Step",
                 tag: u64::from(tag),

@@ -88,6 +88,15 @@ pub struct CassandraConfig {
     /// benchmark driver fires its timed event (elasticity experiment;
     /// cf. the Konstantinou et al. elasticity study cited in §7).
     pub bootstrap_on_event: bool,
+    /// **Test-only known bug**: a rejoining node *discards* its hint
+    /// queue instead of replaying it, silently losing every write acked
+    /// via hinted handoff during its downtime. The node still tells the
+    /// hint auditor the queue drained — modelling a recovery path whose
+    /// internal bookkeeping believes it succeeded — so only an
+    /// end-to-end durability oracle (the chaos harness's acked-write
+    /// readback) can catch it. Exists to prove that oracle and the
+    /// schedule shrinker work; never set outside tests and fixtures.
+    pub skip_hint_replay: bool,
 }
 
 impl Default for CassandraConfig {
@@ -99,6 +108,7 @@ impl Default for CassandraConfig {
             memtable_flush_bytes: None,
             strategy: CompactionStrategy::SizeTiered,
             bootstrap_on_event: false,
+            skip_hint_replay: false,
         }
     }
 }
@@ -126,6 +136,7 @@ pub struct CassandraStore {
     replication: usize,           // audit:allow(snap-drift)
     compression: bool,            // audit:allow(snap-drift)
     bootstrap_on_event: bool,     // audit:allow(snap-drift)
+    skip_hint_replay: bool,       // audit:allow(snap-drift)
     flush_bytes: u64,             // audit:allow(snap-drift)
     cache_bytes: u64,             // audit:allow(snap-drift)
     strategy: CompactionStrategy, // audit:allow(snap-drift)
@@ -180,6 +191,7 @@ impl CassandraStore {
             replication: config.replication.max(1),
             compression: config.compression,
             bootstrap_on_event: config.bootstrap_on_event,
+            skip_hint_replay: config.skip_hint_replay,
             flush_bytes,
             cache_bytes,
             strategy: config.strategy,
@@ -360,6 +372,14 @@ impl CassandraStore {
         if hints.is_empty() {
             return;
         }
+        if self.skip_hint_replay {
+            // Test-only known bug (see `CassandraConfig::skip_hint_replay`):
+            // the queue is dropped on the floor after telling the auditor it
+            // drained, so every write acked via hinted handoff during the
+            // node's downtime is silently lost. Only the chaos harness's
+            // end-to-end durability oracle can observe this.
+            return;
+        }
         let raw = (hints.len() * apm_core::record::RAW_RECORD_SIZE) as u64;
         for record in &hints {
             let (_, job) = self.nodes[node].lsm.insert(record.key, record.fields);
@@ -479,7 +499,11 @@ impl CassandraStore {
         let replicas = self.ring.replicas(&record.key, self.replication);
         if replicas.iter().all(|&n| self.down[n]) {
             // Every replica is down: nothing applies, nothing is hinted —
-            // the request dies against the crashed coordinator.
+            // the request dies against the crashed coordinator. The abort
+            // is unconditional (Step::Fail, not an acquire against the
+            // crashed node): the refusal was decided here, and a replica
+            // restarting before the plan reaches the server must not turn
+            // it into a success the store never applied.
             let primary = self.ctx.servers[replicas[0]];
             let plan = round_trip_plan(
                 &self.ctx,
@@ -488,9 +512,8 @@ impl CassandraStore {
                 CLIENT_CPU,
                 REQ_BYTES,
                 RESP_WRITE_BYTES,
-                vec![Step::Acquire {
-                    resource: primary.cpu,
-                    service: SimDuration::from_nanos(WRITE_COST.base_ns),
+                vec![Step::Fail {
+                    latency: apm_sim::fault::CRASH_ERROR_LATENCY,
                 }],
             );
             return (OpOutcome::Done, plan);

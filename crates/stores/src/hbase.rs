@@ -154,8 +154,10 @@ impl HbaseStore {
     }
 
     /// A request to a region whose server is dead and not yet reassigned:
-    /// it dies against the crashed node's resources (connection refused),
-    /// with no store-state side effects.
+    /// it dies with a connection-refused error and no store-state side
+    /// effects. The abort is unconditional (Step::Fail) because the
+    /// refusal was decided at routing time — the server restarting before
+    /// the plan executes must not turn it into a phantom success.
     fn dead_region_plan(&self, client: u32, server: usize) -> Plan {
         let res = self.ctx.servers[server];
         round_trip_plan(
@@ -165,9 +167,8 @@ impl HbaseStore {
             CLIENT_CPU,
             REQ_BYTES,
             RESP_WRITE_BYTES,
-            vec![Step::Acquire {
-                resource: res.cpu,
-                service: SimDuration::from_nanos(READ_COST.base_ns),
+            vec![Step::Fail {
+                latency: apm_sim::fault::CRASH_ERROR_LATENCY,
             }],
         )
     }

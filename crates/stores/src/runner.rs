@@ -18,6 +18,7 @@ use crate::resilience::{
 use apm_core::driver::ClientConfig;
 use apm_core::keyspace::record_for_seq;
 use apm_core::ops::{OpKind, OpOutcome, Operation};
+use apm_core::record::MetricKey;
 use apm_core::snap::{self, fnv1a64, Snap, SnapError, SnapReader, SnapWriter, SnapshotHeader};
 use apm_core::stats::{pairwise_sum, BenchStats, ResilienceCounters, ResourceSample, Telemetry};
 use apm_core::workload::{Workload, WorkloadGenerator};
@@ -151,6 +152,48 @@ pub fn bisect_divergence(a: &[Checkpoint], b: &[Checkpoint]) -> Option<u32> {
     Some(a[lo].index)
 }
 
+/// Client-visible accounting threaded through both driver loops, kept
+/// for the chaos oracles: which inserts the client saw acknowledged and
+/// how logical operations resolved. Collection is unconditional — it
+/// costs a few counters per op, never influences scheduling, and is not
+/// part of [`RunConfig`], so config fingerprints and default-path
+/// results are untouched by its existence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunLedger {
+    /// Keys of inserts acknowledged to the client (plan succeeded, op
+    /// accepted, not shed). The durability oracle reads each back after
+    /// the run: an acked key a recovered store cannot serve is lost data.
+    pub acked_inserts: Vec<MetricKey>,
+    /// Logical operations started (one per closed-loop issue; retries
+    /// and hedges re-send the same logical op and do not count).
+    pub logical: u64,
+    /// Logical operations resolved exactly once (success, error, or
+    /// rejection — warm-up included). `logical - resolved` is the
+    /// in-flight residue at the window end, bounded by the connection
+    /// count.
+    pub resolved: u64,
+    /// Of the resolved, client-side rejections (store admission refusals
+    /// and breaker fast-fails).
+    pub rejected: u64,
+}
+
+impl Snap for RunLedger {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put(&self.acked_inserts);
+        w.put_u64(self.logical);
+        w.put_u64(self.resolved);
+        w.put_u64(self.rejected);
+    }
+    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(RunLedger {
+            acked_inserts: r.get()?,
+            logical: r.u64()?,
+            resolved: r.u64()?,
+            rejected: r.u64()?,
+        })
+    }
+}
+
 /// Result of one benchmark run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -166,6 +209,8 @@ pub struct RunResult {
     /// Checkpoints captured on the [`RunConfig::checkpoints`] schedule,
     /// in virtual-time order (empty when no schedule was set).
     pub checkpoints: Vec<Checkpoint>,
+    /// Acked-write and conservation accounting for the chaos oracles.
+    pub ledger: RunLedger,
 }
 
 impl RunResult {
@@ -188,6 +233,9 @@ struct ClientSlot {
     missing: bool,
     /// Next scheduled issue time under throttling.
     next_issue: SimTime,
+    /// Key of the insert in flight, held until the acknowledgement so
+    /// the ledger records exactly the keys the client saw acked.
+    pending_insert: Option<MetricKey>,
 }
 
 impl Snap for ClientSlot {
@@ -196,6 +244,7 @@ impl Snap for ClientSlot {
         w.put(&self.ok);
         w.put(&self.missing);
         w.put(&self.next_issue);
+        w.put(&self.pending_insert);
     }
     fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
         Ok(ClientSlot {
@@ -203,6 +252,7 @@ impl Snap for ClientSlot {
             ok: r.get()?,
             missing: r.get()?,
             next_issue: r.get()?,
+            pending_insert: r.get()?,
         })
     }
 }
@@ -336,6 +386,25 @@ pub fn run_benchmark(
     store: &mut dyn DistributedStore,
     config: &RunConfig,
 ) -> RunResult {
+    run_benchmark_masked(engine, store, config, None)
+}
+
+/// [`run_benchmark`] with a fault-event mask: `mask[i] == false`
+/// suppresses the *dispatch* of `config.faults.events()[i]` (its
+/// sentinel still fires, so the kernel event stream is unchanged).
+///
+/// This is the chaos shrinker's probe primitive: a probe tests a subset
+/// of one fixed schedule without changing the `RunConfig` — and
+/// therefore without changing the config fingerprint — so it can resume
+/// from any checkpoint the full-schedule run captured strictly before
+/// the first suppressed event. Two runs differing only in the mask are
+/// byte-identical up to the first differing dispatch.
+pub fn run_benchmark_masked(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    mask: Option<&[bool]>,
+) -> RunResult {
     // ---- Load phase (untimed; the paper reinstalls and reloads per run).
     let total_records = config.records_per_node * u64::from(config.nodes);
     for seq in 0..total_records {
@@ -347,9 +416,9 @@ pub fn run_benchmark(
         // The resilient driver wraps every logical op in the policy
         // engine; kept as a separate loop so the legacy path below stays
         // byte-identical when no policy is configured.
-        return run_transactions_resilient(engine, store, config, total_records);
+        return run_transactions_resilient(engine, store, config, total_records, mask);
     }
-    run_transactions_legacy(engine, store, config, total_records)
+    run_transactions_legacy(engine, store, config, total_records, mask)
 }
 
 /// Resumes the transaction phase from a sealed checkpoint, continuing
@@ -364,6 +433,20 @@ pub fn resume_benchmark(
     store: &mut dyn DistributedStore,
     config: &RunConfig,
     snapshot: &[u8],
+) -> Result<RunResult, SnapError> {
+    resume_benchmark_masked(engine, store, config, snapshot, None)
+}
+
+/// [`resume_benchmark`] with a fault-event mask (see
+/// [`run_benchmark_masked`]). Sound only when every event the mask
+/// suppresses dispatches *after* the snapshot's virtual time; the chaos
+/// shrinker picks its checkpoints to guarantee this.
+pub fn resume_benchmark_masked(
+    engine: &mut Engine,
+    store: &mut dyn DistributedStore,
+    config: &RunConfig,
+    snapshot: &[u8],
+    mask: Option<&[bool]>,
 ) -> Result<RunResult, SnapError> {
     let (header, body) = snap::open(snapshot)?;
     if header.features != Engine::snap_features() {
@@ -396,7 +479,7 @@ pub fn resume_benchmark(
         (MODE_LEGACY, false) => {
             let mut d = LegacyDriver::restore_state(config, total_records, &mut r)?;
             r.finish()?;
-            drive_legacy(engine, store, config, &mut d, &mut checkpoints);
+            drive_legacy(engine, store, config, &mut d, &mut checkpoints, mask);
             Ok(finalize_legacy(engine, store, d, checkpoints))
         }
         (MODE_RESILIENT, true) => {
@@ -404,7 +487,7 @@ pub fn resume_benchmark(
             let mut d =
                 ResilientDriver::restore_state(config, policy, total_records, store, &mut r)?;
             r.finish()?;
-            drive_resilient(engine, store, config, &mut d, &mut checkpoints);
+            drive_resilient(engine, store, config, &mut d, &mut checkpoints, mask);
             Ok(finalize_resilient(engine, store, d, checkpoints))
         }
         (tag, _) => Err(SnapError::BadTag {
@@ -433,6 +516,7 @@ struct LegacyDriver {
     event_at: Option<SimTime>,
     /// Index of the next checkpoint to capture.
     next_checkpoint: u32,
+    ledger: RunLedger,
 }
 
 impl LegacyDriver {
@@ -452,6 +536,7 @@ impl LegacyDriver {
         w.put(&self.measure_end);
         w.put(&self.event_at);
         w.put_u32(self.next_checkpoint);
+        w.put(&self.ledger);
     }
 
     fn restore_state(
@@ -481,6 +566,7 @@ impl LegacyDriver {
             measure_end: r.get()?,
             event_at: r.get()?,
             next_checkpoint: r.u32()?,
+            ledger: r.get()?,
         })
     }
 
@@ -498,6 +584,7 @@ fn run_transactions_legacy(
     store: &mut dyn DistributedStore,
     config: &RunConfig,
     total_records: u64,
+    mask: Option<&[bool]>,
 ) -> RunResult {
     let mut generator = WorkloadGenerator::new(config.workload.clone(), total_records, config.seed);
     let connections = match store.connection_cap() {
@@ -518,12 +605,14 @@ fn run_transactions_legacy(
             ok: true,
             missing: false,
             next_issue: engine.now(),
+            pending_insert: None,
         })
         .collect();
     let sampler = config
         .telemetry_window_secs
         .map(|secs| TelemetrySampler::new(engine, secs, warmup_end));
     let mut issued: u64 = 0;
+    let mut ledger = RunLedger::default();
     let start = engine.now();
 
     // Arm the fault schedule: one zero-cost sentinel plan per event, so
@@ -561,6 +650,7 @@ fn run_transactions_legacy(
             at,
             config.op_deadline,
             &mut issued,
+            &mut ledger,
         );
     }
 
@@ -578,9 +668,10 @@ fn run_transactions_legacy(
         measure_end,
         event_at,
         next_checkpoint: 0,
+        ledger,
     };
     let mut checkpoints = Vec::new();
-    drive_legacy(engine, store, config, &mut d, &mut checkpoints);
+    drive_legacy(engine, store, config, &mut d, &mut checkpoints, mask);
     finalize_legacy(engine, store, d, checkpoints)
 }
 
@@ -595,6 +686,7 @@ fn drive_legacy(
     config: &RunConfig,
     d: &mut LegacyDriver,
     checkpoints: &mut Vec<Checkpoint>,
+    mask: Option<&[bool]>,
 ) {
     let issue_interval = config
         .client
@@ -638,8 +730,10 @@ fn drive_legacy(
         }
         let (is_fault, fault_index) = split_fault_token(completion.token);
         if is_fault {
-            let event = config.faults.events()[fault_index as usize];
-            store.on_fault(&event, engine);
+            if event_enabled(mask, fault_index as usize) {
+                let event = config.faults.events()[fault_index as usize];
+                store.on_fault(&event, engine);
+            }
             continue;
         }
         let (is_background, id) = split_token(completion.token);
@@ -675,9 +769,21 @@ fn drive_legacy(
                 d.stats.record_timeline(offset_ns);
             }
         }
-        let slot = &d.slots[client as usize];
-        if slot.kind == OpKind::Insert && slot.ok && !failed {
-            d.generator.ack_insert();
+        {
+            // Every non-fault, non-background completion resolves its
+            // connection's op exactly once — warm-up included, which is
+            // why this sits outside the measurement gate above.
+            let slot = &mut d.slots[client as usize];
+            d.ledger.resolved += 1;
+            if !failed && !slot.missing && !slot.ok {
+                d.ledger.rejected += 1;
+            }
+            if slot.kind == OpKind::Insert && slot.ok && !failed {
+                d.generator.ack_insert();
+                if let Some(key) = slot.pending_insert.take() {
+                    d.ledger.acked_inserts.push(key);
+                }
+            }
         }
         // Schedule the next op for this connection.
         let at = match issue_interval {
@@ -699,6 +805,7 @@ fn drive_legacy(
                 at,
                 config.op_deadline,
                 &mut d.issued,
+                &mut d.ledger,
             );
         }
         // Capture every checkpoint boundary crossed by this completion.
@@ -741,6 +848,15 @@ fn finalize_legacy(
         disk_bytes_per_node: store.disk_bytes_per_node(),
         telemetry: d.sampler.map(|s| s.telemetry),
         checkpoints,
+        ledger: d.ledger,
+    }
+}
+
+/// True when the mask (if any) leaves fault event `index` enabled.
+fn event_enabled(mask: Option<&[bool]>, index: usize) -> bool {
+    match mask {
+        Some(m) => m.get(index).copied().unwrap_or(true),
+        None => true,
     }
 }
 
@@ -788,13 +904,19 @@ fn issue_op(
     at: SimTime,
     deadline: Option<SimDuration>,
     issued: &mut u64,
+    ledger: &mut RunLedger,
 ) {
     let op = generator.next_op();
     let (outcome, plan) = store.plan_op(client, &op, engine);
     *issued += 1;
+    ledger.logical += 1;
     slots[client as usize].kind = op.kind();
     slots[client as usize].ok = !matches!(outcome, OpOutcome::Rejected(_));
     slots[client as usize].missing = matches!(outcome, OpOutcome::Missing);
+    slots[client as usize].pending_insert = match &op {
+        Operation::Insert { record } => Some(record.key),
+        Operation::Read { .. } | Operation::Update { .. } | Operation::Scan { .. } => None,
+    };
     let start = at.max(engine.now());
     let token = Token(u64::from(client));
     match deadline {
@@ -979,6 +1101,7 @@ struct ResilientDriver {
     measure_end: SimTime,
     event_at: Option<SimTime>,
     next_checkpoint: u32,
+    ledger: RunLedger,
     ps: PolicyState,
 }
 
@@ -999,6 +1122,7 @@ impl ResilientDriver {
         w.put(&self.measure_end);
         w.put(&self.event_at);
         w.put_u32(self.next_checkpoint);
+        w.put(&self.ledger);
         self.ps.snap_state(w);
     }
 
@@ -1031,6 +1155,7 @@ impl ResilientDriver {
             measure_end: r.get()?,
             event_at: r.get()?,
             next_checkpoint: r.u32()?,
+            ledger: r.get()?,
             ps: PolicyState::new(policy, config.seed, store.ctx().servers.len()),
         };
         d.ps.restore_state(r)?;
@@ -1048,6 +1173,7 @@ fn run_transactions_resilient(
     store: &mut dyn DistributedStore,
     config: &RunConfig,
     total_records: u64,
+    mask: Option<&[bool]>,
 ) -> RunResult {
     let policy = config
         .resilience
@@ -1089,6 +1215,7 @@ fn run_transactions_resilient(
         .telemetry_window_secs
         .map(|secs| TelemetrySampler::new(engine, secs, warmup_end));
     let mut issued: u64 = 0;
+    let mut ledger = RunLedger::default();
     let start = engine.now();
     let mut ps = PolicyState::new(policy, config.seed, store.ctx().servers.len());
 
@@ -1124,6 +1251,7 @@ fn run_transactions_resilient(
             at,
             config.op_deadline,
             &mut issued,
+            &mut ledger,
         );
     }
 
@@ -1141,10 +1269,11 @@ fn run_transactions_resilient(
         measure_end,
         event_at,
         next_checkpoint: 0,
+        ledger,
         ps,
     };
     let mut checkpoints = Vec::new();
-    drive_resilient(engine, store, config, &mut d, &mut checkpoints);
+    drive_resilient(engine, store, config, &mut d, &mut checkpoints, mask);
     finalize_resilient(engine, store, d, checkpoints)
 }
 
@@ -1154,6 +1283,7 @@ fn drive_resilient(
     config: &RunConfig,
     d: &mut ResilientDriver,
     checkpoints: &mut Vec<Checkpoint>,
+    mask: Option<&[bool]>,
 ) {
     let issue_interval = config
         .client
@@ -1192,8 +1322,10 @@ fn drive_resilient(
         }
         let (is_fault, fault_index) = split_fault_token(completion.token);
         if is_fault {
-            let event = config.faults.events()[fault_index as usize];
-            store.on_fault(&event, engine);
+            if event_enabled(mask, fault_index as usize) {
+                let event = config.faults.events()[fault_index as usize];
+                store.on_fault(&event, engine);
+            }
             continue;
         }
         let (is_background, id) = split_token(completion.token);
@@ -1329,9 +1461,18 @@ fn drive_resilient(
             }
         }
         {
+            // The logical op is final here (retry continuations returned
+            // above): resolve it in the ledger, warm-up included.
             let slot = &d.slots[client as usize];
+            d.ledger.resolved += 1;
+            if slot.shed || (!failed && !slot.missing && !slot.ok) {
+                d.ledger.rejected += 1;
+            }
             if slot.kind() == OpKind::Insert && slot.ok && !failed && !slot.shed {
                 d.generator.ack_insert();
+                if let Some(Operation::Insert { record }) = &slot.op {
+                    d.ledger.acked_inserts.push(record.key);
+                }
             }
         }
         // Schedule the next logical op for this connection.
@@ -1355,6 +1496,7 @@ fn drive_resilient(
                 at,
                 config.op_deadline,
                 &mut d.issued,
+                &mut d.ledger,
             );
         }
         if let Some(every) = every {
@@ -1393,6 +1535,7 @@ fn finalize_resilient(
         disk_bytes_per_node: store.disk_bytes_per_node(),
         telemetry: d.sampler.map(|s| s.telemetry),
         checkpoints,
+        ledger: d.ledger,
     }
 }
 
@@ -1409,8 +1552,10 @@ fn issue_logical_op(
     at: SimTime,
     deadline: Option<SimDuration>,
     issued: &mut u64,
+    ledger: &mut RunLedger,
 ) {
     let op = generator.next_op();
+    ledger.logical += 1;
     let slot = &mut slots[client as usize];
     slot.op = Some(op);
     slot.retries_used = 0;
@@ -2246,6 +2391,134 @@ mod tests {
             clean.checkpoints[4].state_hash(),
             perturbed.checkpoints[4].state_hash()
         );
+    }
+
+    #[test]
+    fn ledger_balances_and_records_acked_inserts() {
+        // Legacy driver: every issued op is logical; the ledger resolves
+        // all but the in-flight residue, and every acked insert key is
+        // readable from the store afterwards.
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let cfg = quick_config(Workload::rw());
+        let r = run_benchmark(&mut engine, &mut store, &cfg);
+        assert_eq!(r.ledger.logical, r.issued, "legacy ops are all logical");
+        assert!(r.ledger.resolved <= r.ledger.logical);
+        let connections = u64::from(cfg.client.connections);
+        assert!(
+            r.ledger.logical - r.ledger.resolved <= connections,
+            "in-flight residue {} exceeds {} connections",
+            r.ledger.logical - r.ledger.resolved,
+            connections
+        );
+        assert!(
+            !r.ledger.acked_inserts.is_empty(),
+            "RW run acked no inserts"
+        );
+        for key in &r.ledger.acked_inserts {
+            assert!(store.data.contains_key(key), "acked key not durable");
+        }
+
+        // Resilient driver with hedging: retries/hedges inflate `issued`
+        // but not `logical`, and the balance still holds.
+        let mut engine2 = Engine::new();
+        let mut store2 = FixtureStore::new(&mut engine2, 100);
+        store2.hedged = true;
+        let mut cfg2 = quick_config(Workload::rw());
+        cfg2.faults = FaultSchedule::none().crash(0, SimTime(300_000_000), SimTime(700_000_000));
+        cfg2.op_deadline = Some(SimDuration::from_millis(250));
+        cfg2.resilience = Some(ResiliencePolicy {
+            retry: Some(RetryPolicy::standard()),
+            hedge: Some(HedgePolicy {
+                delay_quantile: 0.95,
+                min_delay: SimDuration::from_micros(500),
+                warmup_samples: 50,
+            }),
+            breaker: Some(BreakerPolicy::standard()),
+            admission: Some(AdmissionPolicy::standard()),
+        });
+        let r2 = run_benchmark(&mut engine2, &mut store2, &cfg2);
+        assert!(
+            r2.ledger.logical < r2.issued,
+            "extra attempts must not be logical"
+        );
+        assert!(r2.ledger.resolved <= r2.ledger.logical);
+        assert!(r2.ledger.logical - r2.ledger.resolved <= connections);
+        for key in &r2.ledger.acked_inserts {
+            assert!(store2.data.contains_key(key), "acked key not durable");
+        }
+    }
+
+    #[test]
+    fn fully_masked_faults_match_the_fault_free_run() {
+        let faulty = || {
+            let mut cfg = quick_config(Workload::rw());
+            cfg.faults = FaultSchedule::none()
+                .crash(0, SimTime(400_000_000), SimTime(900_000_000))
+                .slow_disk(0, SimTime(1_000_000_000), SimTime(1_500_000_000), 4);
+            cfg
+        };
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let mask = vec![false; 4];
+        let masked = run_benchmark_masked(&mut engine, &mut store, &faulty(), Some(&mask));
+
+        let mut engine2 = Engine::new();
+        let mut store2 = FixtureStore::new(&mut engine2, 100);
+        let clean = run_benchmark(&mut engine2, &mut store2, &quick_config(Workload::rw()));
+        // Masked-out events still fire their sentinels but dispatch
+        // nothing, so the observable run equals the fault-free one.
+        assert_eq!(result_sig(&masked), result_sig(&clean));
+        assert_eq!(masked.ledger, clean.ledger);
+
+        // An all-true mask is the identity.
+        let mut engine3 = Engine::new();
+        let mut store3 = FixtureStore::new(&mut engine3, 100);
+        let mask_on = vec![true; 4];
+        let full = run_benchmark_masked(&mut engine3, &mut store3, &faulty(), Some(&mask_on));
+        let mut engine4 = Engine::new();
+        let mut store4 = FixtureStore::new(&mut engine4, 100);
+        let unmasked = run_benchmark(&mut engine4, &mut store4, &faulty());
+        assert_eq!(result_sig(&full), result_sig(&unmasked));
+    }
+
+    #[test]
+    fn masked_probe_resumes_from_a_pre_divergence_checkpoint() {
+        // The shrinker's resume trick: a probe that disables fault events
+        // may resume from any checkpoint of the full-schedule run taken
+        // before the first disabled event dispatches.
+        let mut cfg = quick_config(Workload::rw());
+        // Crash dispatches at warmup_end + 0.4 s; checkpoint 0 lands at
+        // ~warmup_end + 0.25 s — strictly before it.
+        cfg.faults = FaultSchedule::none().crash(0, SimTime(400_000_000), SimTime(900_000_000));
+        cfg.checkpoints = Some(CheckpointSpec::every(0.25));
+        let mut engine = Engine::new();
+        let mut store = FixtureStore::new(&mut engine, 100);
+        let base = run_benchmark(&mut engine, &mut store, &cfg);
+        let cp = &base.checkpoints[0];
+        assert!(
+            cp.at < SimTime(500_000_000 + 400_000_000),
+            "checkpoint not pre-fault"
+        );
+
+        let mask = vec![false, false];
+        let mut engine2 = Engine::new();
+        let mut store2 = FixtureStore::new(&mut engine2, 100);
+        let scratch = run_benchmark_masked(&mut engine2, &mut store2, &cfg, Some(&mask));
+
+        let mut engine3 = Engine::new();
+        let mut store3 = FixtureStore::new(&mut engine3, 100);
+        let resumed =
+            resume_benchmark_masked(&mut engine3, &mut store3, &cfg, &cp.bytes, Some(&mask))
+                .expect("masked resume succeeds");
+        assert_eq!(
+            result_sig(&resumed),
+            result_sig(&scratch),
+            "masked resume drifted from the masked from-scratch run"
+        );
+        assert_eq!(resumed.ledger, scratch.ledger);
+        // And the probe genuinely differs from the faulty base run.
+        assert_ne!(result_sig(&scratch), result_sig(&base));
     }
 
     #[test]

@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title "Extension: chaos search campaign, 3 seeded schedules per store (workload RW, 4 nodes)"
+set xlabel 'store'
+set ylabel 'count | count | 0/1'
+set term pngcairo size 900,540
+set output 'ext-chaos-campaign.png'
+set style data linespoints
+plot 'ext-chaos-campaign.csv' using 2:xtic(1) with linespoints title 'schedules', \
+     'ext-chaos-campaign.csv' using 3:xtic(1) with linespoints title 'violations', \
+     'ext-chaos-campaign.csv' using 4:xtic(1) with linespoints title 'deterministic'

@@ -1,0 +1,13 @@
+set datafile separator ','
+set key outside
+set title "Extension: durability-bug shrink, Cassandra rf=2 with hint replay disabled (workload RW, 4 nodes)"
+set xlabel 'fixture'
+set ylabel 'count | count | count | count | 0/1'
+set term pngcairo size 900,540
+set output 'ext-chaos-shrink.png'
+set style data linespoints
+plot 'ext-chaos-shrink.csv' using 2:xtic(1) with linespoints title 'violations', \
+     'ext-chaos-shrink.csv' using 3:xtic(1) with linespoints title 'min_events', \
+     'ext-chaos-shrink.csv' using 4:xtic(1) with linespoints title 'probes', \
+     'ext-chaos-shrink.csv' using 5:xtic(1) with linespoints title 'resumed_probes', \
+     'ext-chaos-shrink.csv' using 6:xtic(1) with linespoints title 'still_fails'
