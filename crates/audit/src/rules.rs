@@ -8,7 +8,12 @@
 //! (derived from the file path); `bench` joined the D1/D2 net with this
 //! revision — it times real hardware, so its wall-clock reads carry
 //! explicit `audit:allow(clock)` justifications instead of a blanket
-//! exemption.
+//! exemption. The kernel hot-path modules introduced by the
+//! calendar-queue/arena overhaul (`sim::queue`, the future-event list,
+//! and `sim::arena`, the flat plan store) sit inside the D1/D2 net via
+//! the `sim` crate scope; the fixture suite trips each rule in each of
+//! them so a future per-module scope list cannot silently drop the
+//! modules that *define* event order.
 //!
 //! | rule               | issue | scope                                  | default |
 //! |--------------------|-------|----------------------------------------|---------|

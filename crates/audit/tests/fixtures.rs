@@ -119,6 +119,24 @@ fn d1_allow_escape_passes() {
     assert!(rules_hit(&[f]).is_empty());
 }
 
+#[test]
+fn d1_clock_covers_the_kernel_hot_path_modules() {
+    // The calendar queue and plan arena carry the kernel's event order
+    // and plan storage; a wall-clock read in either is a determinism
+    // break exactly like one in kernel.rs. Crate scoping covers them —
+    // these fixtures pin that down so a future per-module scope list
+    // cannot silently drop the hot path.
+    let queue = file(
+        "crates/sim/src/queue.rs",
+        "fn f() { let t = Instant::now(); }",
+    );
+    let arena = file(
+        "crates/sim/src/arena.rs",
+        "fn f() { let t = Instant::now(); }",
+    );
+    assert_eq!(rules_hit(&[queue, arena]), ["clock", "clock"]);
+}
+
 // ---------------------------------------------------------------- D2
 
 #[test]
@@ -137,6 +155,23 @@ fn d2_hashset_in_sim_trips_hash_order() {
         "fn f() { let s: std::collections::HashSet<u64> = Default::default(); }",
     );
     assert_eq!(rules_hit(&[f]), ["hash-order"]);
+}
+
+#[test]
+fn d2_hash_order_covers_the_kernel_hot_path_modules() {
+    // Bucket scans in the calendar queue and chain walks in the plan
+    // arena feed event order directly; hashed iteration in either would
+    // leak host randomization into the schedule. The arena's intern
+    // table is a fixed chained vector for exactly this reason.
+    let queue = file(
+        "crates/sim/src/queue.rs",
+        "fn f() { let m: std::collections::HashMap<u64, u64> = Default::default(); }",
+    );
+    let arena = file(
+        "crates/sim/src/arena.rs",
+        "fn f() { let s: std::collections::HashSet<u64> = Default::default(); }",
+    );
+    assert_eq!(rules_hit(&[arena, queue]), ["hash-order", "hash-order"]);
 }
 
 #[test]

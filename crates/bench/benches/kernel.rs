@@ -4,6 +4,10 @@
 //! this with `cargo bench -p apm-bench --bench kernel` and commit the
 //! refreshed artifact so kernel speedups and regressions stay visible in
 //! history.
+//!
+//! `cargo bench -p apm-bench --bench kernel -- compare` measures the same
+//! metrics but diffs them against the committed artifact instead of
+//! overwriting it, writing `BENCH_kernel.compare.json` for CI upload.
 
 use apm_bench::bench_profile;
 use apm_bench::runner::{black_box, Artifact, Group};
@@ -13,6 +17,7 @@ use apm_sim::kernel::{Engine, Token};
 use apm_sim::plan::Plan;
 use apm_sim::time::SimDuration;
 use apm_sim::ClusterSpec;
+use std::collections::VecDeque;
 
 /// Closed loop of 1000 plan completions on a contended resource — the
 /// simulator's hottest path. Returns mean ns per whole loop.
@@ -20,24 +25,23 @@ fn kernel_closed_loop(group: &Group) -> f64 {
     group.bench("closed_loop_1000_ops", || {
         let mut engine = Engine::new();
         let cpu = engine.add_resource("cpu", 8);
+        let plan = engine.prepare(
+            &Plan::build()
+                .acquire(cpu, SimDuration::from_micros(100))
+                .finish(),
+        );
         for i in 0..64 {
-            engine.submit(
-                Plan::build()
-                    .acquire(cpu, SimDuration::from_micros(100))
-                    .finish(),
-                Token(i),
-            );
+            engine.submit_prepared(plan, Token(i));
         }
+        let mut batch = VecDeque::new();
         let mut completed = 0u64;
         while completed < 1_000 {
-            let c = engine.next_completion().expect("closed loop");
+            if batch.is_empty() && !engine.drain_completions(&mut batch) {
+                panic!("closed loop starved");
+            }
+            let c = batch.pop_front().expect("closed loop");
             completed += 1;
-            engine.submit(
-                Plan::build()
-                    .acquire(cpu, SimDuration::from_micros(100))
-                    .finish(),
-                c.token,
-            );
+            engine.submit_prepared(plan, c.token);
         }
         black_box(engine.now())
     })
@@ -59,6 +63,7 @@ fn reduced_matrix(group: &Group) -> f64 {
 }
 
 fn main() {
+    let compare = std::env::args().any(|a| a == "compare");
     let group = Group::new("kernel");
     let loop_ns = kernel_closed_loop(&group);
     let matrix_ms = reduced_matrix(&group);
@@ -68,6 +73,26 @@ fn main() {
     artifact.record("kernel_events_per_sec", 1_000.0 * 1e9 / loop_ns, "events/s");
     artifact.record("kernel_closed_loop_1000_ops", loop_ns / 1e3, "us/iter");
     artifact.record("reduced_matrix_wall", matrix_ms, "ms/pass");
+
+    if compare {
+        // Diff against the committed trajectory; never overwrite it.
+        let committed = Artifact::out_dir().join("BENCH_kernel.json");
+        match artifact.compare_against(&committed) {
+            Ok(json) => {
+                let out = Artifact::out_dir().join("BENCH_kernel.compare.json");
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("failed to write comparison: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote {}", out.display());
+            }
+            Err(e) => {
+                eprintln!("failed to load committed artifact: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match artifact.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {

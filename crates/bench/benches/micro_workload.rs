@@ -49,24 +49,23 @@ fn bench_kernel() {
     group.bench("closed_loop_1000_ops", || {
         let mut engine = Engine::new();
         let cpu = engine.add_resource("cpu", 8);
+        let plan = engine.prepare(
+            &Plan::build()
+                .acquire(cpu, SimDuration::from_micros(100))
+                .finish(),
+        );
         for i in 0..64 {
-            engine.submit(
-                Plan::build()
-                    .acquire(cpu, SimDuration::from_micros(100))
-                    .finish(),
-                Token(i),
-            );
+            engine.submit_prepared(plan, Token(i));
         }
+        let mut batch = std::collections::VecDeque::new();
         let mut completed = 0u64;
         while completed < 1_000 {
-            let c = engine.next_completion().expect("closed loop");
+            if batch.is_empty() && !engine.drain_completions(&mut batch) {
+                panic!("closed loop starved");
+            }
+            let c = batch.pop_front().expect("closed loop");
             completed += 1;
-            engine.submit(
-                Plan::build()
-                    .acquire(cpu, SimDuration::from_micros(100))
-                    .finish(),
-                c.token,
-            );
+            engine.submit_prepared(plan, c.token);
         }
         black_box(engine.now())
     });

@@ -120,7 +120,15 @@ impl Artifact {
     /// directory holding a `Cargo.lock` — `cargo bench` starts benches in
     /// the *package* root, not the workspace root).
     pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = std::env::var_os("BENCH_OUT")
+        let path = Self::out_dir().join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// The directory artifacts are written to / compared against:
+    /// `BENCH_OUT` if set, else the workspace root.
+    pub fn out_dir() -> std::path::PathBuf {
+        std::env::var_os("BENCH_OUT")
             .map(std::path::PathBuf::from)
             .or_else(|| {
                 let mut dir = std::env::current_dir().ok()?;
@@ -133,9 +141,93 @@ impl Artifact {
                     }
                 }
             })
-            .unwrap_or_else(|| std::path::PathBuf::from("."));
-        let path = dir.join(format!("BENCH_{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+    }
+
+    /// Parses a committed `BENCH_<name>.json` back into `(key, value, unit)`
+    /// entries. Hand-rolled for exactly the flat shape [`Artifact::to_json`]
+    /// emits — one `"key": { "value": N, "unit": "U" }` line per metric —
+    /// so the bench crate stays dependency-free.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Vec<(String, f64, String)>> {
+        let text = std::fs::read_to_string(path)?;
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            let Some((key, rest)) = rest.split_once('"') else {
+                continue;
+            };
+            let Some(value_idx) = rest.find("\"value\":") else {
+                continue;
+            };
+            let after_value = rest[value_idx + "\"value\":".len()..].trim_start();
+            let num: String = after_value
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                .collect();
+            let Ok(value) = num.parse::<f64>() else {
+                continue;
+            };
+            let unit = rest
+                .find("\"unit\":")
+                .and_then(|i| rest[i + "\"unit\":".len()..].trim_start().strip_prefix('"'))
+                .and_then(|u| u.split_once('"'))
+                .map(|(u, _)| u.to_string())
+                .unwrap_or_default();
+            entries.push((key.to_string(), value, unit));
+        }
+        Ok(entries)
+    }
+
+    /// Diffs this (freshly measured) artifact against the committed
+    /// baseline at `path`, printing one line per metric and returning the
+    /// comparison rendered as JSON for upload. Metrics whose key ends in
+    /// `_per_sec` count up as improvement; everything else (latencies,
+    /// wall times) counts down. Never touches the committed file.
+    pub fn compare_against(&self, path: &std::path::Path) -> std::io::Result<String> {
+        let committed = Self::load(path)?;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"artifact\": \"{}\",\n", self.name));
+        out.push_str("  \"comparison\": {\n");
+        println!("\n{} vs committed {}:", self.name, path.display());
+        for (i, (key, fresh, unit)) in self.entries.iter().enumerate() {
+            let base = committed
+                .iter()
+                .find(|(k, _, _)| k == key)
+                .map(|&(_, v, _)| v);
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            match base {
+                Some(base) if base != 0.0 => {
+                    let delta = (fresh - base) / base * 100.0;
+                    let higher_is_better = key.ends_with("_per_sec");
+                    let improved = (delta > 0.0) == higher_is_better;
+                    let tag = if delta.abs() < 2.0 {
+                        "~unchanged"
+                    } else if improved {
+                        "improved"
+                    } else {
+                        "regressed"
+                    };
+                    println!(
+                        "  {key:<28} {base:>14.3} -> {fresh:>14.3} {unit:<9} {delta:>+7.1}%  {tag}"
+                    );
+                    out.push_str(&format!(
+                        "    \"{key}\": {{ \"committed\": {base:.3}, \"fresh\": {fresh:.3}, \
+                         \"delta_pct\": {delta:.1}, \"unit\": \"{unit}\" }}{comma}\n"
+                    ));
+                }
+                _ => {
+                    println!("  {key:<28} {:>14} -> {fresh:>14.3} {unit}", "(new)");
+                    out.push_str(&format!(
+                        "    \"{key}\": {{ \"committed\": null, \"fresh\": {fresh:.3}, \
+                         \"unit\": \"{unit}\" }}{comma}\n"
+                    ));
+                }
+            }
+        }
+        out.push_str("  }\n}\n");
+        Ok(out)
     }
 }

@@ -11,11 +11,12 @@
 //! Everything is deterministic: ties in event time are broken by event
 //! sequence number (submission order).
 
-use crate::plan::{Plan, Step};
+use crate::arena::{FlatStep, PlanArena, PlanId};
+use crate::plan::Plan;
+use crate::queue::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 use apm_core::snap::{Snap, SnapError, SnapReader, SnapWriter};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Identifies a resource registered with [`Engine::add_resource`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -120,24 +121,36 @@ struct ExecRef {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanHandle(ExecRef);
 
+/// A plan pre-interned in the engine's arena — the simulator's analogue
+/// of a prepared statement. Submitting one via
+/// [`Engine::submit_prepared`] skips the per-submission structural hash
+/// and equality walk that [`Engine::submit`] pays to deduplicate plan
+/// shapes. The handle owns one arena reference and stays valid for the
+/// engine's lifetime, but a [`Engine::restore_state`] rebuilds the arena
+/// and invalidates it — re-prepare after restoring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreparedPlan(PlanId);
+
 #[derive(Debug)]
 struct Exec {
-    steps: Vec<Step>,
-    pc: usize,
+    /// The (arena-interned) plan this exec runs; the exec owns one
+    /// reference, released when the slot is freed.
+    plan: PlanId,
+    pc: u32,
     token: Token,
     submitted: SimTime,
     parent: Option<ExecRef>,
     /// For a pending Join: number of child successes still required.
-    join_need: usize,
+    join_need: u32,
     /// For a pending Join: number of children still running.
-    join_pending: usize,
+    join_pending: u32,
     /// Sticky failure status; reported in the [`Completion`].
     outcome: Outcome,
     generation: u32,
     live: bool,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Event {
     /// Re-run the exec's step loop (after Delay/AlignTo or at submission).
     Resume(ExecRef),
@@ -147,16 +160,86 @@ enum Event {
     Timeout(ExecRef),
 }
 
+/// The future-event list. Production engines always run the calendar
+/// queue; the retired binary heap survives behind `#[cfg(test)]` as the
+/// oracle for the queue equivalence suite (see `crate::queue`).
+#[derive(Debug)]
+enum EventQueue {
+    Calendar(CalendarQueue<Event>),
+    #[cfg(test)]
+    Reference(crate::queue::ReferenceQueue<Event>),
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::Calendar(CalendarQueue::new())
+    }
+}
+
+impl EventQueue {
+    #[inline]
+    fn push(&mut self, at: SimTime, seq: u64, event: Event) {
+        match self {
+            EventQueue::Calendar(q) => q.push(at, seq, event),
+            #[cfg(test)]
+            EventQueue::Reference(q) => q.push(at, seq, event),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, u64, Event)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            #[cfg(test)]
+            EventQueue::Reference(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<(SimTime, u64)> {
+        match self {
+            EventQueue::Calendar(q) => q.peek(),
+            #[cfg(test)]
+            EventQueue::Reference(q) => q.peek(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Calendar(q) => q.is_empty(),
+            #[cfg(test)]
+            EventQueue::Reference(q) => q.is_empty(),
+        }
+    }
+
+    fn sorted_entries(&self) -> Vec<(SimTime, u64, Event)> {
+        match self {
+            EventQueue::Calendar(q) => q.sorted_entries(),
+            #[cfg(test)]
+            EventQueue::Reference(q) => q.sorted_entries(),
+        }
+    }
+
+    fn rebuild(&mut self, now: SimTime, entries: Vec<(SimTime, u64, Event)>) {
+        match self {
+            EventQueue::Calendar(q) => q.rebuild(now, entries),
+            #[cfg(test)]
+            EventQueue::Reference(q) => q.rebuild(now, entries),
+        }
+    }
+}
+
 /// The simulation engine.
 #[derive(Debug, Default)]
 pub struct Engine {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    /// Payloads for heap entries (heap stores an index to keep Ord simple).
-    payloads: Vec<Option<Event>>,
-    free_payloads: Vec<usize>,
+    /// Future-event list; events are stored inline (they are `Copy`), so
+    /// a pop is a bucket read with no payload-slab indirection.
+    queue: EventQueue,
     resources: Vec<Resource>,
+    /// Flat plan storage shared by all execs; see `crate::arena`.
+    arena: PlanArena,
     execs: Vec<Exec>,
     free_execs: Vec<u32>,
     ready: VecDeque<ExecRef>,
@@ -174,6 +257,17 @@ impl Engine {
     /// Creates an empty engine at time zero.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// An engine whose future-event list is the retired binary-heap
+    /// reference implementation — the oracle half of the queue
+    /// equivalence suite.
+    #[cfg(test)]
+    fn with_reference_queue() -> Self {
+        Engine {
+            queue: EventQueue::Reference(crate::queue::ReferenceQueue::new()),
+            ..Engine::default()
+        }
     }
 
     /// Current simulated time.
@@ -351,9 +445,10 @@ impl Engine {
     /// the failure).
     fn abort_exec(&mut self, exec: ExecRef, outcome: Outcome, after: SimDuration) {
         debug_assert!(self.is_current(exec));
+        let end = self.arena.step_len(self.execs[exec.idx as usize].plan);
         let slot = &mut self.execs[exec.idx as usize];
         slot.outcome = outcome;
-        slot.pc = slot.steps.len();
+        slot.pc = end;
         let at = self.now + after;
         self.schedule(at, Event::Resume(exec));
     }
@@ -410,7 +505,15 @@ impl Engine {
 
     /// Submits a plan now.
     pub fn submit(&mut self, plan: Plan, token: Token) -> PlanHandle {
-        self.submit_at(self.now, plan, token)
+        self.submit_at_ref(self.now, &plan, token)
+    }
+
+    /// Submits a plan now without taking ownership — the zero-copy form
+    /// of [`Engine::submit`] for closed-loop drivers that re-submit a
+    /// template plan. The kernel interns by content either way, so the
+    /// caller's clone only feeds the intern walk and is dropped.
+    pub fn submit_ref(&mut self, plan: &Plan, token: Token) -> PlanHandle {
+        self.submit_at_ref(self.now, plan, token)
     }
 
     /// Submits a plan to start at `start` (must not be in the past).
@@ -418,8 +521,48 @@ impl Engine {
     /// # Panics
     /// Panics if `start` is before the current simulated time.
     pub fn submit_at(&mut self, start: SimTime, plan: Plan, token: Token) -> PlanHandle {
+        self.submit_at_ref(start, &plan, token)
+    }
+
+    /// Interns `plan` once and returns a reusable [`PreparedPlan`]
+    /// handle, the cheap-submission path for closed-loop drivers that
+    /// re-issue one template shape at high rate.
+    pub fn prepare(&mut self, plan: &Plan) -> PreparedPlan {
+        PreparedPlan(self.arena.intern(plan))
+    }
+
+    /// Submits a prepared plan now; identical to [`Engine::submit`] with
+    /// the plan the handle was prepared from, minus the intern walk.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale (prepared before a
+    /// [`Engine::restore_state`]).
+    pub fn submit_prepared(&mut self, prepared: PreparedPlan, token: Token) -> PlanHandle {
+        assert!(
+            self.arena.is_current(prepared.0),
+            "stale PreparedPlan: re-prepare after restore_state"
+        );
+        self.arena.retain(prepared.0);
+        let exec = self.alloc_exec(prepared.0, token, self.now, None);
+        self.schedule(self.now, Event::Resume(exec));
+        #[cfg(feature = "trace")]
+        self.tracer.record(crate::trace::TraceEvent {
+            at: self.now,
+            token: Some(token),
+            resource: None,
+            kind: crate::trace::TraceEventKind::Submit,
+        });
+        PlanHandle(exec)
+    }
+
+    /// By-reference form of [`Engine::submit_at`].
+    ///
+    /// # Panics
+    /// Panics if `start` is before the current simulated time.
+    pub fn submit_at_ref(&mut self, start: SimTime, plan: &Plan, token: Token) -> PlanHandle {
         assert!(start >= self.now, "cannot submit into the past");
-        let exec = self.alloc_exec(plan.0, token, start, None);
+        let plan = self.arena.intern(plan);
+        let exec = self.alloc_exec(plan, token, start, None);
         self.schedule(start, Event::Resume(exec));
         #[cfg(feature = "trace")]
         self.tracer.record(crate::trace::TraceEvent {
@@ -457,7 +600,8 @@ impl Engine {
         deadline: SimDuration,
     ) -> PlanHandle {
         assert!(start >= self.now, "cannot submit into the past");
-        let exec = self.alloc_exec(plan.0, token, start, None);
+        let plan = self.arena.intern(&plan);
+        let exec = self.alloc_exec(plan, token, start, None);
         self.schedule(start, Event::Resume(exec));
         self.schedule(start + deadline, Event::Timeout(exec));
         #[cfg(feature = "trace")]
@@ -482,17 +626,20 @@ impl Engine {
         if !self.is_current(exec) {
             return false;
         }
+        let end = self.arena.step_len(self.execs[exec.idx as usize].plan);
         let slot = &mut self.execs[exec.idx as usize];
         slot.outcome = Outcome::Cancelled;
-        slot.pc = slot.steps.len();
+        slot.pc = end;
         slot.join_need = 0;
         self.finish_exec(exec);
         true
     }
 
+    /// Takes ownership of one arena reference to `plan` (the caller
+    /// interned or retained it) and binds it to a fresh exec slot.
     fn alloc_exec(
         &mut self,
-        steps: Vec<Step>,
+        plan: PlanId,
         token: Token,
         submitted: SimTime,
         parent: Option<ExecRef>,
@@ -506,7 +653,7 @@ impl Engine {
         if let Some(idx) = self.free_execs.pop() {
             let slot = &mut self.execs[idx as usize];
             debug_assert!(!slot.live);
-            slot.steps = steps;
+            slot.plan = plan;
             slot.pc = 0;
             slot.token = token;
             slot.submitted = submitted;
@@ -522,7 +669,7 @@ impl Engine {
         } else {
             let idx = self.execs.len() as u32;
             self.execs.push(Exec {
-                steps,
+                plan,
                 pc: 0,
                 token,
                 submitted,
@@ -538,10 +685,12 @@ impl Engine {
     }
 
     fn free_exec(&mut self, exec: ExecRef) {
+        let plan = self.execs[exec.idx as usize].plan;
+        self.arena.release(plan);
         let slot = &mut self.execs[exec.idx as usize];
         slot.live = false;
         slot.generation = slot.generation.wrapping_add(1);
-        slot.steps = Vec::new();
+        slot.plan = PlanId::NONE;
         self.free_execs.push(exec.idx);
     }
 
@@ -550,15 +699,9 @@ impl Engine {
         slot.live && slot.generation == exec.generation
     }
 
+    #[inline]
     fn schedule(&mut self, at: SimTime, event: Event) {
-        let payload_idx = if let Some(i) = self.free_payloads.pop() {
-            self.payloads[i] = Some(event);
-            i
-        } else {
-            self.payloads.push(Some(event));
-            self.payloads.len() - 1
-        };
-        self.events.push(Reverse((at, self.seq, payload_idx)));
+        self.queue.push(at, self.seq, event);
         self.seq += 1;
     }
 
@@ -566,17 +709,20 @@ impl Engine {
     fn advance(&mut self, exec: ExecRef) {
         debug_assert!(self.is_current(exec));
         loop {
-            let slot = &mut self.execs[exec.idx as usize];
-            if slot.pc >= slot.steps.len() {
+            let (plan, pc) = {
+                let slot = &self.execs[exec.idx as usize];
+                (slot.plan, slot.pc)
+            };
+            if pc >= self.arena.step_len(plan) {
                 self.finish_exec(exec);
                 return;
             }
-            // Take the step out to satisfy the borrow checker; Join owns
-            // its branches anyway and the slot is never re-read for it.
-            let step = std::mem::replace(&mut slot.steps[slot.pc], Step::Delay(SimDuration::ZERO));
-            slot.pc += 1;
+            // Steps are `Copy` in the arena: no take/put churn to satisfy
+            // the borrow checker, and Join branches stay shared.
+            let step = self.arena.step(plan, pc);
+            self.execs[exec.idx as usize].pc = pc + 1;
             match step {
-                Step::Delay(d) => {
+                FlatStep::Delay(d) => {
                     if d == SimDuration::ZERO {
                         continue;
                     }
@@ -584,7 +730,7 @@ impl Engine {
                     self.schedule(at, Event::Resume(exec));
                     return;
                 }
-                Step::AlignTo { period, extra } => {
+                FlatStep::AlignTo { period, extra } => {
                     let at = if period == SimDuration::ZERO {
                         self.now + extra
                     } else {
@@ -595,7 +741,7 @@ impl Engine {
                     self.schedule(at, Event::Resume(exec));
                     return;
                 }
-                Step::Acquire { resource, service } => {
+                FlatStep::Acquire { resource, service } => {
                     let r = &mut self.resources[resource.0 as usize];
                     match r.down {
                         Some(FailMode::Reject { latency }) => {
@@ -627,15 +773,21 @@ impl Engine {
                     }
                     return;
                 }
-                Step::Join { branches, need } => {
-                    let need = need.min(branches.len());
+                FlatStep::Join {
+                    first_child,
+                    children,
+                    need,
+                } => {
+                    let need = need.min(children);
                     if need == 0 {
                         // Fire-and-forget branches still execute. They are
                         // parentless (each emits its own Completion), so
                         // they open their own trace spans.
-                        for branch in branches {
+                        for k in 0..children {
+                            let branch = self.arena.child(first_child + k);
+                            self.arena.retain(branch);
                             let token = self.execs[exec.idx as usize].token;
-                            let child = self.alloc_exec(branch.0, token, self.now, None);
+                            let child = self.alloc_exec(branch, token, self.now, None);
                             self.ready.push_back(child);
                             #[cfg(feature = "trace")]
                             self.tracer.record(crate::trace::TraceEvent {
@@ -649,15 +801,17 @@ impl Engine {
                     }
                     let slot = &mut self.execs[exec.idx as usize];
                     slot.join_need = need;
-                    slot.join_pending = branches.len();
+                    slot.join_pending = children;
                     let token = slot.token;
-                    for branch in branches {
-                        let child = self.alloc_exec(branch.0, token, self.now, Some(exec));
+                    for k in 0..children {
+                        let branch = self.arena.child(first_child + k);
+                        self.arena.retain(branch);
+                        let child = self.alloc_exec(branch, token, self.now, Some(exec));
                         self.ready.push_back(child);
                     }
                     return;
                 }
-                Step::Fail { latency } => {
+                FlatStep::Fail { latency } => {
                     self.abort_exec(exec, Outcome::Failed, latency);
                     return;
                 }
@@ -674,6 +828,9 @@ impl Engine {
         match parent {
             Some(parent_ref) => {
                 if self.is_current(parent_ref) {
+                    let end = self
+                        .arena
+                        .step_len(self.execs[parent_ref.idx as usize].plan);
                     let parent_slot = &mut self.execs[parent_ref.idx as usize];
                     if parent_slot.join_need > 0 {
                         parent_slot.join_pending -= 1;
@@ -687,7 +844,7 @@ impl Engine {
                             // the join — and with it the plan — fails.
                             parent_slot.join_need = 0;
                             parent_slot.outcome = outcome;
-                            parent_slot.pc = parent_slot.steps.len();
+                            parent_slot.pc = end;
                             self.ready.push_back(parent_ref);
                         }
                     }
@@ -723,21 +880,24 @@ impl Engine {
         }
     }
 
-    /// Processes one event from the heap. Returns `false` when idle.
+    /// Processes one event from the queue. Returns `false` when idle.
     fn step_event(&mut self) -> bool {
-        let Some(Reverse((at, _seq, payload_idx))) = self.events.pop() else {
+        let Some((at, _seq, event)) = self.queue.pop() else {
             return false;
         };
         #[cfg(feature = "audit")]
         self.auditor.on_pop(at, _seq);
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
-        let event = self.payloads[payload_idx].take().expect("payload present");
-        self.free_payloads.push(payload_idx);
+        // The popped event's own exec advances directly — `ready` is empty
+        // between events, so queueing it first and popping it right back
+        // is a round-trip with no ordering effect. `ready` only carries
+        // work spawned *during* an advance (join branches, resumed
+        // parents), drained FIFO below.
         match event {
             Event::Resume(exec) => {
                 if self.is_current(exec) {
-                    self.ready.push_back(exec);
+                    self.advance(exec);
                 }
             }
             Event::AcquireDone(exec, resource) => {
@@ -762,7 +922,7 @@ impl Engine {
                     r.busy -= 1;
                 }
                 if self.is_current(exec) {
-                    self.ready.push_back(exec);
+                    self.advance(exec);
                 }
             }
             Event::Timeout(exec) => {
@@ -770,9 +930,10 @@ impl Engine {
                     // Abandon the plan wherever it is: queue entries and
                     // in-flight services it owns become stale (servers may
                     // still burn time on them, as real ones do).
+                    let end = self.arena.step_len(self.execs[exec.idx as usize].plan);
                     let slot = &mut self.execs[exec.idx as usize];
                     slot.outcome = Outcome::TimedOut;
-                    slot.pc = slot.steps.len();
+                    slot.pc = end;
                     slot.join_need = 0;
                     self.finish_exec(exec);
                 }
@@ -782,7 +943,7 @@ impl Engine {
         true
     }
 
-    /// Runs until a completion is available (or the event heap empties).
+    /// Runs until a completion is available (or the event queue empties).
     pub fn next_completion(&mut self) -> Option<Completion> {
         while self.completions.is_empty() {
             if !self.step_event() {
@@ -792,12 +953,39 @@ impl Engine {
         self.completions.pop_front()
     }
 
+    /// Runs until at least one completion is buffered, then moves the
+    /// whole buffered batch into `out` (preserving delivery order) in one
+    /// pass — the batched form of [`Engine::next_completion`], saving a
+    /// kernel round-trip per same-timestamp completion. Returns `false`
+    /// when the engine went idle with nothing to deliver.
+    pub fn drain_completions(&mut self, out: &mut VecDeque<Completion>) -> bool {
+        while self.completions.is_empty() {
+            if !self.step_event() {
+                return false;
+            }
+        }
+        out.extend(self.completions.drain(..));
+        true
+    }
+
+    /// Returns an undelivered batch remainder to the front of the
+    /// engine's completion buffer, preserving order. Drivers that
+    /// checkpoint mid-batch call this first, so serialized engine state
+    /// is exactly what one-at-a-time delivery would have produced; the
+    /// next [`Engine::drain_completions`] re-delivers the remainder
+    /// without stepping any events.
+    pub fn requeue_completions(&mut self, pending: &mut VecDeque<Completion>) {
+        while let Some(completion) = pending.pop_back() {
+            self.completions.push_front(completion);
+        }
+    }
+
     /// Runs all events with `time <= until`, advancing the clock to
     /// exactly `until`, and returns the completions that occurred.
     pub fn run_until(&mut self, until: SimTime) -> Vec<Completion> {
         loop {
-            match self.events.peek() {
-                Some(Reverse((at, _, _))) if *at <= until => {
+            match self.queue.peek() {
+                Some((at, _)) if at <= until => {
                     self.step_event();
                 }
                 _ => break,
@@ -815,7 +1003,7 @@ impl Engine {
 
     /// True if no events are pending.
     pub fn is_idle(&self) -> bool {
-        self.events.is_empty()
+        self.queue.is_empty()
     }
 
     /// Bit set in the snapshot feature byte when `audit` is compiled in.
@@ -842,21 +1030,35 @@ impl Engine {
     /// slots (including dead slots, so generation-protected handles stay
     /// valid), and the pending ready/completion queues.
     ///
-    /// The event heap is written in sorted `(time, seq)` order, so a
-    /// snapshot of a restored engine is byte-identical to a snapshot of
-    /// the original at the same point.
+    /// The future-event list is written in sorted `(time, seq)` order
+    /// with events inline, and exec plans are written *materialized*
+    /// (portable [`Plan`] values, not arena indices), so a snapshot of a
+    /// restored engine is byte-identical to a snapshot of the original
+    /// at the same point regardless of either arena's internal layout.
     pub fn snap_state(&self, w: &mut SnapWriter) {
         w.put_u8(Engine::snap_features());
         w.put(&self.now);
         w.put_u64(self.seq);
-        let mut entries: Vec<(SimTime, u64, usize)> =
-            self.events.iter().map(|Reverse(e)| *e).collect();
-        entries.sort_unstable();
-        w.put(&entries);
-        w.put(&self.payloads);
-        w.put(&self.free_payloads);
+        w.put(&self.queue.sorted_entries());
         w.put(&self.resources);
-        w.put(&self.execs);
+        w.put_u64(self.execs.len() as u64);
+        for slot in &self.execs {
+            let plan = if slot.live {
+                self.arena.materialize(slot.plan)
+            } else {
+                Plan::empty()
+            };
+            w.put(&plan);
+            w.put_u32(slot.pc);
+            w.put(&slot.token);
+            w.put(&slot.submitted);
+            w.put(&slot.parent);
+            w.put_u32(slot.join_need);
+            w.put_u32(slot.join_pending);
+            w.put(&slot.outcome);
+            w.put_u32(slot.generation);
+            w.put(&slot.live);
+        }
         w.put(&self.free_execs);
         w.put(&self.ready);
         w.put(&self.completions);
@@ -870,7 +1072,8 @@ impl Engine {
     /// one. The caller provides an engine whose build features match the
     /// snapshot; registered resources are overwritten wholesale (resource
     /// ids are dense indices, and registration order is deterministic, so
-    /// ids held by stores remain valid).
+    /// ids held by stores remain valid). Live exec plans are re-interned
+    /// into a fresh arena.
     pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
         let stored = r.u8()?;
         let active = Engine::snap_features();
@@ -879,12 +1082,42 @@ impl Engine {
         }
         self.now = r.get()?;
         self.seq = r.u64()?;
-        let entries: Vec<(SimTime, u64, usize)> = r.get()?;
-        self.events = entries.into_iter().map(Reverse).collect();
-        self.payloads = r.get()?;
-        self.free_payloads = r.get()?;
+        let entries: Vec<(SimTime, u64, Event)> = r.get()?;
+        self.queue.rebuild(self.now, entries);
         self.resources = r.get()?;
-        self.execs = r.get()?;
+        self.arena = PlanArena::new();
+        let exec_count = r.u64()? as usize;
+        let mut execs = Vec::with_capacity(exec_count);
+        for _ in 0..exec_count {
+            let plan: Plan = r.get()?;
+            let pc = r.u32()?;
+            let token = r.get()?;
+            let submitted = r.get()?;
+            let parent = r.get()?;
+            let join_need = r.u32()?;
+            let join_pending = r.u32()?;
+            let outcome = r.get()?;
+            let generation = r.u32()?;
+            let live: bool = r.get()?;
+            let plan = if live {
+                self.arena.intern(&plan)
+            } else {
+                PlanId::NONE
+            };
+            execs.push(Exec {
+                plan,
+                pc,
+                token,
+                submitted,
+                parent,
+                join_need,
+                join_pending,
+                outcome,
+                generation,
+                live,
+            });
+        }
+        self.execs = execs;
         self.free_execs = r.get()?;
         self.ready = r.get()?;
         self.completions = r.get()?;
@@ -1029,35 +1262,6 @@ impl Snap for Resource {
     }
 }
 
-impl Snap for Exec {
-    fn snap(&self, w: &mut SnapWriter) {
-        w.put(&self.steps);
-        w.put(&self.pc);
-        w.put(&self.token);
-        w.put(&self.submitted);
-        w.put(&self.parent);
-        w.put(&self.join_need);
-        w.put(&self.join_pending);
-        w.put(&self.outcome);
-        w.put_u32(self.generation);
-        w.put(&self.live);
-    }
-    fn restore(r: &mut SnapReader) -> Result<Self, SnapError> {
-        Ok(Exec {
-            steps: r.get()?,
-            pc: r.get()?,
-            token: r.get()?,
-            submitted: r.get()?,
-            parent: r.get()?,
-            join_need: r.get()?,
-            join_pending: r.get()?,
-            outcome: r.get()?,
-            generation: r.u32()?,
-            live: r.get()?,
-        })
-    }
-}
-
 impl Snap for Event {
     fn snap(&self, w: &mut SnapWriter) {
         match self {
@@ -1092,6 +1296,7 @@ impl Snap for Event {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::Step;
 
     fn us(n: u64) -> SimDuration {
         SimDuration::from_micros(n)
@@ -1816,5 +2021,209 @@ mod tests {
         }
         engine.run_to_idle();
         engine.auditor().assert_conserved();
+    }
+
+    #[test]
+    fn stale_timeout_event_cannot_touch_a_recycled_exec_slot() {
+        // Regression for the slab's generation check: events carry
+        // generation-stamped refs, so a deadline left over from a freed
+        // exec must be inert against the slot's next occupant.
+        let mut engine = Engine::new();
+        engine.submit_with_deadline(Plan::build().delay(us(5)).finish(), Token(1), us(100));
+        let first = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
+        assert_eq!((first.token, first.outcome), (Token(1), Outcome::Ok));
+        // The new occupant of the recycled slot is still running when the
+        // old deadline fires at t=100us.
+        engine.submit(Plan::build().delay(us(500)).finish(), Token(2));
+        let second = engine
+            .next_completion()
+            .expect("completion queued by the drained run");
+        assert_eq!((second.token, second.outcome), (Token(2), Outcome::Ok));
+        assert_eq!(
+            second.latency(),
+            us(500),
+            "stale timeout must not cut it short"
+        );
+    }
+
+    #[test]
+    fn prepared_submits_match_plain_submits_and_go_stale_on_restore() {
+        let plan = |disk| Plan::build().acquire(disk, us(10)).delay(us(3)).finish();
+        // Same closed loop through submit() and submit_prepared() must
+        // play out identically: preparation only skips the intern walk.
+        let mut plain = Engine::new();
+        let disk = plain.add_resource("disk", 1);
+        let mut prep = Engine::new();
+        let p_disk = prep.add_resource("disk", 1);
+        let prepared = prep.prepare(&plan(p_disk));
+        for i in 0..4 {
+            plain.submit(plan(disk), Token(i));
+            prep.submit_prepared(prepared, Token(i));
+        }
+        assert_eq!(plain.run_to_idle(), prep.run_to_idle());
+
+        // A restore rebuilds the arena, so the old handle is stale...
+        let mut w = SnapWriter::new();
+        prep.snap_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        prep.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prep.submit_prepared(prepared, Token(99));
+        }));
+        assert!(stale.is_err(), "stale PreparedPlan must not submit");
+        // ...and re-preparing yields a working handle again.
+        let fresh = prep.prepare(&plan(p_disk));
+        prep.submit_prepared(fresh, Token(7));
+        let out = prep.run_to_idle();
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].token, out[0].outcome), (Token(7), Outcome::Ok));
+    }
+
+    #[test]
+    fn drain_completions_batches_and_requeue_restores_delivery_order() {
+        let mut engine = Engine::new();
+        let handles: Vec<PlanHandle> = (0..3)
+            .map(|i| engine.submit(Plan::build().delay(us(10)).finish(), Token(i)))
+            .collect();
+        for handle in handles {
+            engine.cancel(handle);
+        }
+        let mut batch = VecDeque::new();
+        assert!(engine.drain_completions(&mut batch));
+        assert_eq!(batch.len(), 3, "buffered completions arrive as one batch");
+        let first = batch.pop_front().expect("batch has three entries");
+        assert_eq!(first.token, Token(0));
+        // A checkpointing driver hands the unprocessed remainder back...
+        engine.requeue_completions(&mut batch);
+        assert!(batch.is_empty());
+        // ...and delivery resumes in the original order, with no events
+        // stepped in between.
+        assert!(engine.drain_completions(&mut batch));
+        let rest: Vec<Token> = batch.drain(..).map(|c| c.token).collect();
+        assert_eq!(rest, vec![Token(1), Token(2)]);
+        assert!(
+            !engine.drain_completions(&mut batch),
+            "only stale resume events remain"
+        );
+        assert!(batch.is_empty());
+    }
+
+    /// Satellite equivalence property: a seeded mixed schedule (delays,
+    /// AlignTo, quorum joins, Fail steps, deadlines, cancels, and fault
+    /// events) must play out identically through the calendar queue and
+    /// the retired binary-heap reference — same completion stream, same
+    /// clock, and (under the features) same audit/trace fingerprints,
+    /// which pin the exact `(time, seq)` pop order.
+    #[test]
+    fn calendar_and_reference_queues_drive_identical_schedules() {
+        fn drive(mut engine: Engine) -> (Vec<Completion>, Engine) {
+            let disk = engine.add_resource("disk", 2);
+            let nic = engine.add_resource("nic", 1);
+            let replicas: Vec<ResourceId> = (0..3)
+                .map(|i| engine.add_resource(format!("replica-{i}"), 1))
+                .collect();
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut out = Vec::new();
+            let mut handles = Vec::new();
+            for i in 0..400u64 {
+                let r = next();
+                let plan = match r % 6 {
+                    0 => Plan::build()
+                        .acquire(disk, us(1 + r % 40))
+                        .delay(us(r % 9))
+                        .finish(),
+                    1 => Plan::build()
+                        .delay(us(r % 13))
+                        .acquire(nic, us(2 + r % 7))
+                        .finish(),
+                    2 => Plan::build()
+                        .align_to(us(10), us(r % 3))
+                        .acquire(disk, us(1 + r % 5))
+                        .finish(),
+                    3 => Plan::build()
+                        .join_quorum(
+                            replicas
+                                .iter()
+                                .map(|&rep| Plan::build().acquire(rep, us(1 + r % 20)).finish())
+                                .collect(),
+                            2,
+                        )
+                        .finish(),
+                    4 => Plan(vec![
+                        Step::Delay(us(r % 5)),
+                        Step::Fail {
+                            latency: us(1 + r % 4),
+                        },
+                    ]),
+                    // Long think times park in the overflow tier.
+                    _ => Plan::build().delay(us(40_000 + r % 9_000)).finish(),
+                };
+                let handle = if r % 7 == 0 {
+                    engine.submit_with_deadline(plan, Token(i), us(30 + r % 60))
+                } else {
+                    engine.submit(plan, Token(i))
+                };
+                if r % 11 == 0 {
+                    handles.push(handle);
+                }
+                if r % 53 == 0 {
+                    engine.fail_resource(disk, FailMode::Reject { latency: us(1) });
+                }
+                if r % 53 == 17 && engine.resource_is_down(disk) {
+                    engine.restore_resource(disk);
+                }
+                if r % 47 == 0 {
+                    engine.fail_resource(nic, FailMode::Stall);
+                }
+                if r % 47 == 9 && engine.resource_is_down(nic) {
+                    engine.restore_resource(nic);
+                }
+                if r % 23 == 0 {
+                    if let Some(h) = handles.pop() {
+                        engine.cancel(h);
+                    }
+                }
+                out.extend(engine.run_until(SimTime(i * 5_000)));
+            }
+            if engine.resource_is_down(disk) {
+                engine.restore_resource(disk);
+            }
+            if engine.resource_is_down(nic) {
+                engine.restore_resource(nic);
+            }
+            out.extend(engine.run_to_idle());
+            (out, engine)
+        }
+        let (calendar_out, calendar) = drive(Engine::new());
+        let (reference_out, reference) = drive(Engine::with_reference_queue());
+        assert_eq!(
+            calendar_out.len(),
+            reference_out.len(),
+            "both queues must deliver every completion"
+        );
+        assert_eq!(calendar_out, reference_out, "completion streams diverged");
+        assert_eq!(calendar.now(), reference.now());
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            calendar.auditor().fingerprint(),
+            reference.auditor().fingerprint(),
+            "audit fingerprint pins the exact pop order"
+        );
+        #[cfg(feature = "trace")]
+        assert_eq!(
+            calendar.tracer().fingerprint(),
+            reference.tracer().fingerprint(),
+            "trace fingerprint must match across queue implementations"
+        );
     }
 }

@@ -15,10 +15,12 @@
 //! hardware shapes (Cluster M: 8 cores / 16 GB / RAID0; Cluster D: 4 cores
 //! / 4 GB / 1 disk; gigabit Ethernet) reproduces the measured curves.
 //!
-//! Determinism: the event heap breaks time ties by insertion sequence and
-//! all randomness comes from seeded `SplitRng` streams upstream, so every
-//! simulation run is exactly repeatable.
+//! Determinism: the future-event list (a calendar queue, see [`queue`])
+//! breaks time ties by insertion sequence and all randomness comes from
+//! seeded `SplitRng` streams upstream, so every simulation run is exactly
+//! repeatable.
 
+pub mod arena;
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod cluster;
@@ -27,6 +29,7 @@ pub mod fault;
 pub mod kernel;
 pub mod net;
 pub mod plan;
+pub mod queue;
 pub mod time;
 #[cfg(feature = "trace")]
 pub mod trace;
@@ -36,7 +39,9 @@ pub use audit::KernelAuditor;
 pub use cluster::{ClusterSpec, NodeResources, NodeSpec};
 pub use disk::{DiskSpec, IoPattern};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule};
-pub use kernel::{Completion, Engine, FailMode, Outcome, PlanHandle, ResourceId, Token};
+pub use kernel::{
+    Completion, Engine, FailMode, Outcome, PlanHandle, PreparedPlan, ResourceId, Token,
+};
 pub use net::NetSpec;
 pub use plan::{Plan, Step};
 pub use time::{SimDuration, SimTime};

@@ -22,9 +22,9 @@ use apm_core::record::MetricKey;
 use apm_core::snap::{self, fnv1a64, Snap, SnapError, SnapReader, SnapWriter, SnapshotHeader};
 use apm_core::stats::{pairwise_sum, BenchStats, ResilienceCounters, ResourceSample, Telemetry};
 use apm_core::workload::{Workload, WorkloadGenerator};
-use apm_sim::kernel::{PlanHandle, ResourceId, Token};
+use apm_sim::kernel::{Completion, PlanHandle, ResourceId, Token};
 use apm_sim::{Engine, FaultSchedule, Outcome, Plan, SimDuration, SimTime, Step};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration of one benchmark run.
 #[derive(Clone, Debug)]
@@ -675,6 +675,23 @@ fn run_transactions_legacy(
     finalize_legacy(engine, store, d, checkpoints)
 }
 
+/// Pops the next completion from the driver-local batch, refilling it
+/// through the kernel's batched delivery when it runs dry. Delivery
+/// order is identical to calling [`Engine::next_completion`] per op —
+/// the kernel buffers whole batches before handing anything out either
+/// way — but the event loop pays one kernel call per batch instead of
+/// one per completion.
+fn next_batched(engine: &mut Engine, batch: &mut VecDeque<Completion>) -> Option<Completion> {
+    if let Some(completion) = batch.pop_front() {
+        return Some(completion);
+    }
+    if engine.drain_completions(batch) {
+        batch.pop_front()
+    } else {
+        None
+    }
+}
+
 /// The legacy event loop: consume completions, record, reissue, capture
 /// checkpoints, stop at the window end. Both a fresh run and a resumed
 /// one enter here; all mutable state lives in the driver, the kernel,
@@ -706,7 +723,11 @@ fn drive_legacy(
         .map(|secs| d.warmup_end + SimDuration::from_secs_f64(secs))
         .filter(|&at| engine.now() < at);
 
-    while let Some(completion) = engine.next_completion() {
+    // Completions arrive in batches — everything the kernel buffered in
+    // one pass — cutting a kernel round-trip per same-timestamp
+    // completion; the per-completion body is unchanged.
+    let mut batch: VecDeque<Completion> = VecDeque::new();
+    while let Some(completion) = next_batched(engine, &mut batch) {
         let now = completion.finished;
         if let Some(sampler) = d.sampler.as_mut() {
             sampler.advance_to(engine, now.min(d.measure_end));
@@ -812,6 +833,13 @@ fn drive_legacy(
         // The bottom of the iteration is a consistent cut: the completion
         // is fully absorbed and the follow-up op submitted.
         if let Some(every) = every {
+            if d.checkpoint_due(every) <= now {
+                // Batching invariant: hand the undelivered remainder back
+                // to the kernel before serializing, so checkpoint bytes
+                // match one-at-a-time delivery exactly; the next refill
+                // re-delivers it without stepping any events.
+                engine.requeue_completions(&mut batch);
+            }
             while d.checkpoint_due(every) <= now {
                 let index = d.next_checkpoint;
                 d.next_checkpoint += 1;
@@ -1300,7 +1328,8 @@ fn drive_resilient(
         .map(|secs| d.warmup_end + SimDuration::from_secs_f64(secs))
         .filter(|&at| engine.now() < at);
 
-    while let Some(completion) = engine.next_completion() {
+    let mut batch: VecDeque<Completion> = VecDeque::new();
+    while let Some(completion) = next_batched(engine, &mut batch) {
         let now = completion.finished;
         if let Some(sampler) = d.sampler.as_mut() {
             sampler.advance_to(engine, now.min(d.measure_end));
@@ -1500,6 +1529,11 @@ fn drive_resilient(
             );
         }
         if let Some(every) = every {
+            if d.checkpoint_due(every) <= now {
+                // Same batching invariant as the legacy driver: restore
+                // the kernel's undelivered completions before serializing.
+                engine.requeue_completions(&mut batch);
+            }
             while d.checkpoint_due(every) <= now {
                 let index = d.next_checkpoint;
                 d.next_checkpoint += 1;
